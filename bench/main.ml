@@ -1,0 +1,250 @@
+(* Benchmark harness.
+
+   Part 1 (Bechamel): one Test.make per paper table/figure, each timing
+   the computational kernel that experiment leans on (a scaled-down run of
+   the same code path), plus the hot primitives of the simulator.
+
+   Part 2: regenerate every table/figure row at quick scale, so
+   `dune exec bench/main.exe` reproduces the paper end to end. Use
+   bin/experiments_cli at `-s default` (or `full`) for the
+   publication-shaped numbers. *)
+
+open Bechamel
+open Toolkit
+
+module D = Experiments.Dumbbell
+module S = Experiments.Schemes
+
+(* --- kernels -------------------------------------------------------------- *)
+
+let tiny_dumbbell scheme =
+  D.run
+    (D.uniform_flows
+       { D.default with D.scheme; bandwidth = 5e6; duration = 4.0;
+         warmup = 2.0; start_window = (0.0, 0.2) }
+       ~n:2)
+
+let kernel_fig2_4 =
+  (* Section 2 analysis path: predictor + transition machine on a synthetic
+     10k-sample trace. *)
+  let rtts =
+    Array.init 10_000 (fun i -> 0.05 +. (0.02 *. sin (float_of_int i /. 50.0)))
+  in
+  let times = Array.init 10_000 (fun i -> 0.001 *. float_of_int i) in
+  let trace =
+    Predictors.Trace.make ~times ~rtts ~flow_losses:[||]
+      ~queue_losses:[| 1.0; 3.0; 7.0 |] ()
+  in
+  let predictor = Predictors.Predictor.ewma ~alpha:0.99 () in
+  fun () ->
+    let states = predictor.Predictors.Predictor.predict trace in
+    Predictors.Transitions.count ~times ~states ~losses:[| 1.0; 3.0; 7.0 |] ()
+
+let kernel_fig5 =
+  let curve = Pert_core.Response_curve.default in
+  fun () ->
+    let acc = ref 0.0 in
+    for i = 0 to 999 do
+      acc := !acc +. Pert_core.Response_curve.probability curve (float_of_int i *. 3e-5)
+    done;
+    !acc
+
+let kernel_fig13a () =
+  let out = ref 0.0 in
+  for n = 1 to 50 do
+    out :=
+      !out
+      +. Fluid.Stability.delta_min ~alpha:0.99 ~l_pert:2.0 ~c:1000.0
+           ~n_min:(float_of_int n) ~r_plus:0.2
+  done;
+  !out
+
+let kernel_fig13 () =
+  let p = Fluid.Pert_fluid.paper_params ~r:0.1 () in
+  Fluid.Pert_fluid.run p ~horizon:5.0 ~dt:0.001 ~record_every:100 ()
+
+let kernel_dynamic () =
+  Experiments.Dynamic.run
+    {
+      (Experiments.Dynamic.default Experiments.Scale.Quick S.Pert) with
+      Experiments.Dynamic.epoch = 2.0;
+      bin = 1.0;
+      cohort_size = 2;
+      bandwidth = 5e6;
+    }
+
+let kernel_multibneck () =
+  Experiments.Multibneck.run
+    {
+      (Experiments.Multibneck.default Experiments.Scale.Quick S.Pert) with
+      Experiments.Multibneck.duration = 4.0;
+      warmup = 2.0;
+      cloud_size = 2;
+      link_bandwidth = 5e6;
+    }
+
+let kernel_web () =
+  D.run
+    (D.uniform_flows
+       {
+         D.default with
+         D.scheme = S.Pert;
+         bandwidth = 5e6;
+         web_sessions = 20;
+         duration = 4.0;
+         warmup = 2.0;
+         start_window = (0.0, 0.2);
+       }
+       ~n:2)
+
+let kernel_table1 () =
+  D.run
+    {
+      D.default with
+      D.scheme = S.Pert;
+      bandwidth = 5e6;
+      flow_rtts = List.init 5 (fun i -> 0.02 *. float_of_int (i + 1));
+      duration = 4.0;
+      warmup = 2.0;
+      start_window = (0.0, 0.2);
+    }
+
+let kernel_fig14 () = tiny_dumbbell (S.Pert_pi { target_delay = 0.003 })
+
+let kernel_other_aqm () = tiny_dumbbell S.Pert_rem
+
+let kernel_stability () =
+  let kp = Fluid.Stability.pert_k ~alpha:0.99 ~c:1000.0 ~n:10.0 in
+  Fluid.Stability.boundary_r
+    ~holds:(fun r ->
+      Fluid.Stability.theorem1_holds ~l_pert:2.0 ~c:1000.0 ~n_min:10.0
+        ~r_plus:r ~k:kp)
+    ()
+
+let kernel_reverse () =
+  D.run
+    (D.uniform_flows
+       { D.default with D.scheme = S.Pert; bandwidth = 5e6;
+         reverse_flows = 2; duration = 4.0; warmup = 2.0;
+         start_window = (0.0, 0.2) }
+       ~n:2)
+
+(* primitives *)
+
+let kernel_heap () =
+  let h = Sim_engine.Heap.create () in
+  for i = 0 to 999 do
+    Sim_engine.Heap.add h ~time:(float_of_int ((i * 7919) mod 1000)) ~seq:i ()
+  done;
+  let rec drain () =
+    match Sim_engine.Heap.pop h with Some _ -> drain () | None -> ()
+  in
+  drain ()
+
+let kernel_pert_ack =
+  let engine = Pert_core.Pert_red.create () in
+  let i = ref 0 in
+  fun () ->
+    incr i;
+    Pert_core.Pert_red.on_ack engine
+      ~now:(0.001 *. float_of_int !i)
+      ~rtt:(0.05 +. (0.01 *. sin (float_of_int !i)))
+      ~u:0.999
+
+let kernel_red_enqueue =
+  let rng = Sim_engine.Rng.create 3 in
+  let params = Netsim.Red.auto_params ~capacity_pps:1000.0 ~limit_pkts:100 () in
+  let q = Netsim.Red.create ~rng ~params ~capacity_pps:1000.0 ~limit_pkts:100 in
+  let f = Netsim.Packet.factory () in
+  let i = ref 0 in
+  fun () ->
+    incr i;
+    let pkt =
+      Netsim.Packet.data f ~flow:0 ~src:0 ~dst:1 ~seq:!i ~ecn:true
+        ~now:(0.001 *. float_of_int !i) ()
+    in
+    match q.Netsim.Queue_disc.enqueue ~now:(0.001 *. float_of_int !i) pkt with
+    | Netsim.Queue_disc.Accept | Netsim.Queue_disc.Accept_marked ->
+        ignore (q.Netsim.Queue_disc.dequeue ~now:(0.001 *. float_of_int !i))
+    | Netsim.Queue_disc.Reject -> ()
+
+let staged name f = Test.make ~name (Staged.stage f)
+
+let tests =
+  Test.make_grouped ~name:"pert" ~fmt:"%s/%s"
+    [
+      (* one kernel per paper artefact *)
+      staged "fig2-4:predictor-analysis" (fun () -> ignore (kernel_fig2_4 ()));
+      staged "fig5:response-curve" (fun () -> ignore (kernel_fig5 ()));
+      staged "fig6:dumbbell-pert" (fun () -> ignore (tiny_dumbbell S.Pert));
+      staged "fig6:dumbbell-droptail" (fun () ->
+          ignore (tiny_dumbbell S.Sack_droptail));
+      staged "fig7:dumbbell-red-ecn" (fun () ->
+          ignore (tiny_dumbbell S.Sack_red_ecn));
+      staged "fig8:dumbbell-vegas" (fun () -> ignore (tiny_dumbbell S.Vegas));
+      staged "fig9:web-workload" (fun () -> ignore (kernel_web ()));
+      staged "table1:hetero-rtt" (fun () -> ignore (kernel_table1 ()));
+      staged "fig11:multibottleneck" (fun () -> ignore (kernel_multibneck ()));
+      staged "fig12:dynamic-cohorts" (fun () -> ignore (kernel_dynamic ()));
+      staged "fig13a:stability-sweep" (fun () -> ignore (kernel_fig13a ()));
+      staged "fig13:fluid-dde" (fun () -> ignore (kernel_fig13 ()));
+      staged "fig14:dumbbell-pert-pi" (fun () -> ignore (kernel_fig14 ()));
+      staged "other-aqm:dumbbell-pert-rem" (fun () -> ignore (kernel_other_aqm ()));
+      staged "stability:boundary-bisection" (fun () -> ignore (kernel_stability ()));
+      staged "reverse:dumbbell-rev-flows" (fun () -> ignore (kernel_reverse ()));
+      (* hot primitives *)
+      staged "prim:heap-1k" kernel_heap;
+      staged "prim:pert-on-ack" (fun () -> ignore (kernel_pert_ack ()));
+      staged "prim:red-enqueue" kernel_red_enqueue;
+    ]
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true
+      ~compaction:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    Analyze.merge ols instances
+      (List.map (fun i -> Analyze.all ols i raw) instances)
+  in
+  let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) clock [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Printf.printf "%-38s %16s\n" "benchmark" "time/run";
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] ->
+          let pretty =
+            if est > 1e9 then Printf.sprintf "%8.3f  s" (est /. 1e9)
+            else if est > 1e6 then Printf.sprintf "%8.3f ms" (est /. 1e6)
+            else if est > 1e3 then Printf.sprintf "%8.3f us" (est /. 1e3)
+            else Printf.sprintf "%8.1f ns" est
+          in
+          Printf.printf "%-38s %16s\n" name pretty
+      | Some _ | None -> Printf.printf "%-38s %16s\n" name "n/a")
+    rows;
+  print_newline ()
+
+let regenerate_tables () =
+  print_endline "=== paper tables/figures (quick scale) ===";
+  print_endline
+    "(use `dune exec bin/experiments_cli.exe -- all -s default` for the \
+     publication-shaped runs)\n";
+  let fmt = Format.std_formatter in
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "# %s (%s)@." e.Experiments.Registry.id
+        e.Experiments.Registry.paper_ref;
+      Experiments.Output.print_all fmt
+        (e.Experiments.Registry.run Experiments.Scale.Quick))
+    Experiments.Registry.all
+
+let () =
+  run_benchmarks ();
+  regenerate_tables ()

@@ -1,0 +1,97 @@
+(* Command-line driver for the paper-reproduction experiments:
+   `experiments_cli list`, `experiments_cli run fig6 table1 --scale quick`,
+   `experiments_cli all --csv out/`. *)
+
+open Cmdliner
+
+let scale_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Experiments.Scale.of_string s) in
+  Arg.conv (parse, fun fmt s -> Format.fprintf fmt "%s" (Experiments.Scale.to_string s))
+
+let scale_arg =
+  Arg.(
+    value
+    & opt scale_conv Experiments.Scale.Default
+    & info [ "s"; "scale" ] ~docv:"SCALE"
+        ~doc:"Experiment size: quick, default or full (paper parameters).")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into $(docv).")
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_csv dir id tables =
+  mkdir_p dir;
+  List.iteri
+    (fun i table ->
+      let path =
+        Filename.concat dir
+          (if i = 0 then id ^ ".csv" else Printf.sprintf "%s-%d.csv" id i)
+      in
+      let oc = open_out path in
+      output_string oc (Experiments.Output.to_csv table);
+      close_out oc)
+    tables
+
+let run_experiments ids scale csv =
+  let fmt = Format.std_formatter in
+  let missing = List.filter (fun id -> Experiments.Registry.find id = None) ids in
+  if missing <> [] then
+    `Error (false, "unknown experiment(s): " ^ String.concat ", " missing)
+  else begin
+    List.iter
+      (fun id ->
+        match Experiments.Registry.find id with
+        | None -> ()
+        | Some e ->
+            Format.fprintf fmt "# %s (%s) at scale %s@." e.Experiments.Registry.id
+              e.Experiments.Registry.paper_ref
+              (Experiments.Scale.to_string scale);
+            let tables = e.Experiments.Registry.run scale in
+            Experiments.Output.print_all fmt tables;
+            Option.iter (fun dir -> write_csv dir id tables) csv)
+      ids;
+    `Ok ()
+  end
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-8s %-14s %s\n" e.Experiments.Registry.id
+          e.Experiments.Registry.paper_ref e.Experiments.Registry.summary)
+      Experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List reproducible tables/figures.")
+    Term.(const run $ const ())
+
+let ids_arg =
+  Arg.(
+    non_empty & pos_all string []
+    & info [] ~docv:"ID" ~doc:"Experiment ids (see $(b,list)).")
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run selected experiments and print their tables.")
+    Term.(ret (const run_experiments $ ids_arg $ scale_arg $ csv_arg))
+
+let all_cmd =
+  let run scale csv =
+    run_experiments (Experiments.Registry.ids ()) scale csv
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment in paper order.")
+    Term.(ret (const run $ scale_arg $ csv_arg))
+
+let main =
+  let doc = "Reproduce the tables and figures of the PERT paper (SIGCOMM 2007)" in
+  Cmd.group (Cmd.info "pert-experiments" ~doc) [ list_cmd; run_cmd; all_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,152 @@
+(* Single-scenario simulator CLI: pick a scheme and a dumbbell
+   configuration, get the paper's four metrics (and per-flow goodputs). *)
+
+open Cmdliner
+
+let scheme_conv =
+  let parse = function
+    | "pert" -> Ok Experiments.Schemes.Pert
+    | "sack-droptail" | "sack" -> Ok Experiments.Schemes.Sack_droptail
+    | "sack-red-ecn" | "red" -> Ok Experiments.Schemes.Sack_red_ecn
+    | "vegas" -> Ok Experiments.Schemes.Vegas
+    | "pert-pi" -> Ok (Experiments.Schemes.Pert_pi { target_delay = 0.003 })
+    | "sack-pi-ecn" | "pi" ->
+        Ok (Experiments.Schemes.Sack_pi_ecn { target_delay = 0.003 })
+    | "pert-rem" -> Ok Experiments.Schemes.Pert_rem
+    | "pert-avq" -> Ok Experiments.Schemes.Pert_avq
+    | "sack-rem-ecn" | "rem" -> Ok Experiments.Schemes.Sack_rem_ecn
+    | "sack-avq-ecn" | "avq" -> Ok Experiments.Schemes.Sack_avq_ecn
+    | s -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+  in
+  Arg.conv
+    (parse, fun fmt s -> Format.fprintf fmt "%s" (Experiments.Schemes.name s))
+
+let scheme =
+  Arg.(
+    value
+    & opt scheme_conv Experiments.Schemes.Pert
+    & info [ "scheme" ]
+        ~doc:
+          "Congestion control / queue combination: pert, sack-droptail, \
+           sack-red-ecn, vegas, pert-pi, sack-pi-ecn, pert-rem, \
+           sack-rem-ecn, sack-avq-ecn.")
+
+let bandwidth =
+  Arg.(
+    value & opt float 50.0
+    & info [ "bandwidth" ] ~docv:"MBPS" ~doc:"Bottleneck bandwidth in Mbit/s.")
+
+let rtt =
+  Arg.(
+    value & opt float 60.0
+    & info [ "rtt" ] ~docv:"MS" ~doc:"Two-way propagation delay in ms.")
+
+let flows =
+  Arg.(value & opt int 16 & info [ "flows" ] ~doc:"Forward long-lived flows.")
+
+let reverse =
+  Arg.(value & opt int 0 & info [ "reverse" ] ~doc:"Reverse long-lived flows.")
+
+let web = Arg.(value & opt int 0 & info [ "web" ] ~doc:"Web sessions.")
+
+let duration =
+  Arg.(value & opt float 60.0 & info [ "duration" ] ~doc:"Simulated seconds.")
+
+let warmup =
+  Arg.(
+    value & opt (some float) None
+    & info [ "warmup" ] ~doc:"Measurement window start (default: duration/3).")
+
+let buffer =
+  Arg.(
+    value & opt (some int) None
+    & info [ "buffer" ] ~docv:"PKTS"
+        ~doc:"Bottleneck buffer in packets (default: one BDP).")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let owd =
+  Arg.(
+    value & flag
+    & info [ "owd" ]
+        ~doc:"Drive PERT from forward one-way delays instead of RTTs.")
+
+let trace_path =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write an ns-2-style packet trace of the bottleneck link (both \
+           directions) to $(docv).")
+
+let per_flow =
+  Arg.(value & flag & info [ "per-flow" ] ~doc:"Also print per-flow goodputs.")
+
+let run scheme bandwidth rtt flows reverse web duration warmup buffer seed owd
+    trace_path per_flow =
+  let rtt = rtt /. 1000.0 in
+  let config =
+    Experiments.Dumbbell.uniform_flows
+      {
+        Experiments.Dumbbell.default with
+        scheme;
+        bandwidth = bandwidth *. 1e6;
+        rtt;
+        reverse_flows = reverse;
+        web_sessions = web;
+        buffer_pkts = buffer;
+        duration;
+        warmup = (match warmup with Some w -> w | None -> duration /. 3.0);
+        delay_signal = (if owd then `Owd else `Rtt);
+        seed;
+      }
+      ~n:flows
+  in
+  let built = Experiments.Dumbbell.build config in
+  let sim = Netsim.Topology.sim built.Experiments.Dumbbell.topo in
+  let tracer =
+    Option.map
+      (fun _ ->
+        Netsim.Tracer.create sim
+          ~links:
+            [
+              built.Experiments.Dumbbell.bottleneck;
+              built.Experiments.Dumbbell.reverse_bneck;
+            ])
+      trace_path
+  in
+  Sim_engine.Sim.run ~until:config.Experiments.Dumbbell.warmup sim;
+  Experiments.Dumbbell.reset built;
+  Sim_engine.Sim.run ~until:config.Experiments.Dumbbell.duration sim;
+  let r = Experiments.Dumbbell.measure built in
+  (match (tracer, trace_path) with
+  | Some t, Some path ->
+      Netsim.Tracer.save t ~path;
+      Printf.printf "trace: %d events -> %s\n" (Netsim.Tracer.events t) path
+  | _ -> ());
+  Printf.printf
+    "scheme=%s bandwidth=%gMbps rtt=%gms flows=%d web=%d buffer=%dpkts\n"
+    (Experiments.Schemes.name scheme)
+    bandwidth (rtt *. 1000.0) flows web r.Experiments.Dumbbell.buffer_pkts;
+  Printf.printf
+    "avg_queue=%.1f pkts (%.3f of buffer)\ndrop_rate=%.3e\nutilization=%.3f\n\
+     jain_index=%.3f\nearly_responses=%d\nloss_events=%d\n"
+    r.Experiments.Dumbbell.avg_queue_pkts r.Experiments.Dumbbell.avg_queue_norm
+    r.Experiments.Dumbbell.drop_rate r.Experiments.Dumbbell.utilization
+    r.Experiments.Dumbbell.jain r.Experiments.Dumbbell.early_responses
+    r.Experiments.Dumbbell.loss_events;
+  if per_flow then
+    Array.iteri
+      (fun i g -> Printf.printf "flow%-3d %.3f Mbps\n" i (g /. 1e6))
+      r.Experiments.Dumbbell.per_flow_goodput
+
+let main =
+  let doc = "Packet-level dumbbell simulation with PERT and baselines" in
+  Cmd.v
+    (Cmd.info "pert-sim" ~doc)
+    Term.(
+      const run $ scheme $ bandwidth $ rtt $ flows $ reverse $ web $ duration
+      $ warmup $ buffer $ seed $ owd $ trace_path $ per_flow)
+
+let () = exit (Cmd.eval main)

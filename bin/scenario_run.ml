@@ -1,0 +1,15 @@
+(* Run a scenario file: `scenario_run path/to/file.scn`.
+   See Scenario's interface (lib/scenario/scenario.mli) for the language. *)
+
+let () =
+  match Sys.argv with
+  | [| _; path |] -> (
+      let source = In_channel.with_open_text path In_channel.input_all in
+      match Scenario.parse_and_run source with
+      | Ok report -> Scenario.pp_report Format.std_formatter report
+      | Error msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          exit 1)
+  | _ ->
+      Printf.eprintf "usage: %s SCENARIO_FILE\n" Sys.argv.(0);
+      exit 2

@@ -1,0 +1,37 @@
+(* The PERT core is simulator-agnostic: anything that can timestamp ACKs
+   can emulate AQM. This example drives Pert_core directly with a
+   synthetic RTT series (a queue ramp, then a drain) and shows when the
+   engine asks for early responses — the integration surface a real TCP
+   stack (or QUIC library) would use.
+
+   Run with: dune exec examples/custom_emulation.exe *)
+
+module R = Pert_core.Pert_red
+
+let () =
+  let engine = R.create () in
+  let rng = Random.State.make [| 11 |] in
+  let base = 0.050 in
+  (* 4000 ACKs at ~2 ms spacing: queueing delay ramps 0 -> 25 ms over the
+     first half, then drains back. *)
+  let responses = ref [] in
+  for i = 0 to 3999 do
+    let t = 0.002 *. float_of_int i in
+    let ramp =
+      if i < 2000 then float_of_int i /. 2000.0
+      else float_of_int (4000 - i) /. 2000.0
+    in
+    let rtt = base +. (0.025 *. ramp) in
+    match R.on_ack engine ~now:t ~rtt ~u:(Random.State.float rng 1.0) with
+    | R.Hold -> ()
+    | R.Early_response -> responses := (t, R.probability engine) :: !responses
+  done;
+  Printf.printf "early responses: %d (decrease factor %.2f each)\n"
+    (R.early_responses engine) (R.decrease_factor engine);
+  List.iter
+    (fun (t, p) -> Printf.printf "  t=%5.2f s  p(srtt)=%.3f\n" t p)
+    (List.rev !responses);
+  print_endline
+    "Responses cluster where the smoothed queueing delay sits in the \
+     5-20 ms band, at most one per RTT — gentle-RED behaviour without \
+     touching a router."

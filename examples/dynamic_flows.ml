@@ -1,0 +1,40 @@
+(* Transient behaviour (the paper's Fig. 12 scenario): cohorts of PERT
+   flows join every 15 s, then leave in arrival order. Prints an ASCII
+   timeline of each cohort's share of the bottleneck.
+
+   Run with: dune exec examples/dynamic_flows.exe *)
+
+let () =
+  let config =
+    {
+      (Experiments.Dynamic.default Experiments.Scale.Quick
+         Experiments.Schemes.Pert)
+      with
+      Experiments.Dynamic.epoch = 15.0;
+      bin = 3.0;
+    }
+  in
+  let times, series = Experiments.Dynamic.run config in
+  let n_cohorts = Array.length series in
+  Printf.printf "t(s)   ";
+  for k = 1 to n_cohorts do
+    Printf.printf "cohort%d " k
+  done;
+  print_newline ();
+  Array.iteri
+    (fun i t ->
+      Printf.printf "%5.0f  " t;
+      for k = 0 to n_cohorts - 1 do
+        Printf.printf "%7.2f " (series.(k).(i) /. 1e6)
+      done;
+      (* crude bar of cohort 1's share *)
+      let total = Array.fold_left (fun a s -> a +. s.(i)) 0.0 series in
+      let share =
+        if total <= 0.0 then 0 else int_of_float (20.0 *. series.(0).(i) /. total)
+      in
+      print_string ("  |" ^ String.make share '#');
+      print_newline ())
+    times;
+  print_endline
+    "Each arriving cohort converges to an equal share within a few \
+     seconds; departures free bandwidth that survivors reclaim quickly."

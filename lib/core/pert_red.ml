@@ -1,0 +1,47 @@
+type decision = Hold | Early_response
+
+type t = {
+  curve : Response_curve.t;
+  srtt : Srtt.t;
+  decrease_factor : float;
+  limit_per_rtt : bool;
+  mutable last_response : float;
+  mutable early_responses : int;
+}
+
+let create ?(curve = Response_curve.default) ?(alpha = 0.99)
+    ?(decrease_factor = 0.35) ?(limit_per_rtt = true) () =
+  if decrease_factor <= 0.0 || decrease_factor >= 1.0 then
+    invalid_arg "Pert_red.create: decrease_factor in (0,1)";
+  {
+    curve;
+    srtt = Srtt.create ~alpha ();
+    decrease_factor;
+    limit_per_rtt;
+    last_response = neg_infinity;
+    early_responses = 0;
+  }
+
+let probability t =
+  if Srtt.samples t.srtt = 0 then 0.0
+  else Response_curve.probability t.curve (Srtt.queueing_delay t.srtt)
+
+let on_ack t ~now ~rtt ~u =
+  Srtt.observe t.srtt rtt;
+  let p = probability t in
+  (* One response per smoothed RTT at most: the reduction takes one RTT to
+     show up in the signal, so responding faster overreacts. *)
+  let clock_allows =
+    (not t.limit_per_rtt) || now -. t.last_response >= Srtt.value t.srtt
+  in
+  if clock_allows && u < p then begin
+    t.last_response <- now;
+    t.early_responses <- t.early_responses + 1;
+    Early_response
+  end
+  else Hold
+
+let decrease_factor t = t.decrease_factor
+let srtt t = t.srtt
+let early_responses t = t.early_responses
+let note_loss t ~now = t.last_response <- now

@@ -1,0 +1,53 @@
+(** The PERT decision engine emulating gentle RED (Sections 3–4).
+
+    Pure and simulator-agnostic: feed it one RTT sample per ACK together
+    with the current clock and a uniform random draw; it answers whether
+    the sender should perform a probabilistic early window reduction.
+
+    Behavioural rules from the paper:
+    - the congestion signal is {!Srtt} with history weight 0.99;
+    - response probability comes from {!Response_curve} applied to the
+      estimated queueing delay;
+    - early responses are limited to at most once per (smoothed) RTT,
+      because the effect of a reduction is not visible any sooner;
+    - an early response is a multiplicative decrease by factor
+      [decrease_factor] (paper: 0.35, i.e. [cwnd <- 0.65 * cwnd]), chosen
+      from the buffer-sizing rule B > f/(1-f) * BDP with B = BDP/2. *)
+
+type decision =
+  | Hold  (** no early response on this ACK *)
+  | Early_response
+      (** reduce the window multiplicatively by {!decrease_factor} *)
+
+type t
+
+val create :
+  ?curve:Response_curve.t -> ?alpha:float -> ?decrease_factor:float ->
+  ?limit_per_rtt:bool -> unit -> t
+(** [alpha] is the srtt history weight (default 0.99); [decrease_factor]
+    the early multiplicative decrease (default 0.35, must be in (0,1));
+    [limit_per_rtt] (default [true]) enforces the at-most-one-response-
+    per-RTT rule — disabling it exists only for the ablation study. *)
+
+val on_ack : t -> now:float -> rtt:float -> u:float -> decision
+(** [on_ack t ~now ~rtt ~u] processes one ACK carrying RTT sample [rtt] at
+    time [now]; [u] is a uniform [\[0,1)] draw supplied by the caller (keeps
+    the core free of RNG policy). *)
+
+val decrease_factor : t -> float
+(** The factor [f]: on [Early_response] set [cwnd <- (1 - f) * cwnd]. *)
+
+val srtt : t -> Srtt.t
+(** The underlying smoothed-RTT estimator (read-only use intended). *)
+
+val probability : t -> float
+(** Response probability implied by the current smoothed signal; 0 before
+    any sample. *)
+
+val early_responses : t -> int
+(** Count of [Early_response] decisions issued. *)
+
+val note_loss : t -> now:float -> unit
+(** Tell the engine a real loss response happened at [now]; this also
+    restarts the once-per-RTT clock so the loss response and an early
+    response cannot double-fire within the same RTT. *)

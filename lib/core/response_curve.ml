@@ -1,0 +1,20 @@
+type t = { t_min : float; t_max : float; p_max : float }
+
+let make ~t_min ~t_max ~p_max =
+  if not (0.0 < t_min && t_min < t_max) then
+    invalid_arg "Response_curve.make: need 0 < t_min < t_max";
+  if not (0.0 < p_max && p_max <= 1.0) then
+    invalid_arg "Response_curve.make: need 0 < p_max <= 1";
+  { t_min; t_max; p_max }
+
+let default = { t_min = 0.005; t_max = 0.010; p_max = 0.05 }
+
+let probability t qd =
+  if qd < t.t_min then 0.0
+  else if qd < t.t_max then
+    t.p_max *. (qd -. t.t_min) /. (t.t_max -. t.t_min)
+  else if qd < 2.0 *. t.t_max then
+    t.p_max +. ((1.0 -. t.p_max) *. (qd -. t.t_max) /. t.t_max)
+  else 1.0
+
+let slope t = t.p_max /. (t.t_max -. t.t_min)

@@ -1,0 +1,30 @@
+(** The gentle-RED-shaped probabilistic response curve of PERT (paper
+    Fig. 5), expressed on estimated {e queueing delay} (smoothed RTT minus
+    propagation delay).
+
+    Probability of an early window reduction per ACK:
+    - 0 below [t_min];
+    - linear from 0 to [p_max] on [\[t_min, t_max)];
+    - linear from [p_max] to 1 on [\[t_max, 2 t_max)] (the "gentle" region);
+    - 1 at and above [2 t_max].
+
+    The paper's fixed thresholds are [t_min = P + 5 ms] and
+    [t_max = P + 10 ms] where [P] is the propagation delay, i.e. 5 ms and
+    10 ms of queueing delay. *)
+
+type t = private { t_min : float; t_max : float; p_max : float }
+
+val make : t_min:float -> t_max:float -> p_max:float -> t
+(** Raises [Invalid_argument] unless [0 < t_min < t_max] and
+    [0 < p_max <= 1]. *)
+
+val default : t
+(** [t_min = 5 ms], [t_max = 10 ms], [p_max = 0.05] — the paper's values. *)
+
+val probability : t -> float -> float
+(** [probability t qd] is the response probability for queueing delay [qd]
+    (seconds). Total: negative inputs give 0. *)
+
+val slope : t -> float
+(** [p_max /. (t_max -. t_min)] — the loss-function gain [L_PERT] used by
+    the stability analysis (paper eq. 10). *)

@@ -1,0 +1,29 @@
+type t = {
+  alpha : float;
+  mutable srtt : float;
+  mutable min_rtt : float;
+  mutable samples : int;
+}
+
+let create ?(alpha = 0.99) () =
+  if alpha < 0.0 || alpha >= 1.0 then invalid_arg "Srtt.create: alpha in [0,1)";
+  { alpha; srtt = 0.0; min_rtt = infinity; samples = 0 }
+
+let observe t sample =
+  if sample <= 0.0 then invalid_arg "Srtt.observe: non-positive RTT";
+  if t.samples = 0 then t.srtt <- sample
+  else t.srtt <- (t.alpha *. t.srtt) +. ((1.0 -. t.alpha) *. sample);
+  if sample < t.min_rtt then t.min_rtt <- sample;
+  t.samples <- t.samples + 1
+
+let value t =
+  if t.samples = 0 then invalid_arg "Srtt.value: no samples";
+  t.srtt
+
+let min_rtt t =
+  if t.samples = 0 then invalid_arg "Srtt.min_rtt: no samples";
+  t.min_rtt
+
+let queueing_delay t = Float.max 0.0 (value t -. min_rtt t)
+let samples t = t.samples
+let alpha t = t.alpha

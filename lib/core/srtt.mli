@@ -1,0 +1,32 @@
+(** The heavily smoothed RTT signal [srtt_0.99] of Section 2.4, plus
+    propagation-delay (minimum-RTT) tracking.
+
+    The estimator is the standard exponentially weighted moving average
+    [srtt <- alpha * srtt + (1 - alpha) * sample] applied to {e every} RTT
+    sample (one per ACK), with history weight [alpha = 0.99]. *)
+
+type t
+
+val create : ?alpha:float -> unit -> t
+(** [alpha] is the weight of the history term, default 0.99. Must be in
+    [\[0, 1)]. *)
+
+val observe : t -> float -> unit
+(** Feed one instantaneous RTT sample (seconds). The first sample
+    initialises the average. Non-positive samples raise
+    [Invalid_argument]. *)
+
+val value : t -> float
+(** Current smoothed RTT. Raises [Invalid_argument] before any sample. *)
+
+val min_rtt : t -> float
+(** Smallest sample seen — the propagation-delay estimate [P]. Raises
+    [Invalid_argument] before any sample. *)
+
+val queueing_delay : t -> float
+(** [value t -. min_rtt t], clamped at 0. *)
+
+val samples : t -> int
+(** Number of samples observed. *)
+
+val alpha : t -> float

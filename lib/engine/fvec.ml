@@ -1,0 +1,35 @@
+type t = { mutable data : float array; mutable size : int }
+
+let create ?(capacity = 64) () = { data = Array.make (max 1 capacity) 0.0; size = 0 }
+let length t = t.size
+
+let push t x =
+  if t.size = Array.length t.data then begin
+    let data = Array.make (2 * t.size) 0.0 in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1
+
+let get t i =
+  if i < 0 || i >= t.size then invalid_arg "Fvec.get: index out of bounds";
+  t.data.(i)
+
+let to_array t = Array.sub t.data 0 t.size
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.data.(i)
+  done
+
+let clear t = t.size <- 0
+
+let lower_bound t x =
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.data.(mid) < x then search (mid + 1) hi else search lo mid
+  in
+  search 0 t.size

@@ -1,0 +1,15 @@
+(** Growable float array, used for time-series traces. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val push : t -> float -> unit
+val get : t -> int -> float
+val to_array : t -> float array
+val iter : (float -> unit) -> t -> unit
+val clear : t -> unit
+
+val lower_bound : t -> float -> int
+(** [lower_bound t x] on a nondecreasing vector: index of the first element
+    [>= x], or [length t] if none. *)

@@ -1,0 +1,96 @@
+type 'a t = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create ?(capacity = 256) () =
+  let capacity = max capacity 1 in
+  {
+    times = Array.make capacity 0.0;
+    seqs = Array.make capacity 0;
+    data = [||];
+    size = 0;
+  }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let grow t x =
+  let cap = max 1 (Array.length t.times) in
+  let cap' = 2 * cap in
+  let times = Array.make cap' 0.0 in
+  let seqs = Array.make cap' 0 in
+  let data = Array.make cap' x in
+  Array.blit t.times 0 times 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.data 0 data 0 t.size;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.data <- data
+
+(* [lt t i j] : does slot [i] have strictly smaller priority than slot [j]? *)
+let lt t i j =
+  t.times.(i) < t.times.(j)
+  || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
+
+let swap t i j =
+  let tm = t.times.(i) and sq = t.seqs.(i) and dt = t.data.(i) in
+  t.times.(i) <- t.times.(j);
+  t.seqs.(i) <- t.seqs.(j);
+  t.data.(i) <- t.data.(j);
+  t.times.(j) <- tm;
+  t.seqs.(j) <- sq;
+  t.data.(j) <- dt
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < t.size && lt t l i then l else i in
+  let smallest = if r < t.size && lt t r smallest then r else smallest in
+  if smallest <> i then begin
+    swap t i smallest;
+    sift_down t smallest
+  end
+
+let add t ~time ~seq x =
+  if Array.length t.data = 0 then begin
+    (* First element: allocate the data array lazily since we have no
+       placeholder value of type ['a] before this point. *)
+    let cap = Array.length t.times in
+    t.data <- Array.make cap x
+  end;
+  if t.size = Array.length t.times then grow t x;
+  t.times.(t.size) <- time;
+  t.seqs.(t.size) <- seq;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let time = t.times.(0) and seq = t.seqs.(0) and x = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.times.(0) <- t.times.(t.size);
+      t.seqs.(0) <- t.seqs.(t.size);
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    (* Release the reference so the GC can collect the payload. *)
+    t.data.(t.size) <- x;
+    Some (time, seq, x)
+  end
+
+let peek_time t = if t.size = 0 then None else Some t.times.(0)
+let clear t = t.size <- 0

@@ -1,0 +1,22 @@
+(** Growable binary min-heap specialised for event scheduling.
+
+    Keys are [(time, seq)] pairs compared lexicographically, so events at
+    equal times pop in insertion order — this makes simulations
+    deterministic. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:float -> seq:int -> 'a -> unit
+(** Insert an element with priority [(time, seq)]. *)
+
+val pop : 'a t -> (float * int * 'a) option
+(** Remove and return the minimum element, or [None] if empty. *)
+
+val peek_time : 'a t -> float option
+(** Time of the minimum element without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,35 @@
+type t = Random.State.t
+
+let create seed = Random.State.make [| seed; 0x9e3779b9; seed lxor 0x5deece66 |]
+
+let split t =
+  let a = Random.State.bits t and b = Random.State.bits t in
+  Random.State.make [| a; b; a lxor (b lsl 1) |]
+
+let float t bound = Random.State.float t bound
+let int t bound = Random.State.int t bound
+let bool t = Random.State.bool t
+let bernoulli t p = Random.State.float t 1.0 < p
+let uniform t lo hi = lo +. Random.State.float t (hi -. lo)
+
+(* Inversion sampling; guard against u = 0 which would yield infinity. *)
+let exponential t mean =
+  let u = 1.0 -. Random.State.float t 1.0 in
+  -.mean *. log u
+
+let pareto t ~shape ~scale =
+  let u = 1.0 -. Random.State.float t 1.0 in
+  scale /. (u ** (1.0 /. shape))
+
+let bounded_pareto t ~shape ~scale ~cap =
+  (* Inverse CDF of the bounded Pareto on [scale, cap]. *)
+  let l = scale ** shape and h = cap ** shape in
+  let u = Random.State.float t 1.0 in
+  ((-.(u *. h) +. (u *. l) +. h) /. (h *. l)) ** (-1.0 /. shape)
+
+let geometric t p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric";
+  if p >= 1.0 then 1
+  else
+    let u = 1.0 -. Random.State.float t 1.0 in
+    1 + int_of_float (log u /. log (1.0 -. p))

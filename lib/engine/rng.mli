@@ -1,0 +1,43 @@
+(** Deterministic, splittable random number generation.
+
+    Every stochastic component of a simulation draws from its own [t],
+    obtained by {!split}ting the simulation's root generator. Two runs with
+    the same root seed and the same split order are bit-identical. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a generator seeded with [seed]. *)
+
+val split : t -> t
+(** [split t] returns a fresh generator whose stream is independent of
+    subsequent draws from [t] (derived from [t]'s next output). *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [\[0, bound)]. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [\[0, bound)]. [bound > 0]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] draws uniformly from [\[lo, hi)]. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from Exp with the given mean. *)
+
+val pareto : t -> shape:float -> scale:float -> float
+(** [pareto t ~shape ~scale] draws from a Pareto distribution with the given
+    shape (tail index) and scale (minimum value). Mean is
+    [scale *. shape /. (shape -. 1.)] for [shape > 1]. *)
+
+val bounded_pareto : t -> shape:float -> scale:float -> cap:float -> float
+(** Pareto truncated (by resampling-free inversion) to [\[scale, cap\]]. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] is the number of Bernoulli(p) trials up to and including
+    the first success; [>= 1]. *)

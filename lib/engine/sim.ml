@@ -1,0 +1,65 @@
+type t = {
+  heap : (unit -> unit) Heap.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable stopped : bool;
+  mutable executed : int;
+  root_rng : Rng.t;
+}
+
+let create ?(seed = 42) () =
+  {
+    heap = Heap.create ();
+    clock = 0.0;
+    next_seq = 0;
+    stopped = false;
+    executed = 0;
+    root_rng = Rng.create seed;
+  }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let at t time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.at: time %g is before now %g" time t.clock);
+  Heap.add t.heap ~time ~seq:t.next_seq f;
+  t.next_seq <- t.next_seq + 1
+
+let after t delay f =
+  if delay < 0.0 then invalid_arg "Sim.after: negative delay";
+  at t (t.clock +. delay) f
+
+let every t ?start period f =
+  if period <= 0.0 then invalid_arg "Sim.every: period must be positive";
+  let first = match start with Some s -> s | None -> t.clock +. period in
+  let rec tick () =
+    f ();
+    if not t.stopped then after t period tick
+  in
+  at t first tick
+
+let stop t = t.stopped <- true
+
+let run ?until t =
+  t.stopped <- false;
+  let horizon = match until with Some u -> u | None -> infinity in
+  let rec loop () =
+    if not t.stopped then
+      match Heap.peek_time t.heap with
+      | None -> ()
+      | Some time when time > horizon -> t.clock <- horizon
+      | Some _ -> (
+          match Heap.pop t.heap with
+          | None -> ()
+          | Some (time, _, f) ->
+              t.clock <- time;
+              t.executed <- t.executed + 1;
+              f ();
+              loop ())
+  in
+  loop ();
+  if t.stopped then () else match until with Some u -> t.clock <- max t.clock u | None -> ()
+
+let events_executed t = t.executed

@@ -1,0 +1,37 @@
+(** Discrete-event simulation core.
+
+    A [Sim.t] owns a virtual clock, an event heap and a root random
+    generator. Events are thunks executed in nondecreasing time order;
+    equal-time events run in scheduling order. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** [create ?seed ()] makes an empty simulation. Default seed is 42. *)
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val rng : t -> Rng.t
+(** The simulation's root generator; components should {!Rng.split} it. *)
+
+val at : t -> float -> (unit -> unit) -> unit
+(** [at t time f] schedules [f] at absolute [time]. [time >= now t]. *)
+
+val after : t -> float -> (unit -> unit) -> unit
+(** [after t delay f] schedules [f] at [now t +. delay]. [delay >= 0]. *)
+
+val every : t -> ?start:float -> float -> (unit -> unit) -> unit
+(** [every t ?start period f] runs [f] at [start] (default [now + period])
+    and then every [period] seconds until the simulation stops. *)
+
+val stop : t -> unit
+(** Stop the event loop after the current event returns. *)
+
+val run : ?until:float -> t -> unit
+(** Execute events until the heap drains, [until] is reached (events
+    scheduled strictly after [until] stay queued, the clock advances to
+    [until]), or {!stop} is called. *)
+
+val events_executed : t -> int
+(** Total number of events executed so far (for benchmarks). *)

@@ -1,0 +1,170 @@
+module D = Dumbbell
+module Curve = Pert_core.Response_curve
+
+(* Shared reference scenario: a moderately loaded dumbbell where both the
+   standing queue and the utilisation cost of over-responding are visible. *)
+let base scale =
+  let bandwidth = Scale.pick scale ~quick:10e6 ~default:40e6 ~full:150e6 in
+  let nflows = Scale.pick scale ~quick:6 ~default:16 ~full:50 in
+  let duration = Scale.pick scale ~quick:30.0 ~default:80.0 ~full:400.0 in
+  ( D.uniform_flows
+      {
+        D.default with
+        D.bandwidth;
+        duration;
+        warmup = duration /. 3.0;
+        seed = 7;
+      }
+      ~n:nflows,
+    nflows )
+
+let tuned ?(curve = Curve.default) ?(alpha = 0.99) ?(decrease_factor = 0.35)
+    ?(limit_per_rtt = true) () =
+  Schemes.Pert_tuned { curve; alpha; decrease_factor; limit_per_rtt }
+
+let run_row label scale scheme extra_cells =
+  let config, _ = base scale in
+  let r = D.run { config with D.scheme } in
+  label :: extra_cells
+  @ [
+      Output.cell_f ~digits:1 r.D.avg_queue_pkts;
+      Output.cell_e r.D.drop_rate;
+      Output.cell_f r.D.utilization;
+      Output.cell_f r.D.jain;
+      Output.cell_i r.D.early_responses;
+    ]
+
+let metric_header = [ "Q(pkts)"; "droprate"; "util"; "jain"; "early" ]
+
+let decrease_factor scale =
+  let rows =
+    List.map
+      (fun f ->
+        run_row (Printf.sprintf "f=%.2f" f) scale
+          (tuned ~decrease_factor:f ())
+          [])
+      [ 0.20; 0.35; 0.50 ]
+  in
+  {
+    Output.title =
+      "Ablation: early decrease factor (paper picks 0.35 from B = BDP/2)";
+    header = ("factor" :: metric_header);
+    rows;
+  }
+
+let ewma_weight scale =
+  let rows =
+    List.map
+      (fun a ->
+        run_row (Printf.sprintf "alpha=%.3f" a) scale (tuned ~alpha:a ()) [])
+      [ 0.875; 0.99; 0.999 ]
+  in
+  {
+    Output.title = "Ablation: srtt history weight (paper picks 0.99)";
+    header = ("alpha" :: metric_header);
+    rows;
+  }
+
+let curve_shape scale =
+  let variants =
+    [
+      ("paper 5-10ms p.05", Curve.default);
+      ("tight 2.5-5ms p.05", Curve.make ~t_min:0.0025 ~t_max:0.005 ~p_max:0.05);
+      ("loose 10-20ms p.05", Curve.make ~t_min:0.010 ~t_max:0.020 ~p_max:0.05);
+      ("hot 5-10ms p.20", Curve.make ~t_min:0.005 ~t_max:0.010 ~p_max:0.20);
+    ]
+  in
+  let rows =
+    List.map (fun (label, curve) -> run_row label scale (tuned ~curve ()) [])
+      variants
+  in
+  {
+    Output.title = "Ablation: response-curve thresholds and p_max";
+    header = ("curve" :: metric_header);
+    rows;
+  }
+
+let rtt_limiter scale =
+  let rows =
+    [
+      run_row "once-per-rtt" scale (tuned ~limit_per_rtt:true ()) [];
+      run_row "unlimited" scale (tuned ~limit_per_rtt:false ()) [];
+    ]
+  in
+  {
+    Output.title =
+      "Ablation: the at-most-one-early-response-per-RTT limiter";
+    header = ("limiter" :: metric_header);
+    rows;
+  }
+
+let reverse_traffic scale =
+  let config, nflows = base scale in
+  let reverse_levels =
+    [ 0; nflows / 2; nflows ]
+  in
+  let rows =
+    List.concat_map
+      (fun reverse_flows ->
+        List.map
+          (fun (label, delay_signal) ->
+            let r =
+              D.run { config with D.reverse_flows; delay_signal }
+            in
+            [
+              Output.cell_i reverse_flows;
+              label;
+              Output.cell_f r.D.utilization;
+              Output.cell_f ~digits:1 r.D.avg_queue_pkts;
+              Output.cell_e r.D.drop_rate;
+              Output.cell_i r.D.early_responses;
+            ])
+          [ ("pert-rtt", `Rtt); ("pert-owd", `Owd) ])
+      reverse_levels
+  in
+  {
+    Output.title =
+      "Section 7: reverse-path congestion vs PERT's delay signal";
+    header = [ "rev-flows"; "signal"; "fwd-util"; "Q(pkts)"; "droprate"; "early" ];
+    rows;
+  }
+
+let seed_sensitivity scale =
+  let config, _ = base scale in
+  let seeds = [ 1; 2; 3; 4; 5 ] in
+  let rows =
+    List.map
+      (fun scheme ->
+        let q = Sim_engine.Stats.Acc.create ()
+        and u = Sim_engine.Stats.Acc.create ()
+        and j = Sim_engine.Stats.Acc.create () in
+        List.iter
+          (fun seed ->
+            let r = D.run { config with D.scheme; seed } in
+            Sim_engine.Stats.Acc.add q r.D.avg_queue_pkts;
+            Sim_engine.Stats.Acc.add u r.D.utilization;
+            Sim_engine.Stats.Acc.add j r.D.jain)
+          seeds;
+        let pm acc digits =
+          Printf.sprintf "%.*f+-%.*f" digits (Sim_engine.Stats.Acc.mean acc)
+            digits
+            (Sim_engine.Stats.Acc.stddev acc)
+        in
+        [ Schemes.name scheme; pm q 1; pm u 3; pm j 3 ])
+      Schemes.all_fig4_schemes
+  in
+  {
+    Output.title = "Seed sensitivity: mean +- sd over five seeds";
+    header = [ "scheme"; "Q(pkts)"; "util"; "jain" ];
+    rows;
+  }
+
+let all scale =
+  [
+    decrease_factor scale;
+    ewma_weight scale;
+    curve_shape scale;
+    rtt_limiter scale;
+    reverse_traffic scale;
+    seed_sensitivity scale;
+  ]

@@ -1,0 +1,213 @@
+module Sim = Sim_engine.Sim
+module Rng = Sim_engine.Rng
+module Stats = Sim_engine.Stats
+module T = Netsim.Topology
+module Link = Netsim.Link
+module Packet = Netsim.Packet
+module Flow = Tcpstack.Flow
+
+type config = {
+  scheme : Schemes.t;
+  bandwidth : float;
+  rtt : float;
+  flow_rtts : float list;
+  reverse_flows : int;
+  web_sessions : int;
+  buffer_pkts : int option;
+  duration : float;
+  warmup : float;
+  start_window : float * float;
+  delay_signal : Tcpstack.Flow.delay_signal;
+  seed : int;
+}
+
+let default =
+  {
+    scheme = Schemes.Pert;
+    bandwidth = 50e6;
+    rtt = 0.060;
+    flow_rtts = List.init 16 (fun _ -> 0.060);
+    reverse_flows = 0;
+    web_sessions = 0;
+    buffer_pkts = None;
+    duration = 60.0;
+    warmup = 20.0;
+    start_window = (0.0, 5.0);
+    delay_signal = `Rtt;
+    seed = 42;
+  }
+
+let uniform_flows config ~n =
+  { config with flow_rtts = List.init n (fun _ -> config.rtt) }
+
+let bdp_pkts ~bandwidth ~rtt =
+  max 1 (int_of_float (bandwidth *. rtt /. (8.0 *. float_of_int Packet.data_size)))
+
+type built = {
+  topo : T.t;
+  bottleneck : Link.t;
+  reverse_bneck : Link.t;
+  forward_flows : Flow.t list;
+  reverse : Flow.t list;
+  config : config;
+  cc_factory : unit -> Tcpstack.Cc.t;
+  routers : Netsim.Node.t * Netsim.Node.t;
+}
+
+(* Access links are 10x the bottleneck and lightly buffered relative to
+   it, so only the bottleneck queue matters — mirroring the paper's
+   500 Mbps access links against a 100 Mbps core. *)
+let access_bw config = 10.0 *. config.bandwidth
+let access_buffer = 10_000
+
+let buffer_size config =
+  let nflows = List.length config.flow_rtts in
+  match config.buffer_pkts with
+  | Some b -> b
+  | None ->
+      max
+        (bdp_pkts ~bandwidth:config.bandwidth ~rtt:config.rtt)
+        (max 4 (2 * nflows))
+
+let build config =
+  let sim = Sim.create ~seed:config.seed () in
+  let topo = T.create sim in
+  let r1 = T.add_node topo and r2 = T.add_node topo in
+  let capacity_pps =
+    config.bandwidth /. (8.0 *. float_of_int Packet.data_size)
+  in
+  let limit_pkts = buffer_size config in
+  let nflows = List.length config.flow_rtts in
+  let ctx =
+    {
+      Schemes.sim;
+      capacity_pps;
+      limit_pkts;
+      rtt = config.rtt;
+      nflows;
+    }
+  in
+  (* The bottleneck one-way propagation takes a third of the smallest
+     flow RTT; access links supply the rest per flow. *)
+  let min_rtt =
+    List.fold_left Float.min config.rtt config.flow_rtts
+  in
+  let bneck_delay = min_rtt /. 6.0 in
+  let bottleneck =
+    T.add_link topo ~src:r1 ~dst:r2 ~bandwidth:config.bandwidth
+      ~delay:bneck_delay
+      ~disc:(Schemes.bottleneck_disc config.scheme ctx)
+  in
+  let reverse_bneck =
+    T.add_link topo ~src:r2 ~dst:r1 ~bandwidth:config.bandwidth
+      ~delay:bneck_delay
+      ~disc:(Schemes.bottleneck_disc config.scheme ctx)
+  in
+  let attach_host router rtt_target =
+    (* Each direction of the access pair contributes
+       (rtt_target/2 - bneck_delay)/2 one-way delay. *)
+    let d = Float.max 1e-5 (((rtt_target /. 2.0) -. bneck_delay) /. 2.0) in
+    let host = T.add_node topo in
+    let disc () = Netsim.Droptail.create ~limit_pkts:access_buffer in
+    ignore
+      (T.add_duplex topo ~a:host ~b:router ~bandwidth:(access_bw config)
+         ~delay:d ~disc_ab:(disc ()) ~disc_ba:(disc ()));
+    host
+  in
+  let cc_factory = Schemes.cc_factory config.scheme ctx in
+  let ecn = Schemes.uses_ecn config.scheme in
+  let rng = Rng.split (Sim.rng sim) in
+  let lo, hi = config.start_window in
+  let mk_flow ~src ~dst =
+    let start = if hi > lo then Rng.uniform rng lo hi else lo in
+    Flow.create topo ~src ~dst ~cc:(cc_factory ()) ~ecn ~start
+      ~delay_signal:config.delay_signal ()
+  in
+  (* Forward long-lived flows with their individual RTTs. *)
+  let endpoints =
+    List.map
+      (fun rtt -> (attach_host r1 rtt, attach_host r2 rtt))
+      config.flow_rtts
+  in
+  (* Reverse flows load the ACK path, as in the paper's test cases. *)
+  let rev_endpoints =
+    List.init config.reverse_flows (fun _ ->
+        (attach_host r2 config.rtt, attach_host r1 config.rtt))
+  in
+  (* Web hosts: a small pool on each side. *)
+  let web_pool router =
+    Array.init
+      (min 8 (max 1 config.web_sessions))
+      (fun _ -> attach_host router config.rtt)
+  in
+  let web_src = web_pool r1 and web_dst = web_pool r2 in
+  T.compute_routes topo;
+  let forward_flows = List.map (fun (s, d) -> mk_flow ~src:s ~dst:d) endpoints in
+  let reverse = List.map (fun (s, d) -> mk_flow ~src:s ~dst:d) rev_endpoints in
+  if config.web_sessions > 0 then
+    ignore
+      (Traffic.Web.start_sessions topo ~n:config.web_sessions ~src_pool:web_src
+         ~dst_pool:web_dst ~cc_factory ~ecn ());
+  {
+    topo;
+    bottleneck;
+    reverse_bneck;
+    forward_flows;
+    reverse;
+    config;
+    cc_factory;
+    routers = (r1, r2);
+  }
+
+let reset built =
+  Link.reset_stats built.bottleneck;
+  Link.reset_stats built.reverse_bneck;
+  List.iter Flow.reset_stats built.forward_flows;
+  List.iter Flow.reset_stats built.reverse
+
+type result = {
+  avg_queue_pkts : float;
+  avg_queue_norm : float;
+  drop_rate : float;
+  utilization : float;
+  jain : float;
+  per_flow_goodput : float array;
+  buffer_pkts : int;
+  marks : int;
+  early_responses : int;
+  loss_events : int;
+}
+
+let measure built =
+  let sim = T.sim built.topo in
+  let now = Sim.now sim in
+  let link = built.bottleneck in
+  let goodputs =
+    built.forward_flows
+    |> List.map (fun f -> Flow.goodput_bps f ~now)
+    |> Array.of_list
+  in
+  let buffer = (Link.disc link).Netsim.Queue_disc.capacity_pkts in
+  {
+    avg_queue_pkts = Link.avg_queue_pkts link;
+    avg_queue_norm = Link.avg_queue_pkts link /. float_of_int buffer;
+    drop_rate = Link.drop_rate link;
+    utilization = Link.utilization link;
+    jain = Stats.jain_index goodputs;
+    per_flow_goodput = goodputs;
+    buffer_pkts = buffer;
+    marks = Link.marks link;
+    early_responses =
+      List.fold_left (fun a f -> a + Flow.early_responses f) 0
+        built.forward_flows;
+    loss_events =
+      List.fold_left (fun a f -> a + Flow.loss_events f) 0 built.forward_flows;
+  }
+
+let run config =
+  let built = build config in
+  let sim = T.sim built.topo in
+  Sim.run ~until:config.warmup sim;
+  reset built;
+  Sim.run ~until:config.duration sim;
+  measure built

@@ -1,0 +1,75 @@
+(** The single-bottleneck ("dumbbell") scenario used by Sections 2 and
+    4.1–4.5: per-flow source and sink nodes hang off two routers joined by
+    the bottleneck link; forward and reverse long-lived flows plus web
+    sessions share it.
+
+    Fast access links carry per-flow delay so flows can have heterogeneous
+    RTTs; the bottleneck buffer defaults to the paper's rule (one BDP,
+    floored at twice the number of flows). *)
+
+type config = {
+  scheme : Schemes.t;
+  bandwidth : float;  (** bottleneck, bits/s *)
+  rtt : float;  (** default two-way propagation delay, s *)
+  flow_rtts : float list;
+      (** RTT per forward long-lived flow; length = flow count *)
+  reverse_flows : int;
+  web_sessions : int;
+  buffer_pkts : int option;  (** [None]: BDP rule *)
+  duration : float;  (** total simulated seconds *)
+  warmup : float;  (** stats collected on [\[warmup, duration\]] *)
+  start_window : float * float;  (** random flow start times *)
+  delay_signal : Tcpstack.Flow.delay_signal;
+      (** [`Rtt] (default) or [`Owd] for the Section 7 one-way-delay
+          variant of the long-lived flows *)
+  seed : int;
+}
+
+val default : config
+(** PERT scheme, 50 Mbps, 60 ms, 16 forward flows, no reverse flows, no
+    web, BDP buffer, 60 s with 20 s warm-up, starts in [(0, 5)] s. *)
+
+val uniform_flows : config -> n:int -> config
+(** Set [flow_rtts] to [n] copies of [config.rtt]. *)
+
+val bdp_pkts : bandwidth:float -> rtt:float -> int
+(** Bandwidth-delay product in data packets. *)
+
+type result = {
+  avg_queue_pkts : float;
+  avg_queue_norm : float;  (** normalised by the buffer size *)
+  drop_rate : float;
+  utilization : float;
+  jain : float;  (** over forward long-lived flows *)
+  per_flow_goodput : float array;  (** bits/s, forward long-lived flows *)
+  buffer_pkts : int;
+  marks : int;
+  early_responses : int;  (** summed over forward flows *)
+  loss_events : int;  (** summed over forward flows *)
+}
+
+val run : config -> result
+(** Build, warm up, measure, and summarise. *)
+
+(** Handles for custom experiments that need mid-run access. *)
+type built = {
+  topo : Netsim.Topology.t;
+  bottleneck : Netsim.Link.t;  (** forward-direction bottleneck *)
+  reverse_bneck : Netsim.Link.t;
+  forward_flows : Tcpstack.Flow.t list;
+  reverse : Tcpstack.Flow.t list;
+  config : config;
+  cc_factory : unit -> Tcpstack.Cc.t;
+  routers : Netsim.Node.t * Netsim.Node.t;
+}
+
+val build : config -> built
+(** Construct the scenario without running it (web sessions are started,
+    long flows scheduled). *)
+
+val measure : built -> result
+(** Collect the summary from a [built] whose simulation has been advanced
+    past [config.warmup] (call {!reset} at warm-up first). *)
+
+val reset : built -> unit
+(** Zero the measurement windows of the bottleneck links and flows. *)

@@ -1,0 +1,229 @@
+module Sim = Sim_engine.Sim
+module Flow = Tcpstack.Flow
+
+type config = {
+  scheme : Schemes.t;
+  bandwidth : float;
+  rtt : float;
+  cohort_size : int;
+  n_cohorts : int;
+  epoch : float;
+  bin : float;
+  seed : int;
+}
+
+let default scale scheme =
+  {
+    scheme;
+    bandwidth = Scale.pick scale ~quick:10e6 ~default:40e6 ~full:100e6;
+    rtt = 0.060;
+    cohort_size = Scale.pick scale ~quick:4 ~default:8 ~full:25;
+    n_cohorts = 4;
+    epoch = Scale.pick scale ~quick:10.0 ~default:30.0 ~full:100.0;
+    bin = Scale.pick scale ~quick:2.0 ~default:5.0 ~full:10.0;
+    seed = 42;
+  }
+
+let run config =
+  (* Total timeline: cohorts join at 0, e, 2e, ... then leave in arrival
+     order at n*e, (n+1)*e, ...; simulation ends when one cohort is left
+     for a final epoch, mirroring the paper's 0..700 s staircase. *)
+  let dumbbell_cfg =
+    Dumbbell.uniform_flows
+      {
+        Dumbbell.default with
+        scheme = config.scheme;
+        bandwidth = config.bandwidth;
+        rtt = config.rtt;
+        reverse_flows = 0;
+        web_sessions = 0;
+        duration = 1.0 (* unused: we drive the clock ourselves *);
+        warmup = 0.0;
+        start_window = (0.0, 0.0);
+        seed = config.seed;
+      }
+      ~n:config.cohort_size
+  in
+  let built = Dumbbell.build dumbbell_cfg in
+  let sim = Netsim.Topology.sim built.Dumbbell.topo in
+  let r1, r2 = built.Dumbbell.routers in
+  ignore r2;
+  let total_epochs = (2 * config.n_cohorts) - 1 in
+  let horizon = float_of_int total_epochs *. config.epoch in
+  let nbins = int_of_float (ceil (horizon /. config.bin)) in
+  let times = Array.init nbins (fun i -> float_of_int (i + 1) *. config.bin) in
+  let series = Array.make_matrix config.n_cohorts nbins 0.0 in
+  (* Cohort 0 is the flows Dumbbell.build created; later cohorts attach
+     fresh hosts at join time (hosts are created up front so routes exist). *)
+  let cohorts = Array.make config.n_cohorts [||] in
+  cohorts.(0) <- Array.of_list built.Dumbbell.forward_flows;
+  ignore r1;
+  let extra_endpoints =
+    Array.init (config.n_cohorts - 1) (fun _ ->
+        Array.init config.cohort_size (fun _ ->
+            let attach router =
+              let host = Netsim.Topology.add_node built.Dumbbell.topo in
+              let disc () = Netsim.Droptail.create ~limit_pkts:10_000 in
+              ignore
+                (Netsim.Topology.add_duplex built.Dumbbell.topo ~a:host
+                   ~b:router
+                   ~bandwidth:(10.0 *. config.bandwidth)
+                   ~delay:(config.rtt /. 6.0)
+                   ~disc_ab:(disc ()) ~disc_ba:(disc ()));
+              host
+            in
+            let r1, r2 = built.Dumbbell.routers in
+            (attach r1, attach r2)))
+  in
+  Netsim.Topology.compute_routes built.Dumbbell.topo;
+  (* Join events. *)
+  for k = 1 to config.n_cohorts - 1 do
+    let join_at = float_of_int k *. config.epoch in
+    Sim.at sim join_at (fun () ->
+        cohorts.(k) <-
+          Array.map
+            (fun (src, dst) ->
+              Flow.create built.Dumbbell.topo ~src ~dst
+                ~cc:(built.Dumbbell.cc_factory ())
+                ~ecn:(Schemes.uses_ecn config.scheme)
+                ())
+            extra_endpoints.(k - 1))
+  done;
+  (* Departure events: cohorts leave in arrival order. *)
+  for k = 0 to config.n_cohorts - 2 do
+    let leave_at = float_of_int (config.n_cohorts + k) *. config.epoch in
+    Sim.at sim leave_at (fun () -> Array.iter Flow.stop cohorts.(k))
+  done;
+  (* Binned accounting via acked-packet deltas. *)
+  let last_acked = Array.make config.n_cohorts 0 in
+  let bin_idx = ref 0 in
+  Sim.every sim ~start:config.bin config.bin (fun () ->
+      if !bin_idx < nbins then begin
+        for k = 0 to config.n_cohorts - 1 do
+          let acked =
+            Array.fold_left (fun a f -> a + Flow.acked_pkts f) 0 cohorts.(k)
+          in
+          let delta = acked - last_acked.(k) in
+          last_acked.(k) <- acked;
+          series.(k).(!bin_idx) <-
+            float_of_int (delta * 8 * Netsim.Packet.mss) /. config.bin
+        done;
+        incr bin_idx
+      end);
+  Sim.run ~until:horizon sim;
+  (times, series)
+
+let fig12 scale =
+  let rows =
+    List.concat_map
+      (fun scheme ->
+        let config = default scale scheme in
+        let times, series = run config in
+        Array.to_list
+          (Array.mapi
+             (fun i t ->
+               Schemes.name scheme
+               :: Output.cell_f ~digits:1 t
+               :: Array.to_list
+                    (Array.map
+                       (fun cohort -> Output.cell_f ~digits:2 (cohort.(i) /. 1e6))
+                       series))
+             times))
+      Schemes.all_fig4_schemes
+  in
+  let n_cohorts = 4 in
+  {
+    Output.title =
+      "Fig 12: response to flow arrivals/departures (per-cohort Mbps)";
+    header =
+      "scheme" :: "t(s)"
+      :: List.init n_cohorts (fun k -> Printf.sprintf "cohort%d" (k + 1));
+    rows;
+  }
+
+let run_cbr config ~cbr_share =
+  let dumbbell_cfg =
+    Dumbbell.uniform_flows
+      {
+        Dumbbell.default with
+        Dumbbell.scheme = config.scheme;
+        bandwidth = config.bandwidth;
+        rtt = config.rtt;
+        duration = 1.0;
+        warmup = 0.0;
+        start_window = (0.0, 1.0);
+        seed = config.seed;
+      }
+      ~n:config.cohort_size
+  in
+  let built = Dumbbell.build dumbbell_cfg in
+  let sim = Netsim.Topology.sim built.Dumbbell.topo in
+  let horizon = 3.0 *. config.epoch in
+  let nbins = int_of_float (ceil (horizon /. config.bin)) in
+  let times = Array.init nbins (fun i -> float_of_int (i + 1) *. config.bin) in
+  let tcp_series = Array.make nbins 0.0 in
+  let cbr_series = Array.make nbins 0.0 in
+  let r1, r2 = built.Dumbbell.routers in
+  (* CBR endpoints on their own access links. *)
+  let attach router =
+    let host = Netsim.Topology.add_node built.Dumbbell.topo in
+    let disc () = Netsim.Droptail.create ~limit_pkts:10_000 in
+    ignore
+      (Netsim.Topology.add_duplex built.Dumbbell.topo ~a:host ~b:router
+         ~bandwidth:(10.0 *. config.bandwidth)
+         ~delay:(config.rtt /. 6.0)
+         ~disc_ab:(disc ()) ~disc_ba:(disc ()));
+    host
+  in
+  let cbr_src = attach r1 and cbr_dst = attach r2 in
+  Netsim.Topology.compute_routes built.Dumbbell.topo;
+  let cbr =
+    Traffic.Cbr.start built.Dumbbell.topo ~src:cbr_src ~dst:cbr_dst
+      ~rate_bps:(cbr_share *. config.bandwidth)
+      ~start:config.epoch
+      ~stop:(2.0 *. config.epoch) ()
+  in
+  let flows = Array.of_list built.Dumbbell.forward_flows in
+  let last_tcp = ref 0 and last_cbr = ref 0 in
+  let bin_idx = ref 0 in
+  Sim.every sim ~start:config.bin config.bin (fun () ->
+      if !bin_idx < nbins then begin
+        let tcp = Array.fold_left (fun a f -> a + Flow.acked_pkts f) 0 flows in
+        let got = Traffic.Cbr.received cbr in
+        tcp_series.(!bin_idx) <-
+          float_of_int ((tcp - !last_tcp) * 8 * Netsim.Packet.mss) /. config.bin;
+        cbr_series.(!bin_idx) <-
+          float_of_int ((got - !last_cbr) * 8 * Netsim.Packet.data_size)
+          /. config.bin;
+        last_tcp := tcp;
+        last_cbr := got;
+        incr bin_idx
+      end);
+  Sim.run ~until:horizon sim;
+  (times, tcp_series, cbr_series)
+
+let dynamic_cbr scale =
+  let rows =
+    List.concat_map
+      (fun scheme ->
+        let config = default scale scheme in
+        let times, tcp, cbr = run_cbr config ~cbr_share:0.5 in
+        Array.to_list
+          (Array.mapi
+             (fun i t ->
+               [
+                 Schemes.name scheme;
+                 Output.cell_f ~digits:1 t;
+                 Output.cell_f ~digits:2 (tcp.(i) /. 1e6);
+                 Output.cell_f ~digits:2 (cbr.(i) /. 1e6);
+               ])
+             times))
+      Schemes.all_fig4_schemes
+  in
+  {
+    Output.title =
+      "Section 4.7 companion: non-responsive CBR at 50% of the bottleneck, \
+       on during the middle third";
+    header = [ "scheme"; "t(s)"; "tcp(Mbps)"; "cbr(Mbps)" ];
+    rows;
+  }

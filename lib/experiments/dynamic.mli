@@ -1,0 +1,36 @@
+(** Section 4.7 — Figure 12: responsiveness to sudden traffic changes.
+    Cohorts of flows join the dumbbell at fixed epochs, then leave in
+    arrival order; the harness reports each cohort's aggregate throughput
+    per time bin, from t = 0 (no warm-up discard — the transients are the
+    point). *)
+
+type config = {
+  scheme : Schemes.t;
+  bandwidth : float;
+  rtt : float;
+  cohort_size : int;
+  n_cohorts : int;  (** cohorts joining (paper: 4, at 0/100/200/300 s) *)
+  epoch : float;  (** seconds between arrival (and departure) events *)
+  bin : float;  (** reporting bin width *)
+  seed : int;
+}
+
+val default : Scale.t -> Schemes.t -> config
+
+val run : config -> float array * float array array
+(** [(bin_times, per_cohort_throughput)] — [per_cohort.(k).(i)] is cohort
+    [k]'s aggregate goodput (bits/s) during bin [i]. *)
+
+val fig12 : Scale.t -> Output.table
+(** One table row per bin and scheme: the per-cohort series for every
+    scheme of the paper's comparison. *)
+
+val run_cbr :
+  config -> cbr_share:float -> float array * float array * float array
+(** Section 4.7's companion experiment (results relegated to the thesis):
+    one cohort of flows, with a non-responsive CBR stream consuming
+    [cbr_share] of the bottleneck during the middle third of the run.
+    Returns [(bin_times, tcp_aggregate_bps, cbr_received_bps)]. *)
+
+val dynamic_cbr : Scale.t -> Output.table
+(** The CBR on/off transient for every scheme of the comparison. *)

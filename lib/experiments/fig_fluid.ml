@@ -1,0 +1,104 @@
+module Pert_fluid = Fluid.Pert_fluid
+module Stability = Fluid.Stability
+
+(* Fig 13(a) setting: C = 10 Mbps with 1250-byte packets = 1000 pkt/s,
+   R+ = 200 ms, p_max = 0.1, T_max = 100 ms, T_min = 50 ms, alpha = 0.99. *)
+let fig13a =
+  let c = 1000.0 and r_plus = 0.2 and alpha = 0.99 in
+  let l_pert = 0.1 /. (0.1 -. 0.05) in
+  let rows =
+    List.init 50 (fun i ->
+        let n_min = float_of_int (i + 1) in
+        let d = Stability.delta_min ~alpha ~l_pert ~c ~n_min ~r_plus in
+        [ Output.cell_i (i + 1); Output.cell_f ~digits:4 d ])
+  in
+  {
+    Output.title =
+      "Fig 13a: minimum stable sampling interval vs minimum flow count";
+    header = [ "N-"; "delta_min(s)" ];
+    rows;
+  }
+
+let trajectory_points ~r ~horizon ~n_points =
+  let p = Pert_fluid.paper_params ~r () in
+  let dt = 0.001 in
+  let record_every =
+    max 1 (int_of_float (horizon /. dt) / max 1 (n_points - 1))
+  in
+  let times, series = Pert_fluid.run p ~horizon ~dt ~record_every () in
+  Array.mapi (fun i t -> (t, series.(0).(i))) times
+
+let fig13_trajectories scale =
+  let horizon = Scale.pick scale ~quick:40.0 ~default:100.0 ~full:200.0 in
+  let delays = [ 0.100; 0.160; 0.171 ] in
+  let rows =
+    List.concat_map
+      (fun r ->
+        let p = Pert_fluid.paper_params ~r () in
+        let times, series = Pert_fluid.run p ~horizon ~dt:0.001 ~record_every:1000 () in
+        let w = series.(0) in
+        let stable = Pert_fluid.is_stable_trajectory w in
+        let theorem =
+          Stability.theorem1_holds ~l_pert:p.Pert_fluid.l_pert
+            ~c:p.Pert_fluid.c ~n_min:p.Pert_fluid.n ~r_plus:r
+            ~k:p.Pert_fluid.k
+        in
+        let n = Array.length times in
+        let picks = [ n / 4; n / 2; (3 * n) / 4; n - 1 ] in
+        List.map
+          (fun i ->
+            [
+              Output.cell_f ~digits:3 r;
+              Output.cell_f ~digits:1 times.(i);
+              Output.cell_f w.(i);
+              (if stable then "stable" else "oscillating");
+              (if theorem then "thm1:stable" else "thm1:outside");
+            ])
+          picks)
+      delays
+  in
+  {
+    Output.title = "Fig 13b-d: PERT fluid-model trajectories W(t)";
+    header = [ "R(s)"; "t"; "W"; "verdict"; "theorem1" ];
+    rows;
+  }
+
+(* Matched setting: per-ACK alpha = 0.99 for PERT vs per-packet wq = 0.01
+   for RED, identical loss curves (l_red = l_pert / C). *)
+let stability_region =
+  let l_pert = 2.0 in
+  let row ~c ~n =
+    let kp = Stability.pert_k ~alpha:0.99 ~c ~n in
+    let kr = Stability.red_k ~wq:0.01 ~c in
+    let bp =
+      Stability.boundary_r
+        ~holds:(fun r ->
+          Stability.theorem1_holds ~l_pert ~c ~n_min:n ~r_plus:r ~k:kp)
+        ()
+    in
+    let br =
+      Stability.boundary_r
+        ~holds:(fun r ->
+          Stability.red_theorem_holds ~l_red:(l_pert /. c) ~c ~n_min:n
+            ~r_plus:r ~k:kr)
+        ()
+    in
+    [
+      Output.cell_f ~digits:0 c;
+      Output.cell_f ~digits:0 n;
+      Output.cell_f ~digits:4 bp;
+      Output.cell_f ~digits:4 br;
+      Output.cell_f ~digits:2 (bp /. br);
+    ]
+  in
+  let fixed_n = List.map (fun c -> row ~c ~n:10.0) [ 100.0; 500.0; 1000.0 ] in
+  let fixed_ratio =
+    List.map (fun c -> row ~c ~n:(c /. 10.0)) [ 100.0; 1000.0; 10000.0 ]
+  in
+  {
+    Output.title =
+      "Section 5.4: stability boundaries R_max (N = 10 rows, then C/N = 10 \
+       rows showing PERT's scale-invariance per eq. 15)";
+    header = [ "C(pkt/s)"; "N"; "Rmax-pert(s)"; "Rmax-red(s)"; "ratio" ];
+    rows = fixed_n @ fixed_ratio;
+  }

@@ -1,0 +1,23 @@
+(** Section 5 — Figure 13: stability of the PERT fluid model.
+
+    (a) the minimum stable sampling interval δ as a function of the flow
+    lower bound N⁻ (eq. 13, at the paper's 10 Mbps / 200 ms setting);
+    (b)–(d) trajectories of the DDE (14) at R = 100, 160 and 171 ms. *)
+
+val fig13a : Output.table
+
+val fig13_trajectories : Scale.t -> Output.table
+(** Sampled window trajectories for the three delays, plus the stability
+    verdict of {!Fluid.Pert_fluid.is_stable_trajectory} and the
+    Theorem 1 prediction. *)
+
+val trajectory_points :
+  r:float -> horizon:float -> n_points:int -> (float * float) array
+(** Convenience for examples: [n_points] samples of W(t) at delay [r]. *)
+
+val stability_region : Output.table
+(** Section 5.4's two analytical claims, by bisection on the closed-form
+    conditions: (a) with matched control laws PERT's maximum stable RTT
+    exceeds router RED's at every capacity; (b) holding [C/N] constant
+    (eq. 15) PERT's boundary is independent of capacity while RED's is
+    not. *)

@@ -1,0 +1,63 @@
+module D = Dumbbell
+
+let schemes =
+  [
+    Schemes.Pert_pi { target_delay = 0.003 };
+    Schemes.Sack_pi_ecn { target_delay = 0.003 };
+  ]
+
+let sweep_schemes ~title schemes scale =
+  let points =
+    Scale.pick scale
+      ~quick:[ 0.020; 0.100 ]
+      ~default:[ 0.010; 0.020; 0.050; 0.100; 0.200; 0.500 ]
+      ~full:[ 0.010; 0.020; 0.050; 0.100; 0.200; 0.500; 1.0 ]
+  in
+  let bandwidth = Scale.pick scale ~quick:10e6 ~default:40e6 ~full:150e6 in
+  let nflows = Scale.pick scale ~quick:8 ~default:16 ~full:50 in
+  let rows =
+    List.concat_map
+      (fun rtt ->
+        List.map
+          (fun (scheme : Schemes.t) ->
+            let duration = Float.max 40.0 (150.0 *. rtt) in
+            let cfg =
+              D.uniform_flows
+                {
+                  D.default with
+                  scheme;
+                  bandwidth;
+                  rtt;
+                  duration;
+                  warmup = duration /. 3.0;
+                  seed = 42 + int_of_float (rtt *. 1000.0);
+                }
+                ~n:nflows
+            in
+            let r = D.run cfg in
+            [
+              Output.cell_f ~digits:3 rtt;
+              Schemes.name scheme;
+              Output.cell_f ~digits:1 r.D.avg_queue_pkts;
+              Output.cell_f r.D.avg_queue_norm;
+              Output.cell_e r.D.drop_rate;
+              Output.cell_f r.D.utilization;
+              Output.cell_f r.D.jain;
+            ])
+          schemes)
+      points
+  in
+  {
+    Output.title = title;
+    header =
+      [ "rtt(s)"; "scheme"; "Q(pkts)"; "Q(norm)"; "droprate"; "util"; "jain" ];
+    rows;
+  }
+
+let fig14 = sweep_schemes ~title:"Fig 14: emulating PI at end hosts (RTT sweep)" schemes
+
+let other_aqm =
+  sweep_schemes
+    ~title:"Beyond the paper: emulating REM at end hosts, vs router REM and AVQ"
+    [ Schemes.Pert_rem; Schemes.Sack_rem_ecn; Schemes.Pert_avq;
+      Schemes.Sack_avq_ecn ]

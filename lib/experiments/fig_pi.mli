@@ -1,0 +1,10 @@
+(** Section 6 — Figure 14: emulating PI from end hosts. The RTT sweep of
+    Fig. 7 rerun with PERT/PI against router-based PI with ECN, both
+    targeting a 3 ms queueing delay. *)
+
+val fig14 : Scale.t -> Output.table
+
+val other_aqm : Scale.t -> Output.table
+(** The paper's closing direction ("other AQM schemes can be potentially
+    emulated"): the same sweep with end-host REM against router REM/ECN
+    and router AVQ/ECN. *)

@@ -1,0 +1,172 @@
+module Sim = Sim_engine.Sim
+module Rng = Sim_engine.Rng
+module Stats = Sim_engine.Stats
+module T = Netsim.Topology
+module Link = Netsim.Link
+module Flow = Tcpstack.Flow
+module Packet = Netsim.Packet
+
+type config = {
+  scheme : Schemes.t;
+  n_routers : int;
+  cloud_size : int;
+  link_bandwidth : float;
+  link_delay : float;
+  duration : float;
+  warmup : float;
+  seed : int;
+}
+
+let default scale scheme =
+  {
+    scheme;
+    n_routers = 6;
+    cloud_size = Scale.pick scale ~quick:4 ~default:8 ~full:20;
+    link_bandwidth = Scale.pick scale ~quick:10e6 ~default:30e6 ~full:150e6;
+    link_delay = 0.005;
+    duration = Scale.pick scale ~quick:25.0 ~default:80.0 ~full:400.0;
+    warmup = Scale.pick scale ~quick:10.0 ~default:25.0 ~full:100.0;
+    seed = 42;
+  }
+
+type link_report = {
+  hop : string;
+  avg_queue_norm : float;
+  drop_rate : float;
+  utilization : float;
+  jain : float;
+}
+
+let run config =
+  let sim = Sim.create ~seed:config.seed () in
+  let topo = T.create sim in
+  let routers = Array.init config.n_routers (fun _ -> T.add_node topo) in
+  let capacity_pps =
+    config.link_bandwidth /. (8.0 *. float_of_int Packet.data_size)
+  in
+  (* Longest path RTT estimate: all hops both ways plus access links. *)
+  let est_rtt =
+    2.0
+    *. ((float_of_int (config.n_routers - 1) *. config.link_delay) +. 0.010)
+  in
+  let limit_pkts =
+    max
+      (2 * config.cloud_size)
+      (Dumbbell.bdp_pkts ~bandwidth:config.link_bandwidth ~rtt:est_rtt)
+  in
+  let ctx =
+    {
+      Schemes.sim;
+      capacity_pps;
+      limit_pkts;
+      rtt = est_rtt;
+      nflows = config.cloud_size;
+    }
+  in
+  (* Inter-router links, both directions, AQM per scheme. *)
+  let hop_links =
+    Array.init
+      (config.n_routers - 1)
+      (fun i ->
+        let fwd =
+          T.add_link topo ~src:routers.(i) ~dst:routers.(i + 1)
+            ~bandwidth:config.link_bandwidth ~delay:config.link_delay
+            ~disc:(Schemes.bottleneck_disc config.scheme ctx)
+        in
+        let _bwd =
+          T.add_link topo
+            ~src:routers.(i + 1)
+            ~dst:routers.(i) ~bandwidth:config.link_bandwidth
+            ~delay:config.link_delay
+            ~disc:(Schemes.bottleneck_disc config.scheme ctx)
+        in
+        fwd)
+  in
+  (* Clouds: [cloud_size] hosts per router on fast access links. *)
+  let clouds =
+    Array.map
+      (fun router ->
+        Array.init config.cloud_size (fun _ ->
+            let host = T.add_node topo in
+            let disc () = Netsim.Droptail.create ~limit_pkts:10_000 in
+            ignore
+              (T.add_duplex topo ~a:host ~b:router
+                 ~bandwidth:(10.0 *. config.link_bandwidth)
+                 ~delay:0.005 ~disc_ab:(disc ()) ~disc_ba:(disc ()));
+            host))
+      routers
+  in
+  T.compute_routes topo;
+  let cc_factory = Schemes.cc_factory config.scheme ctx in
+  let ecn = Schemes.uses_ecn config.scheme in
+  let rng = Rng.split (Sim.rng sim) in
+  let mk_flow src dst =
+    Flow.create topo ~src ~dst ~cc:(cc_factory ()) ~ecn
+      ~start:(Rng.uniform rng 0.0 5.0) ()
+  in
+  (* Hop flows: cloud i -> cloud i+1, pairwise. *)
+  let hop_flows =
+    Array.init
+      (config.n_routers - 1)
+      (fun i ->
+        Array.init config.cloud_size (fun j ->
+            mk_flow clouds.(i).(j) clouds.(i + 1).(j)))
+  in
+  (* Long-haul flows: cloud 1 -> last cloud. *)
+  let long_flows =
+    Array.init config.cloud_size (fun j ->
+        mk_flow clouds.(0).(j) clouds.(config.n_routers - 1).(j))
+  in
+  Sim.run ~until:config.warmup sim;
+  Array.iter Link.reset_stats hop_links;
+  Array.iter (Array.iter Flow.reset_stats) hop_flows;
+  Array.iter Flow.reset_stats long_flows;
+  Sim.run ~until:config.duration sim;
+  let now = Sim.now sim in
+  let reports =
+    Array.to_list
+      (Array.mapi
+         (fun i link ->
+           let goodputs =
+             Array.map (fun f -> Flow.goodput_bps f ~now) hop_flows.(i)
+           in
+           {
+             hop = Printf.sprintf "R%d-R%d" (i + 1) (i + 2);
+             avg_queue_norm =
+               Link.avg_queue_pkts link /. float_of_int limit_pkts;
+             drop_rate = Link.drop_rate link;
+             utilization = Link.utilization link;
+             jain = Stats.jain_index goodputs;
+           })
+         hop_links)
+  in
+  let long_jain =
+    Stats.jain_index (Array.map (fun f -> Flow.goodput_bps f ~now) long_flows)
+  in
+  (reports, long_jain)
+
+let fig11 scale =
+  let rows =
+    List.concat_map
+      (fun scheme ->
+        let reports, long_jain = run (default scale scheme) in
+        List.map
+          (fun r ->
+            [
+              Schemes.name scheme;
+              r.hop;
+              Output.cell_f r.avg_queue_norm;
+              Output.cell_e r.drop_rate;
+              Output.cell_f r.utilization;
+              Output.cell_f r.jain;
+              Output.cell_f long_jain;
+            ])
+          reports)
+      Schemes.all_fig4_schemes
+  in
+  {
+    Output.title = "Fig 11: multiple bottlenecks (6-router chain)";
+    header =
+      [ "scheme"; "hop"; "Q(norm)"; "droprate"; "util"; "jain"; "jain-e2e" ];
+    rows;
+  }

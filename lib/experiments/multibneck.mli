@@ -1,0 +1,31 @@
+(** Section 4.6 — Figures 10/11: a chain of six routers, each with a cloud
+    of hosts; every cloud sends to the next cloud downstream, and the
+    first cloud also sends to the last, so each inter-router link is a
+    potential bottleneck and the long-haul flows cross all of them. *)
+
+type config = {
+  scheme : Schemes.t;
+  n_routers : int;
+  cloud_size : int;  (** hosts per cloud = flows per hop *)
+  link_bandwidth : float;
+  link_delay : float;
+  duration : float;
+  warmup : float;
+  seed : int;
+}
+
+val default : Scale.t -> Schemes.t -> config
+
+type link_report = {
+  hop : string;  (** e.g. "R1-R2" *)
+  avg_queue_norm : float;
+  drop_rate : float;
+  utilization : float;
+  jain : float;  (** fairness among the flows entering at this hop *)
+}
+
+val run : config -> link_report list * float
+(** Per-hop reports plus the Jain index of the long-haul (cloud 1 → last
+    cloud) flows. *)
+
+val fig11 : Scale.t -> Output.table

@@ -1,0 +1,62 @@
+type table = {
+  title : string;
+  header : string list;
+  rows : string list list;
+}
+
+let cell_f ?(digits = 3) v = Printf.sprintf "%.*f" digits v
+let cell_e v = Printf.sprintf "%.2e" v
+let cell_i v = string_of_int v
+
+let widths t =
+  let ncols =
+    List.fold_left (fun acc r -> max acc (List.length r)) (List.length t.header)
+      t.rows
+  in
+  let w = Array.make ncols 0 in
+  let feed row =
+    List.iteri (fun i c -> if String.length c > w.(i) then w.(i) <- String.length c) row
+  in
+  feed t.header;
+  List.iter feed t.rows;
+  w
+
+let print fmt t =
+  let w = widths t in
+  Format.fprintf fmt "== %s ==@." t.title;
+  let line row =
+    List.iteri
+      (fun i c -> Format.fprintf fmt "%s%*s" (if i = 0 then "" else "  ") w.(i) c)
+      row;
+    Format.fprintf fmt "@."
+  in
+  line t.header;
+  List.iter line t.rows
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  let line row =
+    Buffer.add_string buf (String.concat "," row);
+    Buffer.add_char buf '\n'
+  in
+  line t.header;
+  List.iter line t.rows;
+  Buffer.contents buf
+
+let to_gnuplot t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("# " ^ t.title ^ "\n");
+  Buffer.add_string buf ("# " ^ String.concat " " t.header ^ "\n");
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat " " row);
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf
+
+let print_all fmt tables =
+  List.iter
+    (fun t ->
+      print fmt t;
+      Format.fprintf fmt "@.")
+    tables

@@ -1,0 +1,26 @@
+(** Row-oriented result tables: pretty terminal rendering and CSV. *)
+
+type table = {
+  title : string;
+  header : string list;
+  rows : string list list;
+}
+
+val cell_f : ?digits:int -> float -> string
+(** Fixed-point cell, default 3 digits. *)
+
+val cell_e : float -> string
+(** Scientific-notation cell (drop rates). *)
+
+val cell_i : int -> string
+
+val print : Format.formatter -> table -> unit
+(** Aligned columns with a title line. *)
+
+val to_csv : table -> string
+
+val to_gnuplot : table -> string
+(** Whitespace-separated data block with a ['#']-commented header —
+    feedable straight to gnuplot's [plot "file" using 1:2]. *)
+
+val print_all : Format.formatter -> table list -> unit

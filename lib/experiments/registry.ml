@@ -1,0 +1,142 @@
+type experiment = {
+  id : string;
+  paper_ref : string;
+  summary : string;
+  run : Scale.t -> Output.table list;
+}
+
+let one f scale = [ f scale ]
+
+let all =
+  [
+    {
+      id = "fig2";
+      paper_ref = "Figure 2";
+      summary = "high-RTT->loss correlation, flow-level vs queue-level";
+      run = one Fig_predict.fig2;
+    };
+    {
+      id = "fig3";
+      paper_ref = "Figure 3";
+      summary = "efficiency/false-pos/false-neg of nine predictors";
+      run = one Fig_predict.fig3;
+    };
+    {
+      id = "fig4";
+      paper_ref = "Figure 4";
+      summary = "queue-occupancy PDF at srtt_0.99 false positives";
+      run = one Fig_predict.fig4;
+    };
+    {
+      id = "fig5";
+      paper_ref = "Figure 5";
+      summary = "PERT probabilistic response curve";
+      run = (fun _ -> [ Sweeps.fig5 ]);
+    };
+    {
+      id = "fig6";
+      paper_ref = "Figure 6";
+      summary = "bottleneck bandwidth sweep, four schemes";
+      run = one Sweeps.fig6;
+    };
+    {
+      id = "fig7";
+      paper_ref = "Figure 7";
+      summary = "end-to-end RTT sweep, four schemes";
+      run = one Sweeps.fig7;
+    };
+    {
+      id = "fig8";
+      paper_ref = "Figure 8";
+      summary = "long-lived flow count sweep, four schemes";
+      run = one Sweeps.fig8;
+    };
+    {
+      id = "fig9";
+      paper_ref = "Figure 9";
+      summary = "web-session sweep, four schemes";
+      run = one Sweeps.fig9;
+    };
+    {
+      id = "table1";
+      paper_ref = "Table 1";
+      summary = "heterogeneous RTTs with web background";
+      run = one Sweeps.table1;
+    };
+    {
+      id = "fig11";
+      paper_ref = "Figures 10-11";
+      summary = "six-router multiple-bottleneck chain";
+      run = one Multibneck.fig11;
+    };
+    {
+      id = "fig12";
+      paper_ref = "Figure 12";
+      summary = "cohort arrivals/departures, per-cohort throughput";
+      run = one Dynamic.fig12;
+    };
+    {
+      id = "fig13a";
+      paper_ref = "Figure 13(a)";
+      summary = "minimum stable sampling interval vs flow count";
+      run = (fun _ -> [ Fig_fluid.fig13a ]);
+    };
+    {
+      id = "fig13";
+      paper_ref = "Figure 13(b-d)";
+      summary = "fluid-model trajectories across the stability boundary";
+      run = one Fig_fluid.fig13_trajectories;
+    };
+    {
+      id = "fig14";
+      paper_ref = "Figure 14";
+      summary = "PERT/PI vs router PI with ECN, RTT sweep";
+      run = one Fig_pi.fig14;
+    };
+    {
+      id = "other-aqm";
+      paper_ref = "Section 8 direction";
+      summary = "end-host REM vs router REM/AVQ with ECN, RTT sweep";
+      run = one Fig_pi.other_aqm;
+    };
+    {
+      id = "stability";
+      paper_ref = "Section 5.4";
+      summary = "PERT vs router-RED stability boundaries (closed form)";
+      run = (fun _ -> [ Fig_fluid.stability_region ]);
+    };
+    {
+      id = "dynamic-cbr";
+      paper_ref = "Section 4.7 (companion)";
+      summary = "non-responsive CBR on/off transient, four schemes";
+      run = one Dynamic.dynamic_cbr;
+    };
+    {
+      id = "ablations";
+      paper_ref = "DESIGN.md (beyond the paper)";
+      summary = "decrease factor / EWMA weight / curve shape / RTT limiter";
+      run =
+        (fun scale ->
+          [
+            Ablations.decrease_factor scale;
+            Ablations.ewma_weight scale;
+            Ablations.curve_shape scale;
+            Ablations.rtt_limiter scale;
+          ]);
+    };
+    {
+      id = "seeds";
+      paper_ref = "methodology";
+      summary = "five-seed mean +- sd of the reference comparison";
+      run = (fun scale -> [ Ablations.seed_sensitivity scale ]);
+    };
+    {
+      id = "reverse";
+      paper_ref = "Section 7 discussion";
+      summary = "reverse-path congestion: RTT vs one-way-delay signal";
+      run = (fun scale -> [ Ablations.reverse_traffic scale ]);
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+let ids () = List.map (fun e -> e.id) all

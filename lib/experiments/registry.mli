@@ -1,0 +1,15 @@
+(** Name → experiment mapping shared by the CLI and the benchmark
+    harness. *)
+
+type experiment = {
+  id : string;  (** e.g. "fig6" *)
+  paper_ref : string;  (** the table/figure it regenerates *)
+  summary : string;
+  run : Scale.t -> Output.table list;
+}
+
+val all : experiment list
+(** Every reproducible table/figure: fig2–fig14 and table1. *)
+
+val find : string -> experiment option
+val ids : unit -> string list

@@ -1,0 +1,11 @@
+type t = Quick | Default | Full
+
+let of_string = function
+  | "quick" -> Ok Quick
+  | "default" -> Ok Default
+  | "full" -> Ok Full
+  | s -> Error (Printf.sprintf "unknown scale %S (quick|default|full)" s)
+
+let to_string = function Quick -> "quick" | Default -> "default" | Full -> "full"
+let pick t ~quick ~default ~full =
+  match t with Quick -> quick | Default -> default | Full -> full

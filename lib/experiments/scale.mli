@@ -1,0 +1,16 @@
+(** Experiment sizing. The paper's parameters (up to 1 Gbps, 1000 flows,
+    400 s) are far beyond what a packet-level simulation can sweep in an
+    interactive session, so each experiment defines three sizes:
+
+    - [Quick]: seconds per experiment — used by the benchmark harness and
+      smoke tests;
+    - [Default]: minutes for the full suite — preserves every qualitative
+      relationship the paper reports;
+    - [Full]: the paper's published parameters (hours of CPU). *)
+
+type t = Quick | Default | Full
+
+val of_string : string -> (t, string) result
+val to_string : t -> string
+
+val pick : t -> quick:'a -> default:'a -> full:'a -> 'a

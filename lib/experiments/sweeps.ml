@@ -1,0 +1,211 @@
+module D = Dumbbell
+
+let result_cells (r : D.result) =
+  [
+    Output.cell_f ~digits:1 r.D.avg_queue_pkts;
+    Output.cell_f r.D.avg_queue_norm;
+    Output.cell_e r.D.drop_rate;
+    Output.cell_f r.D.utilization;
+    Output.cell_f r.D.jain;
+  ]
+
+let result_header = [ "Q(pkts)"; "Q(norm)"; "droprate"; "util"; "jain" ]
+
+let sweep ~title ~xlabel ~points ~configure scale =
+  let rows =
+    List.concat_map
+      (fun x ->
+        List.map
+          (fun scheme ->
+            let config = configure scale scheme x in
+            let r = D.run config in
+            (x, scheme, r))
+          Schemes.all_fig4_schemes)
+      points
+  in
+  {
+    Output.title;
+    header = (xlabel :: "scheme" :: result_header);
+    rows =
+      List.map
+        (fun (x, scheme, r) -> x :: Schemes.name scheme :: result_cells r)
+        rows;
+  }
+
+(* --- Fig 5 -------------------------------------------------------------- *)
+
+let fig5 =
+  let curve = Pert_core.Response_curve.default in
+  let rows =
+    List.init 26 (fun i ->
+        let qd = float_of_int i *. 0.001 in
+        [
+          Output.cell_f ~digits:3 qd;
+          Output.cell_f ~digits:4 (Pert_core.Response_curve.probability curve qd);
+        ])
+  in
+  {
+    Output.title = "Fig 5: PERT probabilistic response curve (queueing delay -> p)";
+    header = [ "qdelay(s)"; "p" ];
+    rows;
+  }
+
+(* --- Fig 6: bandwidth sweep --------------------------------------------- *)
+
+let fig6 scale =
+  let points =
+    Scale.pick scale
+      ~quick:[ 5.0; 20.0 ]
+      ~default:[ 1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0 ]
+      ~full:[ 1.0; 10.0; 50.0; 100.0; 250.0; 500.0; 1000.0 ]
+  in
+  let duration = Scale.pick scale ~quick:25.0 ~default:80.0 ~full:400.0 in
+  let configure scale' scheme mbps =
+    ignore scale';
+    let bandwidth = mbps *. 1e6 in
+    (* Enough flows to keep large pipes busy, few enough that small pipes
+       are not squeezed to sub-packet windows. *)
+    let n = max 2 (min 64 (int_of_float (0.6 *. mbps))) in
+    let cfg =
+      {
+        D.default with
+        scheme;
+        bandwidth;
+        duration;
+        warmup = duration /. 3.0;
+        seed = 42 + int_of_float mbps;
+      }
+    in
+    D.uniform_flows cfg ~n
+  in
+  sweep ~title:"Fig 6: impact of bottleneck bandwidth" ~xlabel:"Mbps"
+    ~points:(List.map string_of_float points |> List.map (fun s -> s))
+    ~configure:(fun s sch x -> configure s sch (float_of_string x))
+    scale
+
+(* --- Fig 7: RTT sweep ---------------------------------------------------- *)
+
+let fig7_schemes_points scale =
+  Scale.pick scale
+    ~quick:[ 0.020; 0.100 ]
+    ~default:[ 0.010; 0.020; 0.050; 0.100; 0.200; 0.500; 1.0 ]
+    ~full:[ 0.010; 0.020; 0.050; 0.100; 0.200; 0.500; 1.0 ]
+
+let fig7 scale =
+  let points = fig7_schemes_points scale in
+  let bandwidth = Scale.pick scale ~quick:10e6 ~default:40e6 ~full:150e6 in
+  let nflows = Scale.pick scale ~quick:8 ~default:16 ~full:50 in
+  let configure _ scheme rtt_s =
+    let rtt = float_of_string rtt_s in
+    let duration = Float.max 40.0 (150.0 *. rtt) in
+    let cfg =
+      {
+        D.default with
+        scheme;
+        bandwidth;
+        rtt;
+        duration;
+        warmup = duration /. 3.0;
+        seed = 42 + int_of_float (rtt *. 1000.0);
+      }
+    in
+    D.uniform_flows cfg ~n:nflows
+  in
+  sweep ~title:"Fig 7: impact of end-to-end RTT" ~xlabel:"rtt(s)"
+    ~points:(List.map string_of_float points)
+    ~configure scale
+
+(* --- Fig 8: number of long-lived flows ----------------------------------- *)
+
+let fig8 scale =
+  let points =
+    Scale.pick scale
+      ~quick:[ 4; 16 ]
+      ~default:[ 1; 2; 5; 10; 25; 50; 100 ]
+      ~full:[ 1; 10; 50; 100; 250; 500; 1000 ]
+  in
+  let bandwidth = Scale.pick scale ~quick:10e6 ~default:40e6 ~full:500e6 in
+  let duration = Scale.pick scale ~quick:25.0 ~default:80.0 ~full:400.0 in
+  let configure _ scheme n_s =
+    let n = int_of_string n_s in
+    let cfg =
+      {
+        D.default with
+        scheme;
+        bandwidth;
+        duration;
+        warmup = duration /. 3.0;
+        seed = 42 + n;
+      }
+    in
+    D.uniform_flows cfg ~n
+  in
+  sweep ~title:"Fig 8: impact of the number of long-lived flows"
+    ~xlabel:"flows"
+    ~points:(List.map string_of_int points)
+    ~configure scale
+
+(* --- Fig 9: web sessions -------------------------------------------------- *)
+
+let fig9 scale =
+  let points =
+    Scale.pick scale
+      ~quick:[ 10; 50 ]
+      ~default:[ 10; 25; 50; 100; 250 ]
+      ~full:[ 10; 100; 250; 500; 1000 ]
+  in
+  let bandwidth = Scale.pick scale ~quick:10e6 ~default:40e6 ~full:150e6 in
+  let nflows = Scale.pick scale ~quick:6 ~default:12 ~full:50 in
+  let duration = Scale.pick scale ~quick:25.0 ~default:80.0 ~full:400.0 in
+  let configure _ scheme w_s =
+    let web = int_of_string w_s in
+    let cfg =
+      {
+        D.default with
+        scheme;
+        bandwidth;
+        web_sessions = web;
+        duration;
+        warmup = duration /. 3.0;
+        seed = 42 + web;
+      }
+    in
+    D.uniform_flows cfg ~n:nflows
+  in
+  sweep ~title:"Fig 9: impact of web traffic" ~xlabel:"sessions"
+    ~points:(List.map string_of_int points)
+    ~configure scale
+
+(* --- Table 1: heterogeneous RTTs ------------------------------------------ *)
+
+let table1 scale =
+  let bandwidth = Scale.pick scale ~quick:10e6 ~default:40e6 ~full:150e6 in
+  let web = Scale.pick scale ~quick:20 ~default:100 ~full:100 in
+  let duration = Scale.pick scale ~quick:25.0 ~default:80.0 ~full:400.0 in
+  let flow_rtts = List.init 10 (fun i -> 0.012 *. float_of_int (i + 1)) in
+  let rows =
+    List.map
+      (fun scheme ->
+        let r =
+          D.run
+            {
+              D.default with
+              scheme;
+              bandwidth;
+              rtt = 0.060;
+              flow_rtts;
+              web_sessions = web;
+              duration;
+              warmup = duration /. 3.0;
+              seed = 42;
+            }
+        in
+        Schemes.name scheme :: result_cells r)
+      Schemes.all_fig4_schemes
+  in
+  {
+    Output.title =
+      "Table 1: flows with different RTTs (12..120 ms) + web background";
+    header = ("scheme" :: result_header);
+    rows;
+  }

@@ -1,0 +1,22 @@
+(** The steady-state evaluation of Section 4: parameter sweeps over the
+    dumbbell, comparing PERT, SACK/DropTail, SACK/RED-ECN and Vegas on
+    average queue, drop rate, utilisation and Jain fairness. *)
+
+val fig5 : Output.table
+(** The PERT response curve itself (analytic; paper Fig. 5). *)
+
+val fig6 : Scale.t -> Output.table
+(** Bottleneck-bandwidth sweep (Section 4.1). *)
+
+val fig7 : Scale.t -> Output.table
+(** End-to-end RTT sweep (Section 4.2). *)
+
+val fig8 : Scale.t -> Output.table
+(** Long-lived flow count sweep (Section 4.3). *)
+
+val fig9 : Scale.t -> Output.table
+(** Web-session sweep (Section 4.4). *)
+
+val table1 : Scale.t -> Output.table
+(** Heterogeneous RTTs, 10 flows at 12–120 ms plus web background
+    (Section 4.5). *)

@@ -1,0 +1,41 @@
+(** Fixed-step integrator for delay differential equations (DDEs)
+    [x'(t) = f(t, x(t), history)], where [history i tau] reads state
+    variable [i] at an earlier absolute time [tau] (linear interpolation
+    between stored steps; constant initial history before [t0]).
+
+    Classic RK4 with history lookups, valid when every delay is much
+    larger than the step — true for the paper's models (delays of 100+ ms,
+    steps well below 1 ms). *)
+
+type history = int -> float -> float
+
+val integrate :
+  f:(float -> float array -> history -> float array) ->
+  init:float array ->
+  ?initial_history:history ->
+  t0:float ->
+  t1:float ->
+  dt:float ->
+  ?record_every:int ->
+  unit ->
+  float array * float array array
+(** [integrate ~f ~init ~t0 ~t1 ~dt ()] returns [(times, series)] where
+    [series.(i)] is the trajectory of variable [i], recorded every
+    [record_every] steps (default 1, i.e. every step). [initial_history]
+    defaults to the constant [init]. Raises [Invalid_argument] on a
+    non-positive [dt], empty [init], [t1 <= t0], or a history lookup
+    earlier than [t0 - max_delay_window] (the integrator keeps the whole
+    trajectory, so only pre-[t0] constant history plus stored steps are
+    addressable). *)
+
+val euler :
+  f:(float -> float array -> history -> float array) ->
+  init:float array ->
+  ?initial_history:history ->
+  t0:float ->
+  t1:float ->
+  dt:float ->
+  ?record_every:int ->
+  unit ->
+  float array * float array array
+(** Same interface with forward Euler (used to cross-check RK4 in tests). *)

@@ -1,0 +1,54 @@
+type params = {
+  c : float;
+  n : float;
+  r : float;
+  l_pert : float;
+  t_min : float;
+  k : float;
+}
+
+let paper_params ?(r = 0.1) () =
+  {
+    c = 100.0;
+    n = 5.0;
+    r;
+    l_pert = 0.1 /. (0.1 -. 0.05);
+    t_min = 0.05;
+    k = Stability.k_of ~alpha:0.99 ~delta:1e-4;
+  }
+
+let derivatives p t x hist =
+  let w = x.(0) in
+  let w_del = hist 0 (t -. p.r) in
+  let tq_smooth_del = hist 2 (t -. p.r) in
+  let prob = p.l_pert *. Float.max 0.0 (tq_smooth_del -. p.t_min) in
+  [|
+    (1.0 /. p.r) -. (prob *. w *. w_del /. (2.0 *. p.r));
+    (p.n *. w /. (p.r *. p.c)) -. 1.0;
+    p.k *. (x.(2) -. x.(1));
+  |]
+
+let run p ?(init = [| 1.0; 1.0; 1.0 |]) ~horizon ~dt ?record_every () =
+  Dde.integrate ~f:(derivatives p) ~init ~t0:0.0 ~t1:horizon ~dt ?record_every
+    ()
+
+let equilibrium p =
+  let w = p.r *. p.c /. p.n in
+  let prob = 2.0 /. (w *. w) in
+  let tq = (prob /. p.l_pert) +. p.t_min in
+  (w, tq, prob)
+
+let is_stable_trajectory ?(tail_fraction = 0.25) ?(tolerance = 0.05) series =
+  let n = Array.length series in
+  if n < 4 then invalid_arg "Pert_fluid.is_stable_trajectory: too short";
+  let start = n - max 2 (int_of_float (tail_fraction *. float_of_int n)) in
+  let lo = ref infinity and hi = ref neg_infinity and sum = ref 0.0 in
+  for i = start to n - 1 do
+    let v = series.(i) in
+    if v < !lo then lo := v;
+    if v > !hi then hi := v;
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int (n - start) in
+  let scale = Float.max (Float.abs mean) 1e-9 in
+  (!hi -. !lo) /. scale < tolerance

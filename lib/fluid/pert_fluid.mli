@@ -1,0 +1,51 @@
+(** The fluid model of PERT, paper eq. (14):
+
+    - [x1] — window size W (packets),
+    - [x2] — instantaneous queueing delay (s),
+    - [x3] — smoothed queueing delay (s, the end-host estimate),
+
+    with
+
+    [x1' = 1/R - L x1(t) x1(t-R) max(0, x3(t-R) - t_min) / (2R)],
+    [x2' = N x1 / (R C) - 1],
+    [x3' = K x3 - K x2],
+
+    where [L] is the response-curve slope, [K = ln alpha / delta]. The
+    [max(0, ·)] keeps the emulated drop probability non-negative (the
+    paper's linearised model omits the clamp, which only matters far below
+    equilibrium). *)
+
+type params = {
+  c : float;  (** capacity, packets/s *)
+  n : float;  (** number of flows *)
+  r : float;  (** round-trip time, s *)
+  l_pert : float;  (** response-curve slope, 1/s *)
+  t_min : float;  (** queueing-delay threshold, s *)
+  k : float;  (** smoothing constant [ln alpha / delta], 1/s (negative) *)
+}
+
+val paper_params : ?r:float -> unit -> params
+(** The setting of Section 5.3 / Fig. 13(b–d): [c = 100] pkt/s, [n = 5],
+    [p_max = 0.1], [t_max = 0.1] s, [t_min = 0.05] s, [alpha = 0.99],
+    [delta = 0.1] ms; [r] defaults to 0.1 s. *)
+
+val derivatives : params -> float -> float array -> Dde.history -> float array
+(** Right-hand side suitable for {!Dde.integrate} ([dim = 3]). *)
+
+val run :
+  params -> ?init:float array -> horizon:float -> dt:float ->
+  ?record_every:int -> unit -> float array * float array array
+(** Integrate from [init] (default [(1, 1, 1)] as in the paper) to
+    [horizon] seconds. *)
+
+val equilibrium : params -> float * float * float
+(** [(w_star, tq_star, p_star)]: eq. (9) plus
+    [tq_star = p_star / l_pert + t_min] from inverting the response
+    curve. *)
+
+val is_stable_trajectory :
+  ?tail_fraction:float -> ?tolerance:float -> float array -> bool
+(** Heuristic oscillation check used by tests and the Fig. 13 driver: the
+    trajectory is "stable" if the last [tail_fraction] (default 0.25) of
+    samples has peak-to-peak amplitude below [tolerance] (default 5%)
+    relative to its mean. *)

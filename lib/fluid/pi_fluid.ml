@@ -1,0 +1,47 @@
+type params = {
+  c : float;
+  n : float;
+  r : float;
+  gains : Stability.pi_gains;
+  tq_ref : float;
+}
+
+let make ~c ~n ~r ?r_plus ?(tq_ref = 0.003) () =
+  let r_plus = match r_plus with Some v -> v | None -> r in
+  { c; n; r; gains = Stability.pert_pi_gains ~c ~n_min:n ~r_plus ~r_star:r; tq_ref }
+
+let clamp01 x = if x < 0.0 then 0.0 else if x > 1.0 then 1.0 else x
+
+let derivatives p t x hist =
+  let w = x.(0) in
+  let w_del = hist 0 (t -. p.r) in
+  let tq_del = hist 1 (t -. p.r) in
+  let integral_del = hist 2 (t -. p.r) in
+  let raw =
+    p.gains.Stability.k
+    *. (tq_del -. p.tq_ref +. (integral_del /. p.gains.Stability.m))
+  in
+  let prob = clamp01 raw in
+  (* Physical constraint: the queue cannot drain below empty. *)
+  let tq_dot = (p.n *. w /. (p.r *. p.c)) -. 1.0 in
+  let tq_dot = if x.(1) <= 0.0 && tq_dot < 0.0 then 0.0 else tq_dot in
+  let err = x.(1) -. p.tq_ref in
+  (* Anti-windup: freeze the integrator while the controller output is
+     saturated and the error would wind it further into saturation. *)
+  let int_dot =
+    if (raw >= 1.0 && err > 0.0) || (raw <= 0.0 && err < 0.0) then 0.0 else err
+  in
+  [|
+    (1.0 /. p.r) -. (prob *. w *. w_del /. (2.0 *. p.r));
+    tq_dot;
+    int_dot;
+  |]
+
+let run p ?(init = [| 1.0; 0.05; 0.0 |]) ~horizon ~dt ?record_every () =
+  Dde.integrate ~f:(derivatives p) ~init ~t0:0.0 ~t1:horizon ~dt ?record_every
+    ()
+
+let equilibrium p =
+  let w = p.r *. p.c /. p.n in
+  let prob = 2.0 /. (w *. w) in
+  (w, p.tq_ref, prob)

@@ -1,0 +1,35 @@
+(** Fluid model of PERT/PI (Section 6): the window dynamics of eq. (8)
+    closed by the continuous PI controller of eq. (16)–(17) acting on the
+    end-host's queueing-delay estimate.
+
+    States: [x1] window W, [x2] queueing delay Tq, [x3] the integral
+    [∫ (Tq - tq_ref) dt]. The drop probability is
+    [p(t) = K ((Tq(t-R) - tq_ref) + x3(t-R) / m)], clamped to [\[0,1\]].
+    Two physical guards are applied on top of the paper's linear model:
+    the queue cannot drain below empty, and the integrator freezes while
+    the controller output is saturated (anti-windup) — without them the
+    linearised model wanders into negative queueing delays. *)
+
+type params = {
+  c : float;  (** capacity, packets/s *)
+  n : float;  (** flows *)
+  r : float;  (** RTT, s *)
+  gains : Stability.pi_gains;
+  tq_ref : float;  (** target queueing delay, s *)
+}
+
+val make :
+  c:float -> n:float -> r:float -> ?r_plus:float -> ?tq_ref:float -> unit ->
+  params
+(** Gains from {!Stability.pert_pi_gains} with [r_plus] defaulting to [r]
+    and [r_star = r]; [tq_ref] defaults to 3 ms (the paper's target). *)
+
+val derivatives : params -> float -> float array -> Dde.history -> float array
+
+val run :
+  params -> ?init:float array -> horizon:float -> dt:float ->
+  ?record_every:int -> unit -> float array * float array array
+
+val equilibrium : params -> float * float * float
+(** [(w_star, tq_star, p_star)] — the PI integrator pins
+    [tq_star = tq_ref]. *)

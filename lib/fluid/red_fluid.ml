@@ -1,0 +1,42 @@
+type params = {
+  c : float;
+  n : float;
+  r : float;
+  l_red : float;
+  min_th : float;
+  k : float;
+}
+
+let derivatives p t x hist =
+  let w = x.(0) in
+  let w_del = hist 0 (t -. p.r) in
+  let avg_del = hist 2 (t -. p.r) in
+  let prob = Float.min 1.0 (p.l_red *. Float.max 0.0 (avg_del -. p.min_th)) in
+  (* The physical queue cannot drain below empty. *)
+  let qdot = (p.n *. w /. p.r) -. p.c in
+  let qdot = if x.(1) <= 0.0 && qdot < 0.0 then 0.0 else qdot in
+  [|
+    (1.0 /. p.r) -. (prob *. w *. w_del /. (2.0 *. p.r));
+    qdot;
+    p.k *. (x.(2) -. x.(1));
+  |]
+
+let run p ?(init = [| 1.0; 1.0; 1.0 |]) ~horizon ~dt ?record_every () =
+  Dde.integrate ~f:(derivatives p) ~init ~t0:0.0 ~t1:horizon ~dt ?record_every
+    ()
+
+let equilibrium p =
+  let w = p.r *. p.c /. p.n in
+  let prob = 2.0 /. (w *. w) in
+  let q = (prob /. p.l_red) +. p.min_th in
+  (w, q, prob)
+
+let matched_to_pert (pp : Pert_fluid.params) =
+  {
+    c = pp.Pert_fluid.c;
+    n = pp.Pert_fluid.n;
+    r = pp.Pert_fluid.r;
+    l_red = pp.Pert_fluid.l_pert /. pp.Pert_fluid.c;
+    min_th = pp.Pert_fluid.t_min *. pp.Pert_fluid.c;
+    k = pp.Pert_fluid.k;
+  }

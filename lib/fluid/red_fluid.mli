@@ -1,0 +1,31 @@
+(** The classic TCP/RED fluid model of Misra, Gong & Towsley (SIGCOMM
+    2000) — the router-side counterpart PERT emulates; used for the
+    stability comparison of Section 5.4.
+
+    States: [x1] window W (packets), [x2] queue length q (packets),
+    [x3] averaged queue length (packets). Unlike PERT, the loss
+    probability seen by the sender is delayed by one RTT (the router
+    marks, the echo travels back). *)
+
+type params = {
+  c : float;  (** capacity, packets/s *)
+  n : float;  (** flows *)
+  r : float;  (** RTT, s *)
+  l_red : float;  (** RED slope [p_max / (max_th - min_th)], 1/packets *)
+  min_th : float;  (** packets *)
+  k : float;  (** averaging constant [ln (1-wq) / delta], 1/s, negative *)
+}
+
+val derivatives : params -> float -> float array -> Dde.history -> float array
+
+val run :
+  params -> ?init:float array -> horizon:float -> dt:float ->
+  ?record_every:int -> unit -> float array * float array array
+
+val equilibrium : params -> float * float * float
+(** [(w_star, q_star, p_star)]. *)
+
+val matched_to_pert : Pert_fluid.params -> params
+(** RED parameters that emulate the same control law at the router
+    ([l_red = l_pert /. c], thresholds scaled by [c]) — used to compare
+    stability regions (Section 5.4 notes the conditions then coincide). *)

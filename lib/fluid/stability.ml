@@ -1,0 +1,56 @@
+let k_of ~alpha ~delta =
+  if alpha <= 0.0 || alpha >= 1.0 then invalid_arg "Stability.k_of: alpha in (0,1)";
+  if delta <= 0.0 then invalid_arg "Stability.k_of: delta must be positive";
+  log alpha /. delta
+
+let w_g ~c ~n_min ~r_plus =
+  0.1 *. Float.min (2.0 *. n_min /. (r_plus *. r_plus *. c)) (1.0 /. r_plus)
+
+let theorem1_holds ~l_pert ~c ~n_min ~r_plus ~k =
+  let wg = w_g ~c ~n_min ~r_plus in
+  let lhs = l_pert *. (r_plus ** 3.0) *. c *. c /. ((2.0 *. n_min) ** 2.0) in
+  lhs <= sqrt (((wg /. k) ** 2.0) +. 1.0)
+
+let delta_min ~alpha ~l_pert ~c ~n_min ~r_plus =
+  let wg = w_g ~c ~n_min ~r_plus in
+  let inner =
+    (l_pert ** 2.0 *. (r_plus ** 6.0) *. (c ** 4.0)) -. (16.0 *. (n_min ** 4.0))
+  in
+  if inner <= 0.0 then 0.0
+  else -.log alpha /. (4.0 *. n_min *. n_min *. wg) *. sqrt inner
+
+let equilibrium ~c ~n ~r =
+  let w = r *. c /. n in
+  let p = 2.0 *. n *. n /. (r *. c *. (r *. c)) in
+  (w, p)
+
+type pi_gains = { k : float; m : float }
+
+let pert_pi_gains ~c ~n_min ~r_plus ~r_star =
+  let m = 2.0 *. n_min /. (r_plus *. r_plus *. c) in
+  let plant_gain = (r_plus ** 3.0) *. c *. c /. ((2.0 *. n_min) ** 2.0) in
+  let k = m *. sqrt (((r_star *. m) ** 2.0) +. 1.0) /. plant_gain in
+  { k; m }
+
+let router_pi_gains ~c ~n_min ~r_plus ~r_star =
+  let g = pert_pi_gains ~c ~n_min ~r_plus ~r_star in
+  { g with k = g.k /. c }
+
+let red_theorem_holds ~l_red ~c ~n_min ~r_plus ~k =
+  let wg = w_g ~c ~n_min ~r_plus in
+  let lhs = l_red *. (r_plus ** 3.0) *. (c ** 3.0) /. ((2.0 *. n_min) ** 2.0) in
+  lhs <= sqrt (((wg /. k) ** 2.0) +. 1.0)
+
+let pert_k ~alpha ~c ~n = k_of ~alpha ~delta:(n /. c)
+let red_k ~wq ~c = k_of ~alpha:(1.0 -. wq) ~delta:(1.0 /. c)
+
+let boundary_r ~holds ?(lo = 0.001) ?(hi = 10.0) () =
+  if not (holds lo) then lo
+  else begin
+    let lo = ref lo and hi = ref hi in
+    while !hi -. !lo > 1e-4 do
+      let mid = (!lo +. !hi) /. 2.0 in
+      if holds mid then lo := mid else hi := mid
+    done;
+    !lo
+  end

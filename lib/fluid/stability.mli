@@ -1,0 +1,69 @@
+(** Closed-form stability machinery of Sections 5–6 (Theorems 1 and 2).
+
+    Notation ([paper eq. 10–13, 21]): [c] link capacity in packets/s,
+    [n_min] the lower bound on the number of flows, [r_plus] the upper
+    bound on RTT (seconds), [l_pert = p_max /. (t_max - t_min)] the slope
+    of the response curve (1/seconds), [alpha] the srtt history weight,
+    [delta] the RTT sampling interval. *)
+
+val k_of : alpha:float -> delta:float -> float
+(** [K = ln alpha / delta] (eq. 10) — negative for [alpha < 1]. *)
+
+val w_g : c:float -> n_min:float -> r_plus:float -> float
+(** Crossover frequency bound (eq. 12):
+    [0.1 * min (2 n / (r^2 c)) (1 / r)]. *)
+
+val theorem1_holds :
+  l_pert:float -> c:float -> n_min:float -> r_plus:float -> k:float -> bool
+(** Sufficient local-stability condition (eq. 11):
+    [l R^3 C^2 / (2N)^2 <= sqrt (wg^2 / K^2 + 1)]. *)
+
+val delta_min :
+  alpha:float -> l_pert:float -> c:float -> n_min:float -> r_plus:float ->
+  float
+(** Minimum stable sampling interval (eq. 13); 0 when the condition holds
+    for any [delta] (the square root's argument is non-positive). *)
+
+val equilibrium : c:float -> n:float -> r:float -> float * float
+(** [(w_star, p_star)] of eq. 9: [w = RC/N], [p = 2 N^2 / (R C)^2]. *)
+
+type pi_gains = { k : float; m : float }
+
+val pert_pi_gains :
+  c:float -> n_min:float -> r_plus:float -> r_star:float -> pi_gains
+(** Theorem 2 (eq. 21): [m = 2N / (R+^2 C)],
+    [k = m |j R* m + 1| / (R+^3 C^2 / (2N)^2)] — the delay-domain PI for
+    PERT/PI. *)
+
+val router_pi_gains :
+  c:float -> n_min:float -> r_plus:float -> r_star:float -> pi_gains
+(** Queue-length-domain PI for the router baseline: the plant gain gets an
+    extra factor of [C] ([C^3] in place of [C^2]), so
+    [k_router = k_pert /. c]. *)
+
+(** {2 Stability-region comparison (Section 5.4)}
+
+    The paper's analytical claim: with matched control laws
+    ([l_red = l_pert / C], thresholds scaled by [C]) the two sufficient
+    conditions differ only through the averaging constant [K]; PERT
+    samples once per packet {e of the flow} ([delta ~ N/C]) while RED
+    samples once per packet {e of the link} ([delta ~ 1/C]), giving PERT
+    a slower filter, a larger [wg^2/K^2 + 1] bound and therefore a larger
+    stability region. *)
+
+val red_theorem_holds :
+  l_red:float -> c:float -> n_min:float -> r_plus:float -> k:float -> bool
+(** The TCP/RED counterpart of Theorem 1 (Hollot et al. 2001):
+    [l_red R^3 C^3 / (2N)^2 <= sqrt (wg^2/K^2 + 1)]. *)
+
+val pert_k : alpha:float -> c:float -> n:float -> float
+(** PERT's effective averaging constant when each of [n] flows samples on
+    its own ACKs: [ln alpha / (n /. c)]. *)
+
+val red_k : wq:float -> c:float -> float
+(** RED's averaging constant at per-packet sampling: [ln (1-wq) / (1/c)]. *)
+
+val boundary_r : holds:(float -> bool) -> ?lo:float -> ?hi:float -> unit -> float
+(** Largest RTT (bisection to 0.1 ms) for which [holds r] is true, assuming
+    the condition is monotone in [r]; [lo]/[hi] default to 1 ms / 10 s.
+    Returns [lo] if even that is unstable. *)

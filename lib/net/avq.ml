@@ -1,0 +1,76 @@
+type params = {
+  gamma : float;
+  alpha : float;
+  virtual_buffer : float;
+  ecn : bool;
+}
+
+let default_params () =
+  { gamma = 0.98; alpha = 0.15; virtual_buffer = 20.0; ecn = true }
+
+type state = {
+  p : params;
+  capacity_pps : float;
+  mutable vq : float;  (** virtual queue length, packets *)
+  mutable c_tilde : float;  (** virtual capacity, pkts/s *)
+  mutable last_arrival : float;
+}
+
+let registry : (string, state) Hashtbl.t = Hashtbl.create 8
+let next_instance = ref 0
+
+let create ~params ~capacity_pps ~limit_pkts =
+  if limit_pkts <= 0 then invalid_arg "Avq.create: limit must be positive";
+  if params.gamma <= 0.0 || params.gamma > 1.0 then
+    invalid_arg "Avq.create: gamma in (0,1]";
+  let fifo = Queue_disc.Fifo.create () in
+  let st =
+    {
+      p = params;
+      capacity_pps;
+      vq = 0.0;
+      c_tilde = params.gamma *. capacity_pps;
+      last_arrival = 0.0;
+    }
+  in
+  let enqueue ~now pkt =
+    let dt = Float.max 0.0 (now -. st.last_arrival) in
+    st.last_arrival <- now;
+    (* Drain the virtual queue at the virtual capacity. *)
+    st.vq <- Float.max 0.0 (st.vq -. (st.c_tilde *. dt));
+    (* Kunniyur-Srikant adaptation, integrated between arrivals: the
+       (gamma C) term over dt, minus one packet for this arrival. *)
+    st.c_tilde <-
+      Float.min st.capacity_pps
+        (Float.max 0.0
+           (st.c_tilde
+           +. (st.p.alpha *. ((st.p.gamma *. st.capacity_pps *. dt) -. 1.0))));
+    if Queue_disc.Fifo.pkts fifo >= limit_pkts then Queue_disc.Reject
+    else if st.vq +. 1.0 > st.p.virtual_buffer then
+      if st.p.ecn && pkt.Packet.ecn_capable then begin
+        Queue_disc.Fifo.push fifo pkt;
+        Queue_disc.Accept_marked
+      end
+      else Queue_disc.Reject
+    else begin
+      st.vq <- st.vq +. 1.0;
+      Queue_disc.Fifo.push fifo pkt;
+      Queue_disc.Accept
+    end
+  in
+  let name = Printf.sprintf "avq#%d" !next_instance in
+  incr next_instance;
+  Hashtbl.replace registry name st;
+  {
+    Queue_disc.name;
+    enqueue;
+    dequeue = (fun ~now:_ -> Queue_disc.Fifo.pop fifo);
+    pkt_length = (fun () -> Queue_disc.Fifo.pkts fifo);
+    byte_length = (fun () -> Queue_disc.Fifo.bytes fifo);
+    capacity_pkts = limit_pkts;
+  }
+
+let virtual_capacity disc =
+  match Hashtbl.find_opt registry disc.Queue_disc.name with
+  | Some st -> st.c_tilde
+  | None -> invalid_arg "Avq: not an AVQ discipline"

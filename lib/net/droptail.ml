@@ -1,0 +1,18 @@
+let create ~limit_pkts =
+  if limit_pkts <= 0 then invalid_arg "Droptail.create: limit must be positive";
+  let fifo = Queue_disc.Fifo.create () in
+  let enqueue ~now:_ pkt =
+    if Queue_disc.Fifo.pkts fifo >= limit_pkts then Queue_disc.Reject
+    else begin
+      Queue_disc.Fifo.push fifo pkt;
+      Queue_disc.Accept
+    end
+  in
+  {
+    Queue_disc.name = "droptail";
+    enqueue;
+    dequeue = (fun ~now:_ -> Queue_disc.Fifo.pop fifo);
+    pkt_length = (fun () -> Queue_disc.Fifo.pkts fifo);
+    byte_length = (fun () -> Queue_disc.Fifo.bytes fifo);
+    capacity_pkts = limit_pkts;
+  }

@@ -1,0 +1,164 @@
+module Sim = Sim_engine.Sim
+module Stats = Sim_engine.Stats
+module Fvec = Sim_engine.Fvec
+
+type event = Enqueue | Dequeue | Receive | Drop
+
+type t = {
+  sim : Sim.t;
+  name : string;
+  bandwidth : float;
+  delay : float;
+  jitter : float;
+  jitter_rng : Sim_engine.Rng.t;
+  disc : Queue_disc.t;
+  mutable deliver : Packet.t -> unit;
+  mutable event_hook : (event -> Packet.t -> unit) option;
+  mutable busy : bool;
+  (* measurement *)
+  mutable arrivals : int;
+  mutable drops : int;
+  mutable marks : int;
+  mutable bytes_sent : int;
+  mutable window_start : float;
+  mutable qmax : int;
+  qavg : Stats.Time_weighted.t;
+  mutable drop_trace : Fvec.t option;
+  mutable queue_trace : (Fvec.t * Fvec.t) option;  (* times, lengths *)
+}
+
+let create ?(jitter = 0.0) sim ~name ~bandwidth ~delay ~disc =
+  if bandwidth <= 0.0 then invalid_arg "Link.create: bandwidth must be positive";
+  if delay < 0.0 then invalid_arg "Link.create: negative delay";
+  if jitter < 0.0 then invalid_arg "Link.create: negative jitter";
+  {
+    sim;
+    name;
+    bandwidth;
+    delay;
+    jitter;
+    jitter_rng = Sim_engine.Rng.split (Sim.rng sim);
+    disc;
+    deliver = (fun _ -> invalid_arg "Link: deliver not wired");
+    event_hook = None;
+    busy = false;
+    arrivals = 0;
+    drops = 0;
+    marks = 0;
+    bytes_sent = 0;
+    window_start = Sim.now sim;
+    qmax = 0;
+    qavg = Stats.Time_weighted.create ~start:(Sim.now sim) ~value:0.0;
+    drop_trace = None;
+    queue_trace = None;
+  }
+
+let set_deliver t f = t.deliver <- f
+let set_event_hook t f = t.event_hook <- Some f
+
+let emit t event pkt =
+  match t.event_hook with Some f -> f event pkt | None -> ()
+let name t = t.name
+let bandwidth t = t.bandwidth
+let delay t = t.delay
+let disc t = t.disc
+let queue_length t = t.disc.Queue_disc.pkt_length ()
+
+let note_queue_change t =
+  let now = Sim.now t.sim in
+  let len = t.disc.Queue_disc.pkt_length () in
+  if len > t.qmax then t.qmax <- len;
+  Stats.Time_weighted.update t.qavg ~now ~value:(float_of_int len)
+
+let rec start_transmission t =
+  match t.disc.Queue_disc.dequeue ~now:(Sim.now t.sim) with
+  | None -> t.busy <- false
+  | Some pkt ->
+      note_queue_change t;
+      emit t Dequeue pkt;
+      t.busy <- true;
+      let tx_time = float_of_int (8 * pkt.Packet.size) /. t.bandwidth in
+      Sim.after t.sim tx_time (fun () ->
+          t.bytes_sent <- t.bytes_sent + pkt.Packet.size;
+          (* Propagation proceeds in parallel with the next transmission;
+             per-packet jitter may reorder deliveries. *)
+          let extra =
+            if t.jitter > 0.0 then Sim_engine.Rng.float t.jitter_rng t.jitter
+            else 0.0
+          in
+          Sim.after t.sim (t.delay +. extra) (fun () ->
+              emit t Receive pkt;
+              t.deliver pkt);
+          start_transmission t)
+
+let send t pkt =
+  t.arrivals <- t.arrivals + 1;
+  let now = Sim.now t.sim in
+  match t.disc.Queue_disc.enqueue ~now pkt with
+  | Queue_disc.Reject ->
+      t.drops <- t.drops + 1;
+      emit t Drop pkt;
+      (match t.drop_trace with Some v -> Fvec.push v now | None -> ())
+  | Queue_disc.Accept | Queue_disc.Accept_marked as v ->
+      if v = Queue_disc.Accept_marked then begin
+        pkt.Packet.ecn_marked <- true;
+        t.marks <- t.marks + 1
+      end;
+      emit t Enqueue pkt;
+      note_queue_change t;
+      if not t.busy then start_transmission t
+
+let arrivals t = t.arrivals
+let drops t = t.drops
+let marks t = t.marks
+let bytes_sent t = t.bytes_sent
+
+let avg_queue_pkts t = Stats.Time_weighted.average t.qavg ~now:(Sim.now t.sim)
+let max_queue_pkts t = t.qmax
+
+let utilization t =
+  let span = Sim.now t.sim -. t.window_start in
+  if span <= 0.0 then 0.0
+  else float_of_int (8 * t.bytes_sent) /. (t.bandwidth *. span)
+
+let drop_rate t =
+  if t.arrivals = 0 then 0.0
+  else float_of_int t.drops /. float_of_int t.arrivals
+
+let reset_stats t =
+  t.arrivals <- 0;
+  t.drops <- 0;
+  t.marks <- 0;
+  t.bytes_sent <- 0;
+  t.window_start <- Sim.now t.sim;
+  t.qmax <- t.disc.Queue_disc.pkt_length ();
+  Stats.Time_weighted.reset t.qavg ~now:(Sim.now t.sim)
+
+let enable_drop_trace t =
+  if t.drop_trace = None then t.drop_trace <- Some (Fvec.create ())
+
+let drop_times t =
+  match t.drop_trace with
+  | Some v -> Fvec.to_array v
+  | None -> invalid_arg "Link.drop_times: tracing not enabled"
+
+let enable_queue_trace t ?(interval = 0.01) () =
+  match t.queue_trace with
+  | Some _ -> ()
+  | None ->
+      let times = Fvec.create () and lengths = Fvec.create () in
+      t.queue_trace <- Some (times, lengths);
+      Sim.every t.sim ~start:(Sim.now t.sim) interval (fun () ->
+          Fvec.push times (Sim.now t.sim);
+          Fvec.push lengths (float_of_int (queue_length t)))
+
+let queue_at t time =
+  match t.queue_trace with
+  | None -> invalid_arg "Link.queue_at: tracing not enabled"
+  | Some (times, lengths) ->
+      let i = Fvec.lower_bound times time in
+      (* We want the last sample at or before [time]. *)
+      let i =
+        if i < Fvec.length times && Fvec.get times i <= time then i else i - 1
+      in
+      if i < 0 then 0.0 else Fvec.get lengths i

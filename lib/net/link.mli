@@ -1,0 +1,77 @@
+(** Unidirectional link: a queue discipline feeding a transmitter with a
+    given bandwidth, followed by a fixed propagation delay.
+
+    The link also keeps the measurement state the experiments need:
+    arrival/drop/mark counters, a time-weighted queue-length average, bytes
+    transmitted (for utilisation), and an optional trace of drop times and
+    of the queue length (sampled on every change) for the Section 2
+    predictor study. *)
+
+type t
+
+val create :
+  ?jitter:float -> Sim_engine.Sim.t -> name:string -> bandwidth:float ->
+  delay:float -> disc:Queue_disc.t -> t
+(** [bandwidth] bits/s, [delay] seconds. [jitter] (default 0) adds an
+    independent uniform [\[0, jitter)] extra propagation delay per packet
+    — deliberately allowing reordering, for robustness experiments. *)
+
+val set_deliver : t -> (Packet.t -> unit) -> unit
+(** Install the receiver-side callback (set by {!Topology}). *)
+
+(** Per-packet lifecycle events, for tracing. *)
+type event =
+  | Enqueue  (** accepted into the queue *)
+  | Dequeue  (** transmission started *)
+  | Receive  (** delivered to the far end *)
+  | Drop  (** rejected by the discipline *)
+
+val set_event_hook : t -> (event -> Packet.t -> unit) -> unit
+(** Observe every packet event on this link (one hook per link; setting
+    again replaces it). The hook runs before the event's normal effect. *)
+
+val send : t -> Packet.t -> unit
+(** Offer a packet to the link's queue; drops and marks happen here. *)
+
+val name : t -> string
+val bandwidth : t -> float
+val delay : t -> float
+val disc : t -> Queue_disc.t
+val queue_length : t -> int
+
+(** {2 Measurement} *)
+
+val arrivals : t -> int
+val drops : t -> int
+val marks : t -> int
+val bytes_sent : t -> int
+
+val avg_queue_pkts : t -> float
+(** Time-weighted average queue length (packets) since the last
+    {!reset_stats}. *)
+
+val max_queue_pkts : t -> int
+(** Largest instantaneous queue length since the last {!reset_stats}. *)
+
+val utilization : t -> float
+(** Fraction of capacity used since the last {!reset_stats}. *)
+
+val drop_rate : t -> float
+(** Drops / arrivals since the last {!reset_stats}; 0 if no arrivals. *)
+
+val reset_stats : t -> unit
+(** Restart the measurement window at the current simulation time (used to
+    discard warm-up transients, as the paper measures only 100–300 s). *)
+
+val enable_drop_trace : t -> unit
+val drop_times : t -> float array
+(** Times of queue-level drops since tracing was enabled. *)
+
+val enable_queue_trace : t -> ?interval:float -> unit -> unit
+(** Sample the instantaneous queue length every [interval] (default 10 ms)
+    simulated seconds. *)
+
+val queue_at : t -> float -> float
+(** [queue_at t time]: traced queue length (packets) at [time] (last sample
+    at or before [time]); 0 before the first sample. Requires
+    {!enable_queue_trace}. *)

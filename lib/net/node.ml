@@ -1,0 +1,27 @@
+type t = {
+  id : int;
+  mutable routes : Link.t option array;
+  agents : (int, Packet.t -> unit) Hashtbl.t;
+}
+
+let create ~id = { id; routes = [||]; agents = Hashtbl.create 8 }
+let id t = t.id
+let set_routes t routes = t.routes <- routes
+
+let route_to t dst =
+  if dst < 0 || dst >= Array.length t.routes then None else t.routes.(dst)
+
+let attach_agent t ~flow handler = Hashtbl.replace t.agents flow handler
+let detach_agent t ~flow = Hashtbl.remove t.agents flow
+
+let receive t pkt =
+  if pkt.Packet.dst = t.id then
+    match Hashtbl.find_opt t.agents pkt.Packet.flow with
+    | Some handler -> handler pkt
+    | None -> ()
+  else
+    match route_to t pkt.Packet.dst with
+    | Some link -> Link.send link pkt
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Node %d: no route to %d" t.id pkt.Packet.dst)

@@ -1,0 +1,25 @@
+(** A network node: routes transit packets along precomputed next-hop
+    links and demultiplexes locally addressed packets to per-flow agents
+    (TCP endpoints). *)
+
+type t
+
+val create : id:int -> t
+val id : t -> int
+
+val set_routes : t -> Link.t option array -> unit
+(** [routes.(d)] is the outgoing link toward destination node [d]. *)
+
+val route_to : t -> int -> Link.t option
+
+val attach_agent : t -> flow:int -> (Packet.t -> unit) -> unit
+(** Register the handler for packets of [flow] addressed to this node.
+    Re-attaching replaces the handler. *)
+
+val detach_agent : t -> flow:int -> unit
+
+val receive : t -> Packet.t -> unit
+(** Entry point used by links and by local senders: locally addressed
+    packets go to the flow agent (silently discarded if none — e.g. a
+    closed connection), others are forwarded (raises [Invalid_argument] if
+    there is no route). *)

@@ -1,0 +1,68 @@
+type payload =
+  | Data of { seq : int }
+  | Ack of {
+      ack : int;
+      sack : (int * int) list;
+      ecn_echo : bool;
+      ts_echo : float;
+    }
+
+type t = {
+  id : int;
+  flow : int;
+  src : int;
+  dst : int;
+  size : int;
+  payload : payload;
+  ecn_capable : bool;
+  mutable ecn_marked : bool;
+  mutable retransmit : bool;
+  sent_at : float;
+}
+
+let mss = 1000
+let header_size = 40
+let data_size = mss + header_size
+
+type factory = { mutable next_id : int }
+
+let factory () = { next_id = 0 }
+
+let fresh_id f =
+  let id = f.next_id in
+  f.next_id <- id + 1;
+  id
+
+let data f ~flow ~src ~dst ~seq ~ecn ?(retransmit = false) ~now () =
+  {
+    id = fresh_id f;
+    flow;
+    src;
+    dst;
+    size = data_size;
+    payload = Data { seq };
+    ecn_capable = ecn;
+    ecn_marked = false;
+    retransmit;
+    sent_at = now;
+  }
+
+let ack f ~flow ~src ~dst ~ack ~sack ~ecn_echo ~ts_echo ~now () =
+  {
+    id = fresh_id f;
+    flow;
+    src;
+    dst;
+    size = header_size;
+    payload = Ack { ack; sack; ecn_echo; ts_echo };
+    ecn_capable = false;
+    ecn_marked = false;
+    retransmit = false;
+    sent_at = now;
+  }
+
+let is_data t = match t.payload with Data _ -> true | Ack _ -> false
+let seq_exn t =
+  match t.payload with
+  | Data { seq } -> seq
+  | Ack _ -> invalid_arg "Packet.seq_exn: not a data packet"

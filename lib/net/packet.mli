@@ -1,0 +1,59 @@
+(** Network packets.
+
+    Data packets carry one MSS of payload and a sequence number in packet
+    units. ACKs carry the cumulative acknowledgement, up to three SACK
+    blocks, an ECN echo bit, and a timestamp echo used by the sender for
+    RTT sampling (immune to retransmission ambiguity, like the TCP
+    timestamp option). *)
+
+type payload =
+  | Data of { seq : int }
+      (** [seq] is the packet-granularity sequence number, from 0. *)
+  | Ack of {
+      ack : int;  (** next expected sequence (cumulative) *)
+      sack : (int * int) list;
+          (** up to 3 blocks [(first, last_exclusive)] of out-of-order data
+              held by the receiver, most recent first *)
+      ecn_echo : bool;  (** congestion-experienced echo (ECE) *)
+      ts_echo : float;  (** send timestamp of the packet being acked *)
+    }
+
+type t = {
+  id : int;  (** unique per simulation *)
+  flow : int;  (** flow identifier for endpoint demux *)
+  src : int;  (** source node id *)
+  dst : int;  (** destination node id *)
+  size : int;  (** bytes on the wire *)
+  payload : payload;
+  ecn_capable : bool;
+  mutable ecn_marked : bool;  (** set by an AQM queue (CE codepoint) *)
+  mutable retransmit : bool;  (** data packet is a retransmission *)
+  sent_at : float;  (** time the packet entered the network *)
+}
+
+val mss : int
+(** Data packet payload size used throughout: 1000 bytes. *)
+
+val header_size : int
+(** Bytes of header; ACKs are [header_size] long. 40 bytes. *)
+
+val data_size : int
+(** [mss + header_size]. *)
+
+type factory
+(** Allocates unique packet ids. *)
+
+val factory : unit -> factory
+
+val data :
+  factory -> flow:int -> src:int -> dst:int -> seq:int -> ecn:bool ->
+  ?retransmit:bool -> now:float -> unit -> t
+
+val ack :
+  factory -> flow:int -> src:int -> dst:int -> ack:int ->
+  sack:(int * int) list -> ecn_echo:bool -> ts_echo:float -> now:float ->
+  unit -> t
+
+val is_data : t -> bool
+val seq_exn : t -> int
+(** Sequence number of a data packet; raises on ACKs. *)

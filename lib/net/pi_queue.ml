@@ -1,0 +1,69 @@
+type params = {
+  a : float;
+  b : float;
+  q_ref : float;
+  sample_interval : float;
+  ecn : bool;
+}
+
+type state = {
+  p : params;
+  mutable prob : float;
+  mutable prev_q : float;
+  mutable next_update : float;
+}
+
+let registry : (string, state) Hashtbl.t = Hashtbl.create 8
+let next_instance = ref 0
+let clamp01 x = if x < 0.0 then 0.0 else if x > 1.0 then 1.0 else x
+
+let create ~rng ~params ~limit_pkts =
+  if limit_pkts <= 0 then invalid_arg "Pi_queue.create: limit must be positive";
+  if params.sample_interval <= 0.0 then
+    invalid_arg "Pi_queue.create: sample_interval must be positive";
+  let fifo = Queue_disc.Fifo.create () in
+  let st = { p = params; prob = 0.0; prev_q = 0.0; next_update = 0.0 } in
+  (* Catch the controller clock up to [now]; between arrivals the queue
+     length is constant, so iterating the recurrence is exact. *)
+  let update_prob now =
+    let q = float_of_int (Queue_disc.Fifo.pkts fifo) in
+    while st.next_update <= now do
+      st.prob <-
+        clamp01
+          (st.prob
+          +. (st.p.a *. (q -. st.p.q_ref))
+          -. (st.p.b *. (st.prev_q -. st.p.q_ref)));
+      st.prev_q <- q;
+      st.next_update <- st.next_update +. st.p.sample_interval
+    done
+  in
+  let enqueue ~now pkt =
+    update_prob now;
+    if Queue_disc.Fifo.pkts fifo >= limit_pkts then Queue_disc.Reject
+    else if Sim_engine.Rng.bernoulli rng st.prob then
+      if st.p.ecn && pkt.Packet.ecn_capable then begin
+        Queue_disc.Fifo.push fifo pkt;
+        Queue_disc.Accept_marked
+      end
+      else Queue_disc.Reject
+    else begin
+      Queue_disc.Fifo.push fifo pkt;
+      Queue_disc.Accept
+    end
+  in
+  let name = Printf.sprintf "pi#%d" !next_instance in
+  incr next_instance;
+  Hashtbl.replace registry name st;
+  {
+    Queue_disc.name;
+    enqueue;
+    dequeue = (fun ~now:_ -> Queue_disc.Fifo.pop fifo);
+    pkt_length = (fun () -> Queue_disc.Fifo.pkts fifo);
+    byte_length = (fun () -> Queue_disc.Fifo.bytes fifo);
+    capacity_pkts = limit_pkts;
+  }
+
+let probability disc =
+  match Hashtbl.find_opt registry disc.Queue_disc.name with
+  | Some st -> st.prob
+  | None -> invalid_arg "Pi_queue: not a PI discipline"

@@ -1,0 +1,24 @@
+(** PI (proportional-integral) active queue management after Hollot et al.,
+    INFOCOM 2001 — the router baseline for the paper's Section 6.
+
+    The mark/drop probability is updated on a fixed sampling clock:
+
+    [p(k) = p(k-1) + a * (q(k) - q_ref) - b * (q(k-1) - q_ref)]
+
+    with [a > b > 0], and every arrival is marked (ECN) or dropped with the
+    current probability. *)
+
+type params = {
+  a : float;  (** gain on the current queue error, 1/packets *)
+  b : float;  (** gain on the previous queue error, 1/packets *)
+  q_ref : float;  (** target queue length, packets *)
+  sample_interval : float;  (** seconds between probability updates *)
+  ecn : bool;
+}
+
+val create :
+  rng:Sim_engine.Rng.t -> params:params -> limit_pkts:int -> Queue_disc.t
+
+val probability : Queue_disc.t -> float
+(** Current controller output of a PI discipline created by {!create};
+    raises [Invalid_argument] for other disciplines. *)

@@ -1,0 +1,30 @@
+type verdict = Accept | Accept_marked | Reject
+
+type t = {
+  name : string;
+  enqueue : now:float -> Packet.t -> verdict;
+  dequeue : now:float -> Packet.t option;
+  pkt_length : unit -> int;
+  byte_length : unit -> int;
+  capacity_pkts : int;
+}
+
+module Fifo = struct
+  type q = { queue : Packet.t Queue.t; mutable bytes : int }
+
+  let create () = { queue = Queue.create (); bytes = 0 }
+
+  let push q pkt =
+    Queue.push pkt q.queue;
+    q.bytes <- q.bytes + pkt.Packet.size
+
+  let pop q =
+    match Queue.take_opt q.queue with
+    | None -> None
+    | Some pkt ->
+        q.bytes <- q.bytes - pkt.Packet.size;
+        Some pkt
+
+  let pkts q = Queue.length q.queue
+  let bytes q = q.bytes
+end

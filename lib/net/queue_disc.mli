@@ -1,0 +1,29 @@
+(** Queue-discipline interface implemented by {!Droptail}, {!Red} and
+    {!Pi_queue}.
+
+    A discipline owns the buffered packets. [enqueue] decides the fate of
+    an arriving packet; on [Accept] and [Accept_marked] the discipline has
+    stored it ([Accept_marked] additionally asks the caller to set the CE
+    bit). On [Reject] the packet is dropped and not stored. *)
+
+type verdict = Accept | Accept_marked | Reject
+
+type t = {
+  name : string;
+  enqueue : now:float -> Packet.t -> verdict;
+  dequeue : now:float -> Packet.t option;
+  pkt_length : unit -> int;  (** packets currently buffered *)
+  byte_length : unit -> int;  (** bytes currently buffered *)
+  capacity_pkts : int;  (** buffer limit in packets *)
+}
+
+(** FIFO storage shared by discipline implementations. *)
+module Fifo : sig
+  type q
+
+  val create : unit -> q
+  val push : q -> Packet.t -> unit
+  val pop : q -> Packet.t option
+  val pkts : q -> int
+  val bytes : q -> int
+end

@@ -1,0 +1,142 @@
+type params = {
+  wq : float;
+  min_th : float;
+  max_th : float;
+  max_p : float;
+  gentle : bool;
+  adaptive : bool;
+  ecn : bool;
+}
+
+let auto_params ?(target_delay = 0.005) ?(gentle = true) ?(adaptive = true)
+    ?(ecn = true) ~capacity_pps ~limit_pkts () =
+  let min_th = Float.max 5.0 (capacity_pps *. target_delay /. 2.0) in
+  (* Keep the control band inside the physical buffer. *)
+  let min_th = Float.min min_th (float_of_int limit_pkts /. 4.0) in
+  let min_th = Float.max 1.0 min_th in
+  {
+    wq = 1.0 -. exp (-1.0 /. Float.max 1.0 capacity_pps);
+    min_th;
+    max_th = 3.0 *. min_th;
+    max_p = 0.1;
+    gentle;
+    adaptive;
+    ecn;
+  }
+
+type state = {
+  mutable p : params;
+  mutable avg : float;
+  mutable count : int;
+  mutable idle_start : float;  (** nan when the queue is busy *)
+  mutable next_adapt : float;
+}
+
+(* Registry linking the opaque Queue_disc.t back to RED internals for
+   introspection (avg_queue, current_max_p). *)
+let registry : (string, state) Hashtbl.t = Hashtbl.create 8
+let next_instance = ref 0
+
+let adapt_interval = 0.5
+
+let adapt st now =
+  if st.p.adaptive && now >= st.next_adapt then begin
+    st.next_adapt <- now +. adapt_interval;
+    let target_lo = st.p.min_th +. (0.4 *. (st.p.max_th -. st.p.min_th)) in
+    let target_hi = st.p.min_th +. (0.6 *. (st.p.max_th -. st.p.min_th)) in
+    if st.avg > target_hi && st.p.max_p < 0.5 then
+      st.p <- { st.p with max_p = st.p.max_p +. Float.min 0.01 (st.p.max_p /. 4.0) }
+    else if st.avg < target_lo && st.p.max_p > 0.01 then
+      st.p <- { st.p with max_p = st.p.max_p *. 0.9 }
+  end
+
+let create ~rng ~params ~capacity_pps ~limit_pkts =
+  if limit_pkts <= 0 then invalid_arg "Red.create: limit must be positive";
+  let fifo = Queue_disc.Fifo.create () in
+  let st =
+    { p = params; avg = 0.0; count = -1; idle_start = 0.0; next_adapt = 0.0 }
+  in
+  let tx_time = 1.0 /. Float.max 1.0 capacity_pps in
+  let update_avg now =
+    let q = float_of_int (Queue_disc.Fifo.pkts fifo) in
+    if q = 0.0 && not (Float.is_nan st.idle_start) then begin
+      (* Decay the average as if m small packets were serviced while idle. *)
+      let m = (now -. st.idle_start) /. tx_time in
+      st.avg <- st.avg *. ((1.0 -. st.p.wq) ** m);
+      st.idle_start <- Float.nan
+    end
+    else st.avg <- ((1.0 -. st.p.wq) *. st.avg) +. (st.p.wq *. q)
+  in
+  let mark_or_drop pkt =
+    if st.p.ecn && pkt.Packet.ecn_capable then begin
+      Queue_disc.Fifo.push fifo pkt;
+      Queue_disc.Accept_marked
+    end
+    else Queue_disc.Reject
+  in
+  let enqueue ~now pkt =
+    update_avg now;
+    adapt st now;
+    if Queue_disc.Fifo.pkts fifo >= limit_pkts then begin
+      st.count <- 0;
+      Queue_disc.Reject
+    end
+    else begin
+      let p = st.p in
+      let region_verdict pb =
+        st.count <- st.count + 1;
+        let pa =
+          let denom = 1.0 -. (float_of_int st.count *. pb) in
+          if denom <= 0.0 then 1.0 else Float.min 1.0 (pb /. denom)
+        in
+        if Sim_engine.Rng.bernoulli rng pa then begin
+          st.count <- 0;
+          mark_or_drop pkt
+        end
+        else begin
+          Queue_disc.Fifo.push fifo pkt;
+          Queue_disc.Accept
+        end
+      in
+      if st.avg < p.min_th then begin
+        st.count <- -1;
+        Queue_disc.Fifo.push fifo pkt;
+        Queue_disc.Accept
+      end
+      else if st.avg < p.max_th then
+        region_verdict (p.max_p *. (st.avg -. p.min_th) /. (p.max_th -. p.min_th))
+      else if p.gentle && st.avg < 2.0 *. p.max_th then
+        region_verdict
+          (p.max_p +. ((1.0 -. p.max_p) *. (st.avg -. p.max_th) /. p.max_th))
+      else begin
+        st.count <- 0;
+        Queue_disc.Reject
+      end
+    end
+  in
+  let dequeue ~now =
+    match Queue_disc.Fifo.pop fifo with
+    | None -> None
+    | Some pkt ->
+        if Queue_disc.Fifo.pkts fifo = 0 then st.idle_start <- now;
+        Some pkt
+  in
+  let name = Printf.sprintf "red#%d" !next_instance in
+  incr next_instance;
+  Hashtbl.replace registry name st;
+  {
+    Queue_disc.name;
+    enqueue;
+    dequeue;
+    pkt_length = (fun () -> Queue_disc.Fifo.pkts fifo);
+    byte_length = (fun () -> Queue_disc.Fifo.bytes fifo);
+    capacity_pkts = limit_pkts;
+  }
+
+let state_of disc =
+  match Hashtbl.find_opt registry disc.Queue_disc.name with
+  | Some st -> st
+  | None -> invalid_arg "Red: not a RED discipline"
+
+let avg_queue disc = (state_of disc).avg
+let current_max_p disc = (state_of disc).p.max_p

@@ -1,0 +1,97 @@
+type params = {
+  gamma : float;
+  alpha : float;
+  b_ref : float;
+  phi : float;
+  sample_interval : float;
+  ecn : bool;
+}
+
+let default_params ~capacity_pps:_ =
+  {
+    gamma = 0.001;
+    alpha = 0.1;
+    b_ref = 20.0;
+    phi = 1.001;
+    sample_interval = 0.010;
+    ecn = true;
+  }
+
+type state = {
+  p : params;
+  capacity_pps : float;
+  mutable price : float;
+  mutable arrivals_in_interval : int;
+  mutable next_update : float;
+}
+
+let registry : (string, state) Hashtbl.t = Hashtbl.create 8
+let next_instance = ref 0
+
+let probability st = 1.0 -. (st.p.phi ** -.st.price)
+
+let create ~rng ~params ~capacity_pps ~limit_pkts =
+  if limit_pkts <= 0 then invalid_arg "Rem.create: limit must be positive";
+  if params.phi <= 1.0 then invalid_arg "Rem.create: phi must exceed 1";
+  if params.sample_interval <= 0.0 then
+    invalid_arg "Rem.create: sample_interval must be positive";
+  let fifo = Queue_disc.Fifo.create () in
+  let st =
+    {
+      p = params;
+      capacity_pps;
+      price = 0.0;
+      arrivals_in_interval = 0;
+      next_update = 0.0;
+    }
+  in
+  let update_price now =
+    while st.next_update <= now do
+      let backlog = float_of_int (Queue_disc.Fifo.pkts fifo) in
+      let rate =
+        float_of_int st.arrivals_in_interval /. st.p.sample_interval
+      in
+      st.price <-
+        Float.max 0.0
+          (st.price
+          +. (st.p.gamma
+             *. ((st.p.alpha *. (backlog -. st.p.b_ref))
+                +. ((rate -. st.capacity_pps) *. st.p.sample_interval))));
+      st.arrivals_in_interval <- 0;
+      st.next_update <- st.next_update +. st.p.sample_interval
+    done
+  in
+  let enqueue ~now pkt =
+    update_price now;
+    st.arrivals_in_interval <- st.arrivals_in_interval + 1;
+    if Queue_disc.Fifo.pkts fifo >= limit_pkts then Queue_disc.Reject
+    else if Sim_engine.Rng.bernoulli rng (probability st) then
+      if st.p.ecn && pkt.Packet.ecn_capable then begin
+        Queue_disc.Fifo.push fifo pkt;
+        Queue_disc.Accept_marked
+      end
+      else Queue_disc.Reject
+    else begin
+      Queue_disc.Fifo.push fifo pkt;
+      Queue_disc.Accept
+    end
+  in
+  let name = Printf.sprintf "rem#%d" !next_instance in
+  incr next_instance;
+  Hashtbl.replace registry name st;
+  {
+    Queue_disc.name;
+    enqueue;
+    dequeue = (fun ~now:_ -> Queue_disc.Fifo.pop fifo);
+    pkt_length = (fun () -> Queue_disc.Fifo.pkts fifo);
+    byte_length = (fun () -> Queue_disc.Fifo.bytes fifo);
+    capacity_pkts = limit_pkts;
+  }
+
+let state_of disc =
+  match Hashtbl.find_opt registry disc.Queue_disc.name with
+  | Some st -> st
+  | None -> invalid_arg "Rem: not a REM discipline"
+
+let price disc = (state_of disc).price
+let mark_probability disc = probability (state_of disc)

@@ -1,0 +1,32 @@
+(** Topology builder: creates nodes, wires links to receiving nodes, and
+    computes static shortest-path (hop-count) routes with BFS. *)
+
+type t
+
+val create : Sim_engine.Sim.t -> t
+val sim : t -> Sim_engine.Sim.t
+
+val add_node : t -> Node.t
+
+val add_link :
+  ?jitter:float -> t -> src:Node.t -> dst:Node.t -> bandwidth:float ->
+  delay:float -> disc:Queue_disc.t -> Link.t
+(** Unidirectional [src -> dst] link; its delivery callback is wired to
+    [dst]'s {!Node.receive}. [jitter] as in {!Link.create}. *)
+
+val add_duplex :
+  t -> a:Node.t -> b:Node.t -> bandwidth:float -> delay:float ->
+  disc_ab:Queue_disc.t -> disc_ba:Queue_disc.t -> Link.t * Link.t
+(** Two unidirectional links with separate queue disciplines. *)
+
+val compute_routes : t -> unit
+(** (Re)compute every node's next-hop table. Call after the last
+    [add_link] and before injecting traffic. Ties are broken by link
+    creation order, deterministically. *)
+
+val node_count : t -> int
+val nodes : t -> Node.t list
+val links : t -> Link.t list
+
+val inject : t -> Node.t -> Packet.t -> unit
+(** Hand a locally generated packet to a node for routing/delivery. *)

@@ -1,0 +1,47 @@
+type t = {
+  sim : Sim_engine.Sim.t;
+  buf : Buffer.t;
+  mutable events : int;
+}
+
+let flag_of_event = function
+  | Link.Enqueue -> '+'
+  | Link.Dequeue -> '-'
+  | Link.Receive -> 'r'
+  | Link.Drop -> 'd'
+
+let kind_of (pkt : Packet.t) =
+  match pkt.Packet.payload with
+  | Packet.Data _ -> "tcp"
+  | Packet.Ack _ -> "ack"
+
+let seq_of (pkt : Packet.t) =
+  match pkt.Packet.payload with
+  | Packet.Data { seq } -> seq
+  | Packet.Ack { ack; _ } -> ack
+
+let record t event pkt =
+  t.events <- t.events + 1;
+  let p = pkt in
+  Buffer.add_string t.buf
+    (Printf.sprintf "%c %.5f %d %d %s %d %s %d %d.0 %d.0 %d %d\n"
+       (flag_of_event event)
+       (Sim_engine.Sim.now t.sim)
+       p.Packet.src p.Packet.dst (kind_of p) p.Packet.size
+       (if p.Packet.ecn_marked then "-E--"
+        else if p.Packet.retransmit then "-R--"
+        else "----")
+       p.Packet.flow p.Packet.src p.Packet.dst (seq_of p) p.Packet.id)
+
+let create sim ~links =
+  let t = { sim; buf = Buffer.create 4096; events = 0 } in
+  List.iter (fun link -> Link.set_event_hook link (record t)) links;
+  t
+
+let events t = t.events
+let to_string t = Buffer.contents t.buf
+
+let save t ~path =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc

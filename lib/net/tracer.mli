@@ -1,0 +1,28 @@
+(** ns-2-style packet-event traces.
+
+    A tracer attached to a set of links records one line per packet event
+    in the classic ns-2 text format, so tooling (and eyeballs) trained on
+    ns-2 traces work unchanged:
+
+    {v
+    + 0.10432 1 2 tcp 1040 ---- 7 1.0 2.0 42 1234
+    - 0.10432 1 2 tcp 1040 ---- 7 1.0 2.0 42 1234
+    r 0.12532 1 2 tcp 1040 ---- 7 1.0 2.0 42 1234
+    d 0.20001 1 2 tcp 1040 ---- 7 1.0 2.0 43 1301
+    v}
+
+    [+] enqueue, [-] dequeue (transmission start), [r] receive at the far
+    end, [d] drop; then time, the packet's source and destination node
+    ids, type ([tcp]/[ack]), size in bytes, flags ([-E--] CE-marked,
+    [-R--] retransmission), flow id, src/dst addresses, sequence (or
+    cumulative ACK) number and the unique packet id. *)
+
+type t
+
+val create : Sim_engine.Sim.t -> links:Link.t list -> t
+(** Monitor the given links (installs each link's event hook — one tracer
+    per link). *)
+
+val events : t -> int
+val to_string : t -> string
+val save : t -> path:string -> unit

@@ -1,0 +1,162 @@
+type t = { name : string; predict : Trace.t -> bool array }
+
+(* Expand decisions taken at a sparse set of indices into a full
+   per-sample signal by holding the last decision. *)
+let hold_between trace indices decisions =
+  let n = Trace.length trace in
+  let out = Array.make n false in
+  let k = ref 0 and cur = ref false in
+  for i = 0 to n - 1 do
+    if !k < Array.length indices && indices.(!k) = i then begin
+      cur := decisions.(!k);
+      incr k
+    end;
+    out.(i) <- !cur
+  done;
+  out
+
+let card ?(threshold = 0.0) () =
+  let predict (trace : Trace.t) =
+    let idx = Trace.per_rtt_indices trace in
+    let m = Array.length idx in
+    let decisions = Array.make m false in
+    for k = 1 to m - 1 do
+      let r1 = trace.Trace.rtts.(idx.(k)) and r0 = trace.Trace.rtts.(idx.(k - 1)) in
+      let ndg = (r1 -. r0) /. (r1 +. r0) in
+      decisions.(k) <- ndg > threshold
+    done;
+    hold_between trace idx decisions
+  in
+  { name = "card"; predict }
+
+let tri_s ?(threshold = 0.0) () =
+  let predict (trace : Trace.t) =
+    let idx = Trace.per_rtt_indices trace in
+    let m = Array.length idx in
+    let decisions = Array.make m false in
+    (* Throughput of epoch k: ACKs between decision points k-1 and k per
+       unit time. *)
+    let tput k =
+      let samples = float_of_int (idx.(k) - idx.(k - 1)) in
+      let span = trace.Trace.times.(idx.(k)) -. trace.Trace.times.(idx.(k - 1)) in
+      if span <= 0.0 then 0.0 else samples /. span
+    in
+    for k = 2 to m - 1 do
+      let t1 = tput k and t0 = tput (k - 1) in
+      if t1 +. t0 > 0.0 then
+        let ntg = (t1 -. t0) /. (t1 +. t0) in
+        decisions.(k) <- ntg < threshold
+    done;
+    hold_between trace idx decisions
+  in
+  { name = "tri-s"; predict }
+
+let dual () =
+  let predict (trace : Trace.t) =
+    let idx = Trace.per_rtt_indices trace in
+    let m = Array.length idx in
+    let decisions = Array.make m false in
+    let rmin = ref infinity and rmax = ref neg_infinity in
+    for k = 0 to m - 1 do
+      let r = trace.Trace.rtts.(idx.(k)) in
+      if r < !rmin then rmin := r;
+      if r > !rmax then rmax := r;
+      decisions.(k) <- r > (!rmin +. !rmax) /. 2.0
+    done;
+    hold_between trace idx decisions
+  in
+  { name = "dual"; predict }
+
+let vegas ?(beta = 3.0) () =
+  let predict (trace : Trace.t) =
+    let idx = Trace.per_rtt_indices trace in
+    let m = Array.length idx in
+    let decisions = Array.make m false in
+    let base = ref infinity in
+    for k = 0 to m - 1 do
+      let i = idx.(k) in
+      let r = trace.Trace.rtts.(i) in
+      if r < !base then base := r;
+      let w = trace.Trace.cwnds.(i) in
+      if Float.is_nan w then
+        invalid_arg "Predictor.vegas: trace has no cwnd record";
+      let diff = w *. (1.0 -. (!base /. r)) in
+      decisions.(k) <- diff > beta
+    done;
+    hold_between trace idx decisions
+  in
+  { name = "vegas"; predict }
+
+let cim ?(short = 5) ?(long = 50) ?(margin = 0.05) () =
+  if short <= 0 || long <= short then invalid_arg "Predictor.cim";
+  let predict (trace : Trace.t) =
+    let n = Trace.length trace in
+    let out = Array.make n false in
+    let sum_short = ref 0.0 and sum_long = ref 0.0 in
+    for i = 0 to n - 1 do
+      let r = trace.Trace.rtts.(i) in
+      sum_short := !sum_short +. r;
+      sum_long := !sum_long +. r;
+      if i >= short then sum_short := !sum_short -. trace.Trace.rtts.(i - short);
+      if i >= long then sum_long := !sum_long -. trace.Trace.rtts.(i - long);
+      if i >= long - 1 then begin
+        let ma_s = !sum_short /. float_of_int short in
+        let ma_l = !sum_long /. float_of_int long in
+        out.(i) <- ma_s > ma_l *. (1.0 +. margin)
+      end
+    done;
+    out
+  in
+  { name = "cim"; predict }
+
+let threshold_signal trace signal offset =
+  Array.map (fun v -> v > trace.Trace.base_rtt +. offset) signal
+
+let inst_threshold ?(offset = 0.005) () =
+  let predict (trace : Trace.t) =
+    threshold_signal trace trace.Trace.rtts offset
+  in
+  { name = "inst-rtt"; predict }
+
+let moving_average ~window ?(offset = 0.005) () =
+  if window <= 0 then invalid_arg "Predictor.moving_average";
+  let predict (trace : Trace.t) =
+    let n = Trace.length trace in
+    let smoothed = Array.make n 0.0 in
+    let sum = ref 0.0 in
+    for i = 0 to n - 1 do
+      sum := !sum +. trace.Trace.rtts.(i);
+      if i >= window then sum := !sum -. trace.Trace.rtts.(i - window);
+      smoothed.(i) <- !sum /. float_of_int (min (i + 1) window)
+    done;
+    threshold_signal trace smoothed offset
+  in
+  { name = Printf.sprintf "ma-%d" window; predict }
+
+let ewma ~alpha ?(offset = 0.005) () =
+  if alpha < 0.0 || alpha >= 1.0 then invalid_arg "Predictor.ewma";
+  let predict (trace : Trace.t) =
+    let n = Trace.length trace in
+    let smoothed = Array.make n 0.0 in
+    let cur = ref 0.0 in
+    for i = 0 to n - 1 do
+      let r = trace.Trace.rtts.(i) in
+      if i = 0 then cur := r else cur := (alpha *. !cur) +. ((1.0 -. alpha) *. r);
+      smoothed.(i) <- !cur
+    done;
+    threshold_signal trace smoothed offset
+  in
+  { name = Printf.sprintf "ewma-%g" alpha; predict }
+
+let standard_set ~buffer_pkts =
+  [
+    card ();
+    tri_s ();
+    dual ();
+    vegas ();
+    cim ();
+    inst_threshold ();
+    moving_average ~window:buffer_pkts ();
+    ewma ~alpha:0.875 ();
+    ewma ~alpha:0.99 ();
+  ]

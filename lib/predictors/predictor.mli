@@ -1,0 +1,53 @@
+(** End-host congestion predictors of Sections 2.3–2.4.
+
+    A predictor converts a {!Trace.t} into a boolean signal over the
+    trace's sample points: [true] = "high congestion predicted" (state B
+    of the paper's Fig. 1), [false] = state A. Predictors that sample once
+    per RTT hold their last decision between decision points.
+
+    Adaptations from the original schemes (which consume live connection
+    state) to offline traces are noted per constructor. *)
+
+type t = { name : string; predict : Trace.t -> bool array }
+
+val card : ?threshold:float -> unit -> t
+(** CARD (Jain 1989): once per RTT, the normalised delay gradient
+    [(rtt_i - rtt_j) / (rtt_i + rtt_j)] between consecutive per-RTT
+    samples; congestion when the gradient exceeds [threshold]
+    (default 0): delay rising. *)
+
+val tri_s : ?threshold:float -> unit -> t
+(** TRI-S (Wang & Crowcroft 1991): normalised throughput gradient, with
+    throughput measured as ACKs per RTT epoch; congestion when the
+    gradient falls below [threshold] (default 0): throughput flattened
+    while the window kept growing. *)
+
+val dual : unit -> t
+(** DUAL (Wang & Crowcroft 1992): congestion when the current per-RTT
+    sample exceeds [(rtt_min + rtt_max) / 2], extremes tracked online. *)
+
+val vegas : ?beta:float -> unit -> t
+(** Vegas (Brakmo 1994): once per RTT, backlog
+    [diff = cwnd * (1 - base_rtt / rtt)]; congestion when
+    [diff > beta] (default 3 packets). Requires [cwnds] in the trace. *)
+
+val cim : ?short:int -> ?long:int -> ?margin:float -> unit -> t
+(** CIM (Martin et al. 2003): moving average of the last [short]
+    (default 5) samples vs the last [long] (default 50); congestion when
+    the short average exceeds the long one by [margin] (default 5%). *)
+
+val inst_threshold : ?offset:float -> unit -> t
+(** Section 2.4 "instantaneous RTT": per-ACK sample compared against
+    [base_rtt + offset] (default 5 ms — the PERT [T_min]). *)
+
+val moving_average : window:int -> ?offset:float -> unit -> t
+(** Section 2.4 moving average over the last [window] samples (the paper
+    uses the bottleneck buffer size in packets), same threshold. *)
+
+val ewma : alpha:float -> ?offset:float -> unit -> t
+(** Section 2.4 smoothed RTT with history weight [alpha] (7/8 or 0.99),
+    same threshold. [ewma ~alpha:0.99 ()] is the paper's [srtt_0.99]. *)
+
+val standard_set : buffer_pkts:int -> t list
+(** The nine predictors of Fig. 3, in paper order: CARD, TRI-S, DUAL,
+    Vegas, CIM, inst-RTT, MA(buffer), EWMA(7/8), EWMA(0.99). *)

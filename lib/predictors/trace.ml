@@ -1,0 +1,42 @@
+type t = {
+  times : float array;
+  rtts : float array;
+  cwnds : float array;
+  flow_losses : float array;
+  queue_losses : float array;
+  queue_occupancy : float -> float;
+  base_rtt : float;
+}
+
+let make ~times ~rtts ?cwnds ~flow_losses ~queue_losses ?queue_occupancy () =
+  let n = Array.length times in
+  if Array.length rtts <> n then invalid_arg "Trace.make: length mismatch";
+  let cwnds =
+    match cwnds with
+    | Some c ->
+        if Array.length c <> n then invalid_arg "Trace.make: cwnds length";
+        c
+    | None -> Array.make n Float.nan
+  in
+  let queue_occupancy =
+    match queue_occupancy with Some f -> f | None -> fun _ -> 0.0
+  in
+  let base_rtt = Array.fold_left Float.min infinity rtts in
+  { times; rtts; cwnds; flow_losses; queue_losses; queue_occupancy; base_rtt }
+
+let length t = Array.length t.times
+
+let per_rtt_indices t =
+  let n = Array.length t.times in
+  let acc = ref [] and count = ref 0 in
+  let last = ref neg_infinity in
+  for i = 0 to n - 1 do
+    if t.times.(i) -. !last >= t.rtts.(i) then begin
+      acc := i :: !acc;
+      incr count;
+      last := t.times.(i)
+    end
+  done;
+  let out = Array.make !count 0 in
+  List.iteri (fun k i -> out.(!count - 1 - k) <- i) !acc;
+  out

@@ -1,0 +1,30 @@
+(** The raw material of the Section 2 study: per-ACK RTT samples of one
+    observed flow, the flow's own loss-detection times, the bottleneck
+    queue's drop times, and a way to read the (normalised) queue occupancy
+    at a given time. *)
+
+type t = {
+  times : float array;  (** per-ACK sample times, nondecreasing *)
+  rtts : float array;  (** instantaneous RTT samples, same length *)
+  cwnds : float array;
+      (** sender congestion window at each sample (needed by the Vegas
+          predictor), same length *)
+  flow_losses : float array;  (** times the observed flow detected a loss *)
+  queue_losses : float array;  (** times of drops at the bottleneck queue *)
+  queue_occupancy : float -> float;
+      (** normalised bottleneck occupancy in [\[0,1\]] at a time *)
+  base_rtt : float;  (** minimum RTT over the trace *)
+}
+
+val make :
+  times:float array -> rtts:float array -> ?cwnds:float array ->
+  flow_losses:float array -> queue_losses:float array ->
+  ?queue_occupancy:(float -> float) -> unit -> t
+(** Validates lengths; [base_rtt] is computed. [cwnds] defaults to all-NaN
+    (predictors needing it will raise), [queue_occupancy] to [fun _ -> 0.]. *)
+
+val length : t -> int
+
+val per_rtt_indices : t -> int array
+(** Indices of samples spaced roughly one RTT apart — the once-per-RTT
+    sampling used by CARD, TRI-S, DUAL and Vegas. *)

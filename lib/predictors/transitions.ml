@@ -1,0 +1,98 @@
+type counts = {
+  a_to_b : int;
+  b_to_c : int;
+  a_to_c : int;
+  b_to_a : int;
+  loss_episodes : int;
+}
+
+(* Merge loss timestamps closer than [merge] into episode start times. *)
+let merge_losses losses merge =
+  let n = Array.length losses in
+  if n = 0 then [||]
+  else begin
+    let sorted = Array.copy losses in
+    Array.sort compare sorted;
+    let acc = ref [ sorted.(0) ] and count = ref 1 in
+    for i = 1 to n - 1 do
+      match !acc with
+      | last :: _ when sorted.(i) -. last >= merge ->
+          acc := sorted.(i) :: !acc;
+          incr count
+      | _ -> ()
+    done;
+    let out = Array.make !count 0.0 in
+    List.iteri (fun k v -> out.(!count - 1 - k) <- v) !acc;
+    out
+  end
+
+(* Replay the machine, calling [on_transition] with a tag for each
+   transition among `AB, `BC, `AC, `BA, at its time. *)
+let replay ~times ~states ~losses ~loss_merge on_transition =
+  let n = Array.length times in
+  if Array.length states <> n then invalid_arg "Transitions: length mismatch";
+  let episodes = merge_losses losses loss_merge in
+  let n_loss = Array.length episodes in
+  let in_b = ref false in
+  let li = ref 0 in
+  for i = 0 to n - 1 do
+    (* Process loss episodes that happened before this sample. *)
+    while !li < n_loss && episodes.(!li) <= times.(i) do
+      on_transition (if !in_b then `BC else `AC) episodes.(!li);
+      in_b := false;
+      incr li
+    done;
+    if states.(i) && not !in_b then begin
+      on_transition `AB times.(i);
+      in_b := true
+    end
+    else if (not states.(i)) && !in_b then begin
+      on_transition `BA times.(i);
+      in_b := false
+    end
+  done;
+  (* Losses after the last sample. *)
+  while !li < n_loss do
+    on_transition (if !in_b then `BC else `AC) episodes.(!li);
+    in_b := false;
+    incr li
+  done;
+  n_loss
+
+let count ~times ~states ~losses ?(loss_merge = 0.2) () =
+  let a_to_b = ref 0 and b_to_c = ref 0 and a_to_c = ref 0 and b_to_a = ref 0 in
+  let loss_episodes =
+    replay ~times ~states ~losses ~loss_merge (fun tag _ ->
+        match tag with
+        | `AB -> incr a_to_b
+        | `BC -> incr b_to_c
+        | `AC -> incr a_to_c
+        | `BA -> incr b_to_a)
+  in
+  {
+    a_to_b = !a_to_b;
+    b_to_c = !b_to_c;
+    a_to_c = !a_to_c;
+    b_to_a = !b_to_a;
+    loss_episodes;
+  }
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let efficiency c = ratio c.b_to_c (c.b_to_c + c.b_to_a)
+let false_positive_rate c = ratio c.b_to_a (c.b_to_c + c.b_to_a)
+let false_negative_rate c = ratio c.a_to_c (c.b_to_c + c.a_to_c)
+
+let false_positive_times ~times ~states ~losses ?(loss_merge = 0.2) () =
+  let acc = ref [] and count = ref 0 in
+  let _ =
+    replay ~times ~states ~losses ~loss_merge (fun tag time ->
+        match tag with
+        | `BA ->
+            acc := time :: !acc;
+            incr count
+        | `AB | `BC | `AC -> ())
+  in
+  let out = Array.make !count 0.0 in
+  List.iteri (fun k v -> out.(!count - 1 - k) <- v) !acc;
+  out

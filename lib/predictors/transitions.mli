@@ -1,0 +1,45 @@
+(** The state machine of the paper's Fig. 1 and the derived metrics of
+    Sections 2.2–2.4.
+
+    Given the predictor's boolean signal over the trace samples and a set
+    of loss times (flow-level or queue-level), replay the A/B/C machine
+    and count transitions:
+
+    - "1" A→B: congestion predicted;
+    - "2" B→C: a loss while congestion was predicted (correct prediction);
+    - "4" A→C: a loss with no warning (false negative);
+    - "5" B→A: prediction withdrawn without a loss (false positive).
+
+    Losses closer together than [loss_merge] collapse into a single C
+    visit (one buffer-overflow episode drops many packets); after a C
+    visit the machine returns to state A (the responding flows drain the
+    queue). *)
+
+type counts = {
+  a_to_b : int;
+  b_to_c : int;
+  a_to_c : int;
+  b_to_a : int;
+  loss_episodes : int;
+}
+
+val count :
+  times:float array -> states:bool array -> losses:float array ->
+  ?loss_merge:float -> unit -> counts
+(** [loss_merge] defaults to 0.2 s. *)
+
+val efficiency : counts -> float
+(** ["2" / ("2" + "5")] — fraction of predictions followed by a loss.
+    0 if no B-state exits at all. *)
+
+val false_positive_rate : counts -> float
+(** ["5" / ("2" + "5")]. *)
+
+val false_negative_rate : counts -> float
+(** ["4" / ("2" + "4")]. *)
+
+val false_positive_times :
+  times:float array -> states:bool array -> losses:float array ->
+  ?loss_merge:float -> unit -> float array
+(** Times of the "5" (B→A) transitions — used to sample the queue
+    occupancy for the paper's Fig. 4. *)

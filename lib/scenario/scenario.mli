@@ -1,0 +1,57 @@
+(** A small text language for describing simulations, so arbitrary
+    topologies (not just the built-in dumbbell) can be run without
+    writing OCaml.
+
+    One directive per line; [#] starts a comment. Example:
+
+    {v
+    # three-node chain with a PERT flow and web background
+    node a
+    node r
+    node b
+    duplex a r bw=100M delay=1ms queue=droptail:10000
+    duplex r b bw=10M  delay=20ms queue=red:50
+    flow a b cc=pert
+    flow a b cc=newreno start=5 total=2000
+    web a b sessions=20
+    cbr b a rate=1M start=10 stop=20
+    run 60
+    v}
+
+    Directives:
+    - [node NAME]
+    - [link SRC DST bw=RATE delay=TIME queue=KIND:PKTS] — unidirectional
+    - [duplex A B bw=RATE delay=TIME queue=KIND:PKTS] — both directions
+      (independent queues of the same kind)
+    - [flow SRC DST cc=CC] with optional [start=TIME], [total=PKTS],
+      [ecn], [owd], [delack]
+    - [web SRC DST sessions=N]
+    - [cbr SRC DST rate=RATE] with optional [start=TIME], [stop=TIME]
+    - [seed N]
+    - [run TIME] — must be last
+
+    Rates accept [k]/[M]/[G] suffixes (bits/s); times accept [ms]/[s]
+    (default seconds). Queue kinds: [droptail], [red], [pi], [rem],
+    [avq] (AQM parameters are auto-configured from the link rate; RED,
+    PI, REM and AVQ mark ECN-capable packets). CC kinds: [newreno],
+    [vegas], [pert], [pert-pi], [pert-rem], [pert-avq]. *)
+
+type t
+
+type report = {
+  duration : float;
+  flows : (string * float) list;
+      (** per-flow label and goodput in bits/s, in declaration order *)
+  links : (string * float * float * int) list;
+      (** link name, utilisation, average queue (packets), drops *)
+}
+
+val parse : string -> (t, string) result
+(** Parse a scenario from source text; the error carries a line number. *)
+
+val run : t -> report
+(** Build and execute the scenario; metrics cover the full run. *)
+
+val parse_and_run : string -> (report, string) result
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,543 @@
+module Sim = Sim_engine.Sim
+module Fvec = Sim_engine.Fvec
+module Packet = Netsim.Packet
+module Node = Netsim.Node
+module Topology = Netsim.Topology
+
+let next_flow_id = ref 0
+
+type delay_signal = [ `Rtt | `Owd ]
+
+(* Receiver-side set of out-of-order intervals [(first, last_exclusive)],
+   sorted, disjoint, all strictly above rcv_next. *)
+module Intervals = struct
+  let rec insert seq = function
+    | [] -> [ (seq, seq + 1) ]
+    | ((lo, hi) :: rest) as all ->
+        if seq + 1 < lo then (seq, seq + 1) :: all
+        else if seq + 1 = lo then (seq, hi) :: rest
+        else if seq <= hi then
+          if seq = hi then merge_forward (lo, hi + 1) rest
+          else all (* duplicate *)
+        else (lo, hi) :: insert seq rest
+
+  and merge_forward (lo, hi) = function
+    | (lo2, hi2) :: rest when lo2 = hi -> merge_forward (lo, hi2) rest
+    | rest -> (lo, hi) :: rest
+
+  (* Advance the cumulative point through any interval starting at [next];
+     returns (new_next, remaining_intervals). *)
+  let consume next = function
+    | (lo, hi) :: rest when lo = next -> (hi, rest)
+    | intervals -> (next, intervals)
+
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+
+  let rec containing seq = function
+    | [] -> None
+    | (lo, hi) :: rest ->
+        if seq >= lo && seq < hi then Some (lo, hi) else containing seq rest
+end
+
+type t = {
+  sim : Sim.t;
+  id : int;
+  src : Node.t;
+  dst : Node.t;
+  cc : Cc.t;
+  ecn : bool;
+  delay_signal : delay_signal;
+  factory : Packet.factory;
+  rng : Sim_engine.Rng.t;
+  window : Cc.Window.t;
+  max_cwnd : float;
+  total : int option;
+  on_complete : t -> unit;
+  rto : Rto.t;
+  (* sender *)
+  mutable snd_una : int;
+  mutable snd_next : int;
+  mutable dupacks : int;
+  mutable in_recovery : bool;
+  mutable recovery_point : int;
+  mutable pipe : int;  (** estimate of packets in flight *)
+  mutable max_sent : int;  (** highest sequence ever transmitted + 1 *)
+  mutable max_sacked : int;  (** highest SACKed sequence, -1 if none *)
+  mutable retx_scan : int;  (** next hole candidate during recovery *)
+  sacked : (int, unit) Hashtbl.t;
+  retx_done : (int, unit) Hashtbl.t;  (** holes retransmitted this recovery *)
+  mutable timer_gen : int;
+  mutable last_reduction : float;  (** last window cut of any kind *)
+  mutable stopped : bool;
+  mutable completed : bool;
+  (* receiver *)
+  delayed_acks : bool;
+  mutable rcv_next : int;
+  mutable ooo : (int * int) list;
+  mutable pending_acks : int;  (** in-order segments not yet acknowledged *)
+  mutable delack_gen : int;  (** cancels stale delayed-ACK timers *)
+  (* stats *)
+  mutable acked_pkts : int;
+  mutable window_start : float;
+  mutable retransmissions : int;
+  mutable timeouts : int;
+  mutable fast_recoveries : int;
+  mutable early_responses : int;
+  mutable rtt_trace : (Fvec.t * Fvec.t * Fvec.t) option;
+  mutable loss_trace : Fvec.t option;
+}
+
+let id t = t.id
+let cc_name t = t.cc.Cc.name
+let cwnd t = t.window.Cc.Window.cwnd
+let ssthresh t = t.window.Cc.Window.ssthresh
+let snd_una t = t.snd_una
+let snd_next t = t.snd_next
+let in_recovery t = t.in_recovery
+let completed t = t.completed
+let acked_pkts t = t.acked_pkts
+
+let goodput_bps t ~now =
+  let span = now -. t.window_start in
+  if span <= 0.0 then 0.0
+  else float_of_int (t.acked_pkts * 8 * Packet.mss) /. span
+
+let reset_stats t =
+  t.acked_pkts <- 0;
+  t.window_start <- Sim.now t.sim
+
+let retransmissions t = t.retransmissions
+let timeouts t = t.timeouts
+let loss_events t = t.fast_recoveries + t.timeouts
+let early_responses t = t.early_responses
+
+let enable_rtt_trace t =
+  if t.rtt_trace = None then
+    t.rtt_trace <- Some (Fvec.create (), Fvec.create (), Fvec.create ())
+
+let rtt_trace t =
+  match t.rtt_trace with
+  | Some (times, samples, cwnds) ->
+      (Fvec.to_array times, Fvec.to_array samples, Fvec.to_array cwnds)
+  | None -> invalid_arg "Flow.rtt_trace: tracing not enabled"
+
+let enable_loss_trace t =
+  if t.loss_trace = None then t.loss_trace <- Some (Fvec.create ())
+
+let loss_times t =
+  match t.loss_trace with
+  | Some v -> Fvec.to_array v
+  | None -> invalid_arg "Flow.loss_times: tracing not enabled"
+
+let note_loss_event t =
+  match t.loss_trace with
+  | Some v -> Fvec.push v (Sim.now t.sim)
+  | None -> ()
+
+let outstanding t = t.snd_next - t.snd_una
+
+let has_data t =
+  match t.total with None -> true | Some n -> t.snd_next < n
+
+let effective_cwnd t = Float.min t.window.Cc.Window.cwnd t.max_cwnd
+
+(* --- transmission ------------------------------------------------------ *)
+
+(* In-flight accounting ("pipe", RFC 6675 spirit): every transmission adds
+   a packet to the pipe; SACKed and cumulatively ACKed segments leave it as
+   ACKs arrive; a fast-recovery hole retransmission additionally removes
+   the presumed-lost original (handled at the call site in [try_send]). *)
+
+let send_data t ~seq ~retransmit =
+  let pkt =
+    Packet.data t.factory ~flow:t.id ~src:(Node.id t.src)
+      ~dst:(Node.id t.dst) ~seq ~ecn:t.ecn ~retransmit ~now:(Sim.now t.sim) ()
+  in
+  if retransmit then t.retransmissions <- t.retransmissions + 1;
+  t.pipe <- t.pipe + 1;
+  if seq >= t.max_sent then t.max_sent <- seq + 1;
+  Node.receive t.src pkt
+
+(* Next hole below the recovery point that is eligible for retransmission:
+   not SACKed, not already retransmitted this recovery, and presumed lost
+   by the RFC 6675 "IsLost" rule (approximated as: at least DupThresh = 3
+   sequence numbers above it have been SACKed — with in-order SACK arrival
+   the sacked prefix is contiguous, so the highest SACKed sequence is an
+   accurate proxy). Without this check the sender would "recover" segments
+   whose SACKs are merely still in flight. *)
+let next_hole t =
+  let rec go s =
+    if s >= t.recovery_point then None
+    else if Hashtbl.mem t.sacked s || Hashtbl.mem t.retx_done s then go (s + 1)
+    else if s + 3 > t.max_sacked then None (* not yet presumed lost *)
+    else Some s
+  in
+  let from = max t.retx_scan t.snd_una in
+  match go from with
+  | Some s ->
+      t.retx_scan <- s;
+      Some s
+  | None -> None
+
+let rec restart_timer t =
+  t.timer_gen <- t.timer_gen + 1;
+  let gen = t.timer_gen in
+  Sim.after t.sim (Rto.value t.rto) (fun () ->
+      if gen = t.timer_gen && (not t.stopped) && outstanding t > 0 then
+        on_timeout t)
+
+and cancel_timer t = t.timer_gen <- t.timer_gen + 1
+
+and try_send t =
+  if not t.stopped then begin
+    let budget = int_of_float (effective_cwnd t) in
+    let had_outstanding = outstanding t > 0 in
+    let progress = ref true in
+    while !progress && t.pipe < budget do
+      progress := false;
+      if t.in_recovery then begin
+        match next_hole t with
+        | Some hole ->
+            Hashtbl.replace t.retx_done hole ();
+            (* the lost original leaves the pipe as its replacement enters *)
+            t.pipe <- max 0 (t.pipe - 1);
+            send_data t ~seq:hole ~retransmit:true;
+            progress := true
+        | None ->
+            if has_data t then begin
+              send_data t ~seq:t.snd_next ~retransmit:false;
+              t.snd_next <- t.snd_next + 1;
+              progress := true
+            end
+      end
+      else if has_data t then begin
+        (* below max_sent only after a timeout rewind: go-back-N resend *)
+        send_data t ~seq:t.snd_next ~retransmit:(t.snd_next < t.max_sent);
+        t.snd_next <- t.snd_next + 1;
+        progress := true
+      end
+    done;
+    if outstanding t > 0 && not had_outstanding then restart_timer t
+  end
+
+and on_timeout t =
+  t.timeouts <- t.timeouts + 1;
+  note_loss_event t;
+  Rto.backoff t.rto;
+  let w = t.window in
+  w.Cc.Window.ssthresh <- Float.max 2.0 (effective_cwnd t /. 2.0);
+  w.Cc.Window.cwnd <- 1.0;
+  w.Cc.Window.in_slow_start <- true;
+  t.in_recovery <- false;
+  t.dupacks <- 0;
+  Hashtbl.reset t.sacked;
+  Hashtbl.reset t.retx_done;
+  t.max_sacked <- -1;
+  (* Go-back-N: rewind and let the window clock out retransmissions. *)
+  t.snd_next <- t.snd_una;
+  t.pipe <- 0;
+  t.cc.Cc.on_loss ~now:(Sim.now t.sim);
+  t.last_reduction <- Sim.now t.sim;
+  try_send t;
+  restart_timer t
+
+(* --- sender ------------------------------------------------------------ *)
+
+(* Returns how many previously unknown segments the blocks SACK. *)
+let record_sack t blocks =
+  let fresh = ref 0 in
+  List.iter
+    (fun (lo, hi) ->
+      for s = lo to hi - 1 do
+        if s >= t.snd_una && not (Hashtbl.mem t.sacked s) then begin
+          Hashtbl.replace t.sacked s ();
+          if s > t.max_sacked then t.max_sacked <- s;
+          incr fresh
+        end
+      done)
+    blocks;
+  !fresh
+
+(* Returns how many entries were purged (needed for pipe accounting on a
+   cumulative advance). *)
+let purge_sacked_below t seq =
+  (* Collect first: removing during Hashtbl.iter is unspecified. *)
+  let dead =
+    Hashtbl.fold (fun s () acc -> if s < seq then s :: acc else acc) t.sacked []
+  in
+  List.iter (fun s -> Hashtbl.remove t.sacked s) dead;
+  List.length dead
+
+let apply_reduction t factor ~now =
+  let w = t.window in
+  w.Cc.Window.cwnd <- Float.max 1.0 ((1.0 -. factor) *. w.Cc.Window.cwnd);
+  w.Cc.Window.ssthresh <- Float.max 2.0 w.Cc.Window.cwnd;
+  w.Cc.Window.in_slow_start <- false;
+  t.last_reduction <- now
+
+let enter_recovery t ~now =
+  t.in_recovery <- true;
+  t.recovery_point <- t.snd_next;
+  t.retx_scan <- t.snd_una;
+  Hashtbl.reset t.retx_done;
+  t.fast_recoveries <- t.fast_recoveries + 1;
+  note_loss_event t;
+  let w = t.window in
+  w.Cc.Window.ssthresh <- Float.max 2.0 (effective_cwnd t /. 2.0);
+  w.Cc.Window.cwnd <- w.Cc.Window.ssthresh;
+  w.Cc.Window.in_slow_start <- false;
+  t.cc.Cc.on_loss ~now;
+  t.last_reduction <- now;
+  (* try_send (called by the ACK path) clocks out hole retransmissions up
+     to the halved window. *)
+  restart_timer t
+
+let check_completion t =
+  match t.total with
+  | Some n when (not t.completed) && t.snd_una >= n ->
+      t.completed <- true;
+      t.stopped <- true;
+      cancel_timer t;
+      Node.detach_agent t.src ~flow:t.id;
+      Node.detach_agent t.dst ~flow:t.id;
+      t.on_complete t
+  | _ -> ()
+
+let srtt_estimate t =
+  match Rto.srtt t.rto with Some s -> s | None -> 0.1
+
+let handle_early_action t action ~now =
+  match action with
+  | Cc.No_response -> ()
+  | Cc.Reduce factor ->
+      if not t.in_recovery then begin
+        apply_reduction t factor ~now;
+        t.early_responses <- t.early_responses + 1
+      end
+
+let on_ack t ~ack ~sack ~ecn_echo ~ts_echo ~ack_sent_at =
+  let now = Sim.now t.sim in
+  let rtt = now -. ts_echo in
+  let rtt = if rtt > 0.0 then Some rtt else None in
+  (* The controller's delay signal: the RTT itself, or the forward
+     one-way delay (data send -> receiver ACK timestamp), which is blind
+     to reverse-path queueing. PERT only uses signal minus its observed
+     minimum, so the two are interchangeable as long as the signal
+     contains the forward queueing delay exactly once. *)
+  let signal =
+    match t.delay_signal with
+    | `Rtt -> rtt
+    | `Owd ->
+        let owd = ack_sent_at -. ts_echo in
+        if owd > 0.0 then Some owd else None
+  in
+  (match rtt with
+  | Some sample ->
+      Rto.observe t.rto sample;
+      (match t.rtt_trace with
+      | Some (times, samples, cwnds) ->
+          Fvec.push times now;
+          Fvec.push samples sample;
+          Fvec.push cwnds t.window.Cc.Window.cwnd
+      | None -> ())
+  | None -> ());
+  let fresh_sacked = record_sack t sack in
+  t.pipe <- max 0 (t.pipe - fresh_sacked);
+  (* ECN echo: one multiplicative decrease per RTT, no retransmission. *)
+  if
+    t.ecn && ecn_echo
+    && (not t.in_recovery)
+    && now -. t.last_reduction >= srtt_estimate t
+  then begin
+    apply_reduction t t.cc.Cc.ecn_beta ~now;
+    t.cc.Cc.on_loss ~now
+  end;
+  (* Consult the early-response hook exactly once per ACK (it also feeds
+     the controller's RTT signal); the reduction is applied after the
+     branch below so recovery transitions can veto it. *)
+  let early_action = t.cc.Cc.early t.window ~rtt:signal ~now in
+  if ack > t.snd_una then begin
+    let newly_acked = ack - t.snd_una in
+    t.snd_una <- ack;
+    (* A timeout may have rewound snd_next below data still in flight;
+       a later ACK for that data must not leave snd_next behind. *)
+    if t.snd_next < t.snd_una then t.snd_next <- t.snd_una;
+    let purged = purge_sacked_below t ack in
+    (* The purged segments already left the pipe when they were SACKed;
+       the rest of the range leaves it now. *)
+    t.pipe <- max 0 (t.pipe - (newly_acked - purged));
+    (* With nothing outstanding the pipe is empty by definition; this
+       also repairs any accounting drift from reordering across a
+       timeout. *)
+    if outstanding t = 0 then t.pipe <- 0;
+    t.dupacks <- 0;
+    t.acked_pkts <- t.acked_pkts + newly_acked;
+    if t.in_recovery then begin
+      if ack >= t.recovery_point then begin
+        (* Full ACK: leave recovery at the halved window. *)
+        t.in_recovery <- false;
+        Hashtbl.reset t.retx_done;
+        t.window.Cc.Window.cwnd <- t.window.Cc.Window.ssthresh
+      end
+      (* Partial ACK: try_send below clocks out the next hole(s). *)
+    end
+    else t.cc.Cc.on_ack t.window ~newly_acked ~rtt ~now;
+    if outstanding t > 0 then restart_timer t else cancel_timer t;
+    check_completion t
+  end
+  else if outstanding t > 0 then begin
+    (* Duplicate ACK; its SACK info already freed pipe space, so try_send
+       below acts as the dupack clock. *)
+    t.dupacks <- t.dupacks + 1;
+    if (not t.in_recovery) && t.dupacks >= 3 then enter_recovery t ~now
+  end;
+  handle_early_action t early_action ~now;
+  try_send t
+
+(* --- receiver ----------------------------------------------------------- *)
+
+let send_ack t (data_pkt : Packet.t) =
+  (* RFC 2018: the first SACK block must cover the most recently received
+     segment, so the sender learns about fresh arrivals even when there
+     are more than three out-of-order intervals. *)
+  let sack =
+    let newest =
+      match data_pkt.Packet.payload with
+      | Packet.Data { seq } -> Intervals.containing seq t.ooo
+      | Packet.Ack _ -> None
+    in
+    match newest with
+    | None -> Intervals.take 3 t.ooo
+    | Some block ->
+        block
+        :: Intervals.take 2 (List.filter (fun b -> b <> block) t.ooo)
+  in
+  let ack_pkt =
+    Packet.ack t.factory ~flow:t.id ~src:(Node.id t.dst) ~dst:(Node.id t.src)
+      ~ack:t.rcv_next ~sack ~ecn_echo:data_pkt.Packet.ecn_marked
+      ~ts_echo:data_pkt.Packet.sent_at ~now:(Sim.now t.sim) ()
+  in
+  Node.receive t.dst ack_pkt
+
+let on_data t pkt seq =
+  let in_order = seq = t.rcv_next in
+  if in_order then begin
+    t.rcv_next <- t.rcv_next + 1;
+    let next, ooo = Intervals.consume t.rcv_next t.ooo in
+    t.rcv_next <- next;
+    t.ooo <- ooo
+  end
+  else if seq > t.rcv_next then t.ooo <- Intervals.insert seq t.ooo;
+  (* Delayed ACKs: hold back every other in-order ACK behind a 100 ms
+     timer; anything out of order or CE-marked flushes immediately. *)
+  if
+    (not t.delayed_acks)
+    || (not in_order)
+    || pkt.Packet.ecn_marked || t.ooo <> []
+  then begin
+    t.pending_acks <- 0;
+    t.delack_gen <- t.delack_gen + 1;
+    send_ack t pkt
+  end
+  else begin
+    t.pending_acks <- t.pending_acks + 1;
+    if t.pending_acks >= 2 then begin
+      t.pending_acks <- 0;
+      t.delack_gen <- t.delack_gen + 1;
+      send_ack t pkt
+    end
+    else begin
+      t.delack_gen <- t.delack_gen + 1;
+      let gen = t.delack_gen in
+      Sim.after t.sim 0.1 (fun () ->
+          if gen = t.delack_gen && t.pending_acks > 0 then begin
+            t.pending_acks <- 0;
+            send_ack t pkt
+          end)
+    end
+  end
+
+(* --- construction ------------------------------------------------------- *)
+
+let create topo ~src ~dst ~cc ?(ecn = false) ?total_pkts ?start
+    ?(initial_cwnd = 2.0) ?(max_cwnd = 1_000_000.0) ?(delay_signal = `Rtt)
+    ?(delayed_acks = false) ?(on_complete = fun _ -> ()) () =
+  let sim = Topology.sim topo in
+  let flow_id = !next_flow_id in
+  incr next_flow_id;
+  let t =
+    {
+      sim;
+      id = flow_id;
+      src;
+      dst;
+      cc;
+      ecn;
+      delay_signal;
+      factory = Packet.factory ();
+      rng = Sim_engine.Rng.split (Sim.rng sim);
+      window =
+        { Cc.Window.cwnd = initial_cwnd; ssthresh = 1e9; in_slow_start = true };
+      max_cwnd;
+      total = total_pkts;
+      on_complete;
+      rto = Rto.create ();
+      snd_una = 0;
+      snd_next = 0;
+      dupacks = 0;
+      in_recovery = false;
+      recovery_point = 0;
+      pipe = 0;
+      max_sent = 0;
+      max_sacked = -1;
+      retx_scan = 0;
+      sacked = Hashtbl.create 64;
+      retx_done = Hashtbl.create 64;
+      timer_gen = 0;
+      last_reduction = neg_infinity;
+      stopped = false;
+      completed = false;
+      delayed_acks;
+      rcv_next = 0;
+      ooo = [];
+      pending_acks = 0;
+      delack_gen = 0;
+      acked_pkts = 0;
+      window_start = Sim.now sim;
+      retransmissions = 0;
+      timeouts = 0;
+      fast_recoveries = 0;
+      early_responses = 0;
+      rtt_trace = None;
+      loss_trace = None;
+    }
+  in
+  Node.attach_agent src ~flow:flow_id (fun pkt ->
+      match pkt.Packet.payload with
+      | Packet.Ack { ack; sack; ecn_echo; ts_echo } ->
+          if not t.stopped then
+            on_ack t ~ack ~sack ~ecn_echo ~ts_echo
+              ~ack_sent_at:pkt.Packet.sent_at
+      | Packet.Data _ -> ());
+  Node.attach_agent dst ~flow:flow_id (fun pkt ->
+      match pkt.Packet.payload with
+      | Packet.Data { seq } -> on_data t pkt seq
+      | Packet.Ack _ -> ());
+  let start_time = match start with Some s -> s | None -> Sim.now sim in
+  Sim.at sim start_time (fun () -> try_send t);
+  t
+
+let stop t =
+  t.stopped <- true;
+  cancel_timer t;
+  Node.detach_agent t.src ~flow:t.id;
+  Node.detach_agent t.dst ~flow:t.id
+
+let debug_state t =
+  Printf.sprintf
+    "una=%d next=%d pipe=%d cwnd=%.2f ssthresh=%.2f dupacks=%d rec=%b rp=%d sacked=%d stopped=%b"
+    t.snd_una t.snd_next t.pipe t.window.Cc.Window.cwnd
+    t.window.Cc.Window.ssthresh t.dupacks t.in_recovery t.recovery_point
+    (Hashtbl.length t.sacked) t.stopped

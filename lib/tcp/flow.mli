@@ -1,0 +1,86 @@
+(** A TCP-like transfer between two nodes: window-based, ACK-clocked,
+    packet-granularity sequencing, immediate ACKs, SACK blocks, NewReno
+    fast retransmit/recovery, RTO with backoff, ECN response, and a
+    pluggable congestion controller ({!Cc}).
+
+    One [Flow.t] owns both endpoints: the sender agent attached at [src]
+    and the receiver agent attached at [dst]. *)
+
+type t
+
+type delay_signal =
+  [ `Rtt  (** feed the congestion controller round-trip samples (default) *)
+  | `Owd
+    (** feed it the forward one-way delay, so reverse-path queueing
+        cannot trigger early responses (paper Section 7); one-way delays
+        are computed from the receiver's ACK timestamps *) ]
+
+val create :
+  Netsim.Topology.t ->
+  src:Netsim.Node.t ->
+  dst:Netsim.Node.t ->
+  cc:Cc.t ->
+  ?ecn:bool ->
+  ?total_pkts:int ->
+  ?start:float ->
+  ?initial_cwnd:float ->
+  ?max_cwnd:float ->
+  ?delay_signal:delay_signal ->
+  ?delayed_acks:bool ->
+  ?on_complete:(t -> unit) ->
+  unit ->
+  t
+(** [total_pkts] bounds the transfer (default unbounded, i.e. a long-lived
+    FTP source); [start] is the absolute start time (default: now);
+    [initial_cwnd] defaults to 2 packets; [ecn] (default false) makes data
+    packets ECN-capable and the sender respond to echoes. [on_complete]
+    fires once when all [total_pkts] are cumulatively acknowledged. *)
+
+val id : t -> int
+val cc_name : t -> string
+val cwnd : t -> float
+val ssthresh : t -> float
+val snd_una : t -> int
+val snd_next : t -> int
+val in_recovery : t -> bool
+val completed : t -> bool
+
+val acked_pkts : t -> int
+(** Cumulatively acknowledged packets since the last {!reset_stats} —
+    the goodput numerator. *)
+
+val goodput_bps : t -> now:float -> float
+(** Goodput (payload bits/s) since the last {!reset_stats}. *)
+
+val reset_stats : t -> unit
+
+val retransmissions : t -> int
+val timeouts : t -> int
+val loss_events : t -> int
+(** Fast-recovery entries plus timeouts (flow-level congestion events). *)
+
+val early_responses : t -> int
+(** Early (proactive) window reductions applied so far. *)
+
+val enable_rtt_trace : t -> unit
+val rtt_trace : t -> float array * float array * float array
+(** [(times, samples, cwnds)] of every per-ACK RTT measurement (and the
+    congestion window at that instant) since {!enable_rtt_trace}. *)
+
+(** [delayed_acks] (default [false], as in the paper's simulations) makes
+    the receiver acknowledge every second in-order segment, with a 100 ms
+    standalone-ACK timer; out-of-order or CE-marked segments are still
+    acknowledged immediately, as RFC 3168/5681 require. *)
+
+val enable_loss_trace : t -> unit
+val loss_times : t -> float array
+(** Times at which {e this flow} detected a loss (fast retransmit or
+    timeout) since {!enable_loss_trace}. *)
+
+val stop : t -> unit
+(** Halt transmission and detach agents (used for departing flows). *)
+
+(**/**)
+
+val debug_state : t -> string
+(** Internal counters, for tests and debugging. *)

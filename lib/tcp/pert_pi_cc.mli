@@ -1,0 +1,17 @@
+(** PERT/PI congestion control (paper Section 6): Reno-style increase plus
+    the end-host PI controller of {!Pert_core.Pert_pi} driving the early
+    response probability. *)
+
+val create :
+  rng:Sim_engine.Rng.t ->
+  gains:Pert_core.Pert_pi.gains ->
+  target_delay:float ->
+  sample_interval:float ->
+  ?alpha:float ->
+  ?decrease_factor:float ->
+  unit ->
+  Cc.t
+
+val engine_of : Cc.t -> Pert_core.Pert_pi.t
+(** The PI engine behind a controller returned by {!create}; raises
+    [Invalid_argument] for other controllers. *)

@@ -1,0 +1,15 @@
+(** PERT/REM congestion control: Reno-style increase plus the end-host
+    REM price controller of {!Pert_core.Pert_rem} driving the early
+    response. *)
+
+val create :
+  rng:Sim_engine.Rng.t ->
+  ?params:Pert_core.Pert_rem.params ->
+  ?srtt_alpha:float ->
+  ?decrease_factor:float ->
+  unit ->
+  Cc.t
+
+val engine_of : Cc.t -> Pert_core.Pert_rem.t
+(** The REM engine behind a controller returned by {!create}; raises
+    [Invalid_argument] for other controllers. *)

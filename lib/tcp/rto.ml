@@ -1,0 +1,40 @@
+type t = {
+  min_rto : float;
+  max_rto : float;
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable rto : float;
+  mutable backoff_mult : float;
+  mutable has_sample : bool;
+}
+
+let create ?(min_rto = 0.2) ?(max_rto = 60.0) ?(initial = 1.0) () =
+  {
+    min_rto;
+    max_rto;
+    srtt = 0.0;
+    rttvar = 0.0;
+    rto = initial;
+    backoff_mult = 1.0;
+    has_sample = false;
+  }
+
+let clamp t x = Float.min t.max_rto (Float.max t.min_rto x)
+
+let observe t sample =
+  if sample <= 0.0 then invalid_arg "Rto.observe: non-positive sample";
+  if not t.has_sample then begin
+    t.srtt <- sample;
+    t.rttvar <- sample /. 2.0;
+    t.has_sample <- true
+  end
+  else begin
+    t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (t.srtt -. sample));
+    t.srtt <- (0.875 *. t.srtt) +. (0.125 *. sample)
+  end;
+  t.backoff_mult <- 1.0;
+  t.rto <- clamp t (t.srtt +. (4.0 *. t.rttvar))
+
+let value t = Float.min t.max_rto (t.rto *. t.backoff_mult)
+let backoff t = t.backoff_mult <- Float.min 64.0 (t.backoff_mult *. 2.0)
+let srtt t = if t.has_sample then Some t.srtt else None

@@ -1,0 +1,20 @@
+(** Retransmission-timeout estimation per RFC 6298 (Jacobson/Karels):
+    [srtt], [rttvar], [rto = srtt + 4 rttvar], clamped to
+    [\[min_rto, max_rto\]], with exponential backoff on timeouts. *)
+
+type t
+
+val create : ?min_rto:float -> ?max_rto:float -> ?initial:float -> unit -> t
+(** Defaults: [min_rto = 0.2] s, [max_rto = 60] s, [initial = 1] s. *)
+
+val observe : t -> float -> unit
+(** Feed an RTT sample (seconds); resets any backoff. *)
+
+val value : t -> float
+(** Current timeout, including backoff. *)
+
+val backoff : t -> unit
+(** Double the timeout (applied on expiry), up to [max_rto]. *)
+
+val srtt : t -> float option
+(** Smoothed RTT, if any sample has been observed. *)

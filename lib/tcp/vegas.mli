@@ -1,0 +1,17 @@
+(** TCP Vegas congestion avoidance (Brakmo & Peterson 1994), one of the
+    paper's three baselines.
+
+    Once per RTT the sender compares the expected throughput
+    [cwnd / base_rtt] with the actual throughput [cwnd / rtt]; the
+    backlog estimate [diff = cwnd * (1 - base_rtt / rtt)] (packets queued
+    at the bottleneck) drives additive adjustments:
+
+    - [diff < alpha]: cwnd += 1
+    - [diff > beta] : cwnd -= 1
+    - otherwise     : hold
+
+    During slow start the window grows only every other RTT and slow
+    start ends once [diff > gamma]. Loss response is standard. *)
+
+val create : ?alpha:float -> ?beta:float -> ?gamma:float -> unit -> Cc.t
+(** Defaults: [alpha = 1.], [beta = 3.], [gamma = 1.] packets. *)

@@ -1,0 +1,62 @@
+module Sim = Sim_engine.Sim
+module Packet = Netsim.Packet
+module Node = Netsim.Node
+
+(* CBR shares the flow-id space with TCP flows via a distinct negative
+   range to avoid colliding with Flow's counter. *)
+let next_cbr_id = ref (-1)
+
+type t = {
+  sim : Sim.t;
+  src : Node.t;
+  dst : Node.t;
+  id : int;
+  factory : Packet.factory;
+  interval : float;
+  stop : float;
+  mutable sent : int;
+  mutable received : int;
+  mutable halted : bool;
+}
+
+let start topo ~src ~dst ~rate_bps ?start ?(stop = infinity) () =
+  if rate_bps <= 0.0 then invalid_arg "Cbr.start: rate must be positive";
+  let sim = Netsim.Topology.sim topo in
+  let id = !next_cbr_id in
+  decr next_cbr_id;
+  let t =
+    {
+      sim;
+      src;
+      dst;
+      id;
+      factory = Packet.factory ();
+      interval = float_of_int (8 * Packet.data_size) /. rate_bps;
+      stop;
+      sent = 0;
+      received = 0;
+      halted = false;
+    }
+  in
+  Node.attach_agent dst ~flow:id (fun _pkt -> t.received <- t.received + 1);
+  let rec emit () =
+    if (not t.halted) && Sim.now sim < t.stop then begin
+      let pkt =
+        Packet.data t.factory ~flow:id ~src:(Node.id src) ~dst:(Node.id dst)
+          ~seq:t.sent ~ecn:false ~now:(Sim.now sim) ()
+      in
+      t.sent <- t.sent + 1;
+      Node.receive src pkt;
+      Sim.after sim t.interval emit
+    end
+  in
+  let start_time = match start with Some s -> s | None -> Sim.now sim in
+  Sim.at sim start_time emit;
+  t
+
+let sent t = t.sent
+let received t = t.received
+
+let halt t =
+  t.halted <- true;
+  Node.detach_agent t.dst ~flow:t.id

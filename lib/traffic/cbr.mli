@@ -1,0 +1,14 @@
+(** Constant-bit-rate, non-responsive traffic (UDP-like), used for the
+    paper's transient experiments with unresponsive cross-traffic. *)
+
+type t
+
+val start :
+  Netsim.Topology.t -> src:Netsim.Node.t -> dst:Netsim.Node.t ->
+  rate_bps:float -> ?start:float -> ?stop:float -> unit -> t
+(** Emit [Packet.data_size]-byte packets at [rate_bps] from [start]
+    (default now) until [stop] (default: forever). *)
+
+val sent : t -> int
+val received : t -> int
+val halt : t -> unit

@@ -1,0 +1,13 @@
+module Sim = Sim_engine.Sim
+module Rng = Sim_engine.Rng
+
+let spawn topo ~pairs ~cc_factory ?(ecn = false) ?(start_window = (0.0, 0.0))
+    () =
+  let sim = Netsim.Topology.sim topo in
+  let rng = Rng.split (Sim.rng sim) in
+  let lo, hi = start_window in
+  List.map
+    (fun (src, dst) ->
+      let start = if hi > lo then Rng.uniform rng lo hi else lo in
+      Tcpstack.Flow.create topo ~src ~dst ~cc:(cc_factory ()) ~ecn ~start ())
+    pairs

@@ -1,0 +1,14 @@
+(** Long-lived ("FTP") flows — the paper's long-term background traffic. *)
+
+val spawn :
+  Netsim.Topology.t ->
+  pairs:(Netsim.Node.t * Netsim.Node.t) list ->
+  cc_factory:(unit -> Tcpstack.Cc.t) ->
+  ?ecn:bool ->
+  ?start_window:float * float ->
+  unit ->
+  Tcpstack.Flow.t list
+(** One unbounded flow per [(src, dst)] pair, each starting at a uniform
+    random time within [start_window] (default [(0, 0)]: all at 0) — the
+    paper staggers starts over [(0, 50)] s to exercise fairness between
+    flows arriving at different times. *)

@@ -1,0 +1,78 @@
+module Sim = Sim_engine.Sim
+module Rng = Sim_engine.Rng
+module Flow = Tcpstack.Flow
+
+type params = {
+  think_mean : float;
+  objects_per_page : float;
+  size_shape : float;
+  size_min_pkts : int;
+  size_cap_pkts : int;
+}
+
+let default_params =
+  {
+    think_mean = 10.0;
+    objects_per_page = 4.0;
+    size_shape = 1.2;
+    size_min_pkts = 2;
+    size_cap_pkts = 200;
+  }
+
+type stats = {
+  mutable objects_completed : int;
+  mutable pkts_completed : int;
+}
+
+let object_size rng p =
+  let raw =
+    Rng.bounded_pareto rng ~shape:p.size_shape
+      ~scale:(float_of_int p.size_min_pkts)
+      ~cap:(float_of_int p.size_cap_pkts)
+  in
+  max p.size_min_pkts (int_of_float raw)
+
+let start_sessions topo ~n ~src_pool ~dst_pool ~cc_factory ?(ecn = false)
+    ?(params = default_params) ?(until = infinity) () =
+  if Array.length src_pool = 0 || Array.length dst_pool = 0 then
+    invalid_arg "Web.start_sessions: empty node pool";
+  let sim = Netsim.Topology.sim topo in
+  let stats = { objects_completed = 0; pkts_completed = 0 } in
+  let session rng =
+    (* Fetch [remaining] objects of the current page sequentially, then
+       think and start the next page. *)
+    let rec think () =
+      (* Heavy-tailed OFF periods (bounded Pareto, mean ~ think_mean):
+         the variability-of-load ingredient of the Feldmann model; long
+         quiet spells let bottleneck queues drain. *)
+      let shape = 1.2 in
+      let scale = params.think_mean *. (shape -. 1.0) /. shape in
+      let delay =
+        Rng.bounded_pareto rng ~shape ~scale ~cap:(50.0 *. params.think_mean)
+      in
+      Sim.after sim delay (fun () -> if Sim.now sim < until then page ())
+    and page () =
+      let objects = Rng.geometric rng (1.0 /. params.objects_per_page) in
+      let src = src_pool.(Rng.int rng (Array.length src_pool)) in
+      let dst = dst_pool.(Rng.int rng (Array.length dst_pool)) in
+      fetch src dst objects
+    and fetch src dst remaining =
+      if remaining <= 0 then think ()
+      else begin
+        let size = object_size rng params in
+        let on_complete _flow =
+          stats.objects_completed <- stats.objects_completed + 1;
+          stats.pkts_completed <- stats.pkts_completed + size;
+          fetch src dst (remaining - 1)
+        in
+        ignore
+          (Flow.create topo ~src ~dst ~cc:(cc_factory ()) ~ecn
+             ~total_pkts:size ~on_complete ())
+      end
+    in
+    think ()
+  in
+  for _ = 1 to n do
+    session (Rng.split (Sim.rng sim))
+  done;
+  stats

@@ -1,0 +1,40 @@
+(** Web-session workload in the spirit of Feldmann et al. (SIGCOMM 1999),
+    the model the paper cites for its web-traffic mix: each session
+    alternates think times and pages; a page is a burst of objects with
+    heavy-tailed (bounded-Pareto) sizes, each object fetched over a fresh
+    short TCP connection. *)
+
+type params = {
+  think_mean : float;  (** s, exponential inter-page think time *)
+  objects_per_page : float;
+      (** mean of the geometric number of objects per page *)
+  size_shape : float;  (** Pareto tail index of object sizes *)
+  size_min_pkts : int;  (** minimum object size, packets *)
+  size_cap_pkts : int;  (** truncation of the size distribution *)
+}
+
+val default_params : params
+(** [think_mean = 10.0] (heavy-tailed, bounded Pareto),
+    [objects_per_page = 4.0], [size_shape = 1.2], [size_min_pkts = 2],
+    [size_cap_pkts = 200] — mean object ≈ 12 KB, mean session load a few
+    tens of kbit/s, as in typical web-browsing models. *)
+
+type stats = {
+  mutable objects_completed : int;
+  mutable pkts_completed : int;
+}
+
+val start_sessions :
+  Netsim.Topology.t ->
+  n:int ->
+  src_pool:Netsim.Node.t array ->
+  dst_pool:Netsim.Node.t array ->
+  cc_factory:(unit -> Tcpstack.Cc.t) ->
+  ?ecn:bool ->
+  ?params:params ->
+  ?until:float ->
+  unit ->
+  stats
+(** Launch [n] independent sessions; each picks a uniform (src, dst) pair
+    per page. New pages stop being generated after [until] (default:
+    never); in-flight transfers finish naturally. *)

@@ -1,0 +1,429 @@
+(* Tests for the discrete-event engine: Heap, Sim, Rng, Stats, Fvec. *)
+
+open Sim_engine
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_eps eps = Alcotest.(check (float eps))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Heap ---------------------------------------------------------------- *)
+
+let heap_pop_order () =
+  let h = Heap.create () in
+  List.iteri
+    (fun i t -> Heap.add h ~time:t ~seq:i i)
+    [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (t, _, _) ->
+        order := t :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (float 0.0)))
+    "sorted" [ 1.0; 2.0; 3.0; 4.0; 5.0 ] (List.rev !order)
+
+let heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.add h ~time:1.0 ~seq:i i
+  done;
+  for i = 0 to 9 do
+    match Heap.pop h with
+    | Some (_, seq, v) ->
+        check_int "seq order" i seq;
+        check_int "payload order" i v
+    | None -> Alcotest.fail "heap drained early"
+  done
+
+let heap_interleaved () =
+  let h = Heap.create ~capacity:1 () in
+  Heap.add h ~time:2.0 ~seq:0 "b";
+  Heap.add h ~time:1.0 ~seq:1 "a";
+  (match Heap.pop h with
+  | Some (t, _, v) ->
+      check_float "first time" 1.0 t;
+      Alcotest.(check string) "first value" "a" v
+  | None -> Alcotest.fail "empty");
+  Heap.add h ~time:0.5 ~seq:2 "c";
+  (match Heap.pop h with
+  | Some (_, _, v) -> Alcotest.(check string) "second" "c" v
+  | None -> Alcotest.fail "empty");
+  check_int "length" 1 (Heap.length h);
+  Heap.clear h;
+  check_bool "cleared" true (Heap.is_empty h)
+
+let heap_peek () =
+  let h = Heap.create () in
+  Alcotest.(check (option (float 0.0))) "empty peek" None (Heap.peek_time h);
+  Heap.add h ~time:3.0 ~seq:0 ();
+  Heap.add h ~time:1.5 ~seq:1 ();
+  Alcotest.(check (option (float 0.0))) "min peek" (Some 1.5) (Heap.peek_time h)
+
+let heap_qcheck_sorted =
+  QCheck.Test.make ~name:"heap pops any multiset sorted" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun times ->
+      let h = Heap.create () in
+      List.iteri (fun i t -> Heap.add h ~time:t ~seq:i ()) times;
+      let rec drain acc =
+        match Heap.pop h with
+        | Some (t, _, ()) -> drain (t :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      popped = List.sort compare times)
+
+(* --- Sim ------------------------------------------------------------------ *)
+
+let sim_event_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.at sim 2.0 (fun () -> log := (2, Sim.now sim) :: !log);
+  Sim.at sim 1.0 (fun () -> log := (1, Sim.now sim) :: !log);
+  Sim.after sim 3.0 (fun () -> log := (3, Sim.now sim) :: !log);
+  Sim.run sim;
+  let order = List.rev_map fst !log in
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] order;
+  check_float "clock at end" 3.0 (Sim.now sim)
+
+let sim_until_semantics () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  Sim.at sim 5.0 (fun () -> fired := true);
+  Sim.run ~until:2.0 sim;
+  check_bool "future event not fired" false !fired;
+  check_float "clock advanced to horizon" 2.0 (Sim.now sim);
+  Sim.run ~until:10.0 sim;
+  check_bool "event fires on later run" true !fired
+
+let sim_nested_scheduling () =
+  let sim = Sim.create () in
+  let hits = ref 0 in
+  let rec tick n =
+    if n > 0 then begin
+      incr hits;
+      Sim.after sim 1.0 (fun () -> tick (n - 1))
+    end
+  in
+  Sim.at sim 0.0 (fun () -> tick 5);
+  Sim.run sim;
+  check_int "nested events all ran" 5 !hits;
+  (* the 5th tick at t=4 schedules a no-op tick at t=5 *)
+  check_float "clock" 5.0 (Sim.now sim)
+
+let sim_every_and_stop () =
+  let sim = Sim.create () in
+  let ticks = ref 0 in
+  Sim.every sim 1.0 (fun () ->
+      incr ticks;
+      if !ticks = 4 then Sim.stop sim);
+  Sim.run ~until:100.0 sim;
+  check_int "stopped after 4 ticks" 4 !ticks
+
+let sim_every_start () =
+  let sim = Sim.create () in
+  let times = ref [] in
+  Sim.every sim ~start:0.5 2.0 (fun () -> times := Sim.now sim :: !times);
+  Sim.run ~until:5.0 sim;
+  Alcotest.(check (list (float 1e-9)))
+    "tick times" [ 0.5; 2.5; 4.5 ] (List.rev !times)
+
+let sim_rejects_past () =
+  let sim = Sim.create () in
+  Sim.at sim 1.0 (fun () ->
+      Alcotest.check_raises "scheduling into the past"
+        (Invalid_argument "Sim.at: time 0.5 is before now 1") (fun () ->
+          Sim.at sim 0.5 ignore));
+  Sim.run sim;
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Sim.after: negative delay") (fun () ->
+      Sim.after sim (-1.0) ignore)
+
+let sim_counts_events () =
+  let sim = Sim.create () in
+  for i = 1 to 7 do
+    Sim.at sim (float_of_int i) ignore
+  done;
+  Sim.run sim;
+  check_int "events executed" 7 (Sim.events_executed sim)
+
+(* --- Rng ------------------------------------------------------------------ *)
+
+let rng_determinism () =
+  let a = Rng.create 9 and b = Rng.create 9 in
+  for _ = 1 to 100 do
+    check_float "same stream" (Rng.float a 1.0) (Rng.float b 1.0)
+  done
+
+let rng_split_independence () =
+  let a = Rng.create 9 and b = Rng.create 9 in
+  let a1 = Rng.split a and b1 = Rng.split b in
+  (* Splits of identical parents are identical... *)
+  check_float "split determinism" (Rng.float a1 1.0) (Rng.float b1 1.0);
+  (* ...and the parent keeps its own stream after splitting. *)
+  let x = Rng.float a 1.0 in
+  check_bool "parent stream differs from child" true (x <> Rng.float a1 1.0)
+
+let rng_ranges () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let u = Rng.uniform rng 2.0 3.0 in
+    check_bool "uniform in range" true (u >= 2.0 && u < 3.0);
+    let i = Rng.int rng 7 in
+    check_bool "int in range" true (i >= 0 && i < 7)
+  done
+
+let mean_of f n =
+  let rng = Rng.create 4 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. f rng
+  done;
+  !sum /. float_of_int n
+
+let rng_exponential_mean () =
+  let m = mean_of (fun rng -> Rng.exponential rng 2.5) 50_000 in
+  check_float_eps 0.1 "exponential mean" 2.5 m
+
+let rng_pareto_properties () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    check_bool "pareto >= scale" true (Rng.pareto rng ~shape:1.5 ~scale:3.0 >= 3.0)
+  done;
+  (* shape 2.5 has mean scale*shape/(shape-1) = 5/3 for scale 1. *)
+  let m = mean_of (fun rng -> Rng.pareto rng ~shape:2.5 ~scale:1.0) 100_000 in
+  check_float_eps 0.08 "pareto mean" (2.5 /. 1.5) m
+
+let rng_bounded_pareto_in_range () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 2000 do
+    let x = Rng.bounded_pareto rng ~shape:1.2 ~scale:2.0 ~cap:100.0 in
+    check_bool "bounded pareto range" true (x >= 2.0 -. 1e-9 && x <= 100.0 +. 1e-9)
+  done
+
+let rng_geometric () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    check_bool "geometric >= 1" true (Rng.geometric rng 0.3 >= 1)
+  done;
+  check_int "p=1 gives 1" 1 (Rng.geometric rng 1.0);
+  let m = mean_of (fun rng -> float_of_int (Rng.geometric rng 0.25)) 50_000 in
+  check_float_eps 0.1 "geometric mean 1/p" 4.0 m
+
+let rng_bernoulli_rate () =
+  let rng = Rng.create 8 in
+  let hits = ref 0 in
+  for _ = 1 to 100_000 do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  check_float_eps 0.01 "bernoulli rate" 0.3 (float_of_int !hits /. 100_000.0)
+
+(* --- Stats ----------------------------------------------------------------- *)
+
+let acc_moments () =
+  let acc = Stats.Acc.create () in
+  List.iter (Stats.Acc.add acc) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_int "count" 8 (Stats.Acc.count acc);
+  check_float "mean" 5.0 (Stats.Acc.mean acc);
+  check_float_eps 1e-9 "variance" (32.0 /. 7.0) (Stats.Acc.variance acc);
+  check_float "min" 2.0 (Stats.Acc.min acc);
+  check_float "max" 9.0 (Stats.Acc.max acc)
+
+let acc_empty () =
+  let acc = Stats.Acc.create () in
+  check_float "empty mean" 0.0 (Stats.Acc.mean acc);
+  check_float "empty variance" 0.0 (Stats.Acc.variance acc);
+  Alcotest.check_raises "empty min" (Invalid_argument "Stats.Acc.min: empty")
+    (fun () -> ignore (Stats.Acc.min acc))
+
+let tw_average () =
+  let tw = Stats.Time_weighted.create ~start:0.0 ~value:0.0 in
+  Stats.Time_weighted.update tw ~now:1.0 ~value:10.0;
+  Stats.Time_weighted.update tw ~now:3.0 ~value:2.0;
+  (* 0 for 1s, 10 for 2s, 2 for 1s -> (0 + 20 + 2) / 4 *)
+  check_float "time-weighted mean" 5.5 (Stats.Time_weighted.average tw ~now:4.0)
+
+let tw_reset () =
+  let tw = Stats.Time_weighted.create ~start:0.0 ~value:4.0 in
+  Stats.Time_weighted.update tw ~now:2.0 ~value:8.0;
+  Stats.Time_weighted.reset tw ~now:3.0;
+  (* window restarts at t=3 holding 8 *)
+  check_float "after reset" 8.0 (Stats.Time_weighted.average tw ~now:5.0)
+
+let tw_monotonic_time () =
+  let tw = Stats.Time_weighted.create ~start:0.0 ~value:1.0 in
+  Stats.Time_weighted.update tw ~now:1.0 ~value:2.0;
+  Alcotest.check_raises "backwards time"
+    (Invalid_argument "Stats.Time_weighted: time went backwards") (fun () ->
+      Stats.Time_weighted.update tw ~now:0.5 ~value:3.0)
+
+let histogram_basic () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 1.6; 9.9; -5.0; 50.0 ];
+  let counts = Stats.Histogram.counts h in
+  check_int "bin 0 (incl clamped low)" 2 counts.(0);
+  check_int "bin 1" 2 counts.(1);
+  check_int "bin 9 (incl clamped high)" 2 counts.(9);
+  check_int "total" 6 (Stats.Histogram.total h);
+  let pdf = Stats.Histogram.pdf h in
+  check_float_eps 1e-9 "pdf sums to 1" 1.0 (Array.fold_left ( +. ) 0.0 pdf);
+  check_float "bin center" 0.5 (Stats.Histogram.bin_center h 0)
+
+let jain_known () =
+  check_float "equal shares" 1.0 (Stats.jain_index [| 3.0; 3.0; 3.0 |]);
+  check_float "one hog" (1.0 /. 3.0) (Stats.jain_index [| 1.0; 0.0; 0.0 |]);
+  check_float "empty" 1.0 (Stats.jain_index [||]);
+  check_float "all zero" 1.0 (Stats.jain_index [| 0.0; 0.0 |])
+
+let jain_qcheck_bounds =
+  QCheck.Test.make ~name:"jain index within [1/n, 1]" ~count:500
+    QCheck.(list_of_size (Gen.int_range 1 20) (float_bound_exclusive 100.0))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let j = Stats.jain_index arr in
+      let n = float_of_int (Array.length arr) in
+      j >= (1.0 /. n) -. 1e-9 && j <= 1.0 +. 1e-9)
+
+let percentile_basic () =
+  let xs = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  check_float "median" 3.0 (Stats.percentile xs 0.5);
+  check_float "min" 1.0 (Stats.percentile xs 0.0);
+  check_float "max" 5.0 (Stats.percentile xs 1.0);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty")
+    (fun () -> ignore (Stats.percentile [||] 0.5))
+
+(* --- Fvec ------------------------------------------------------------------ *)
+
+let fvec_push_get () =
+  let v = Fvec.create ~capacity:2 () in
+  for i = 0 to 99 do
+    Fvec.push v (float_of_int i)
+  done;
+  check_int "length" 100 (Fvec.length v);
+  check_float "get 57" 57.0 (Fvec.get v 57);
+  check_int "to_array length" 100 (Array.length (Fvec.to_array v));
+  Alcotest.check_raises "oob" (Invalid_argument "Fvec.get: index out of bounds")
+    (fun () -> ignore (Fvec.get v 100))
+
+let fvec_lower_bound () =
+  let v = Fvec.create () in
+  List.iter (Fvec.push v) [ 1.0; 3.0; 3.0; 7.0 ];
+  check_int "before all" 0 (Fvec.lower_bound v 0.5);
+  check_int "exact" 1 (Fvec.lower_bound v 3.0);
+  check_int "between" 3 (Fvec.lower_bound v 5.0);
+  check_int "after all" 4 (Fvec.lower_bound v 9.0)
+
+let heap_reuse_after_clear () =
+  let h = Heap.create () in
+  Heap.add h ~time:1.0 ~seq:0 "x";
+  Heap.clear h;
+  Heap.add h ~time:2.0 ~seq:1 "y";
+  (match Heap.pop h with
+  | Some (t, _, v) ->
+      check_float "time" 2.0 t;
+      Alcotest.(check string) "value" "y" v
+  | None -> Alcotest.fail "empty after reuse");
+  check_bool "drained" true (Heap.is_empty h)
+
+let sim_stop_is_resumable () =
+  let sim = Sim.create () in
+  let ran = ref 0 in
+  Sim.at sim 1.0 (fun () ->
+      incr ran;
+      Sim.stop sim);
+  Sim.at sim 2.0 (fun () -> incr ran);
+  Sim.run sim;
+  check_int "stopped after first" 1 !ran;
+  Sim.run sim;
+  check_int "resumes on next run" 2 !ran
+
+let rng_same_seed_same_split_tree () =
+  let walk seed =
+    let root = Rng.create seed in
+    let a = Rng.split root in
+    let b = Rng.split root in
+    (Rng.float a 1.0, Rng.float b 1.0, Rng.float root 1.0)
+  in
+  check_bool "split tree deterministic" true (walk 3 = walk 3);
+  check_bool "different seeds diverge" true (walk 3 <> walk 4)
+
+let acc_single_sample () =
+  let acc = Stats.Acc.create () in
+  Stats.Acc.add acc 5.0;
+  check_float "mean" 5.0 (Stats.Acc.mean acc);
+  check_float "variance of one sample" 0.0 (Stats.Acc.variance acc);
+  check_float "min = max" (Stats.Acc.min acc) (Stats.Acc.max acc)
+
+let histogram_validation () =
+  Alcotest.check_raises "zero bins" (Invalid_argument "Stats.Histogram.create")
+    (fun () -> ignore (Stats.Histogram.create ~lo:0.0 ~hi:1.0 ~bins:0));
+  Alcotest.check_raises "inverted range"
+    (Invalid_argument "Stats.Histogram.create") (fun () ->
+      ignore (Stats.Histogram.create ~lo:1.0 ~hi:0.0 ~bins:4))
+
+let percentile_p_validation () =
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile [| 1.0 |] 1.5))
+
+let tw_zero_span () =
+  let tw = Stats.Time_weighted.create ~start:1.0 ~value:7.0 in
+  check_float "zero-span average is current value" 7.0
+    (Stats.Time_weighted.average tw ~now:1.0)
+
+let fvec_clear_and_iter () =
+  let v = Fvec.create () in
+  List.iter (Fvec.push v) [ 1.0; 2.0; 3.0 ];
+  let sum = ref 0.0 in
+  Fvec.iter (fun x -> sum := !sum +. x) v;
+  check_float "iter sums" 6.0 !sum;
+  Fvec.clear v;
+  check_int "cleared" 0 (Fvec.length v)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ heap_qcheck_sorted; jain_qcheck_bounds ]
+
+let suite =
+  [
+    ("heap pop order", `Quick, heap_pop_order);
+    ("heap FIFO on equal times", `Quick, heap_fifo_ties);
+    ("heap interleaved ops", `Quick, heap_interleaved);
+    ("heap peek", `Quick, heap_peek);
+    ("sim event order", `Quick, sim_event_order);
+    ("sim until semantics", `Quick, sim_until_semantics);
+    ("sim nested scheduling", `Quick, sim_nested_scheduling);
+    ("sim every + stop", `Quick, sim_every_and_stop);
+    ("sim every start", `Quick, sim_every_start);
+    ("sim rejects past/negative", `Quick, sim_rejects_past);
+    ("sim counts events", `Quick, sim_counts_events);
+    ("rng determinism", `Quick, rng_determinism);
+    ("rng split", `Quick, rng_split_independence);
+    ("rng ranges", `Quick, rng_ranges);
+    ("rng exponential mean", `Quick, rng_exponential_mean);
+    ("rng pareto", `Quick, rng_pareto_properties);
+    ("rng bounded pareto", `Quick, rng_bounded_pareto_in_range);
+    ("rng geometric", `Quick, rng_geometric);
+    ("rng bernoulli", `Quick, rng_bernoulli_rate);
+    ("stats acc moments", `Quick, acc_moments);
+    ("stats acc empty", `Quick, acc_empty);
+    ("stats time-weighted", `Quick, tw_average);
+    ("stats tw reset", `Quick, tw_reset);
+    ("stats tw monotonic", `Quick, tw_monotonic_time);
+    ("stats histogram", `Quick, histogram_basic);
+    ("stats jain known", `Quick, jain_known);
+    ("stats percentile", `Quick, percentile_basic);
+    ("heap reuse after clear", `Quick, heap_reuse_after_clear);
+    ("sim stop is resumable", `Quick, sim_stop_is_resumable);
+    ("rng split tree deterministic", `Quick, rng_same_seed_same_split_tree);
+    ("stats acc single sample", `Quick, acc_single_sample);
+    ("stats histogram validation", `Quick, histogram_validation);
+    ("stats percentile validation", `Quick, percentile_p_validation);
+    ("stats tw zero span", `Quick, tw_zero_span);
+    ("fvec clear/iter", `Quick, fvec_clear_and_iter);
+    ("fvec push/get", `Quick, fvec_push_get);
+    ("fvec lower_bound", `Quick, fvec_lower_bound);
+  ]
+  @ qsuite

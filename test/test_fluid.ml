@@ -1,0 +1,257 @@
+(* Tests for the fluid models: the DDE integrator against analytic
+   solutions, the stability theorems against the paper's numbers, and the
+   three closed-loop models against their equilibria. *)
+
+open Fluid
+
+let check_float_eps eps = Alcotest.(check (float eps))
+let check_bool = Alcotest.(check bool)
+
+(* --- Dde ------------------------------------------------------------------- *)
+
+let dde_exponential_decay () =
+  (* x' = -x, x(0) = 1: RK4 at dt=1e-3 should match e^{-t} very closely. *)
+  let f _t x _hist = [| -.x.(0) |] in
+  let times, series =
+    Dde.integrate ~f ~init:[| 1.0 |] ~t0:0.0 ~t1:2.0 ~dt:1e-3 ()
+  in
+  let n = Array.length times in
+  check_float_eps 1e-6 "matches analytic" (exp (-2.0)) series.(0).(n - 1)
+
+let dde_harmonic_oscillator () =
+  (* x'' = -x as a 2-d system: energy must be conserved by RK4. *)
+  let f _t x _ = [| x.(1); -.x.(0) |] in
+  let _times, series =
+    Dde.integrate ~f ~init:[| 1.0; 0.0 |] ~t0:0.0 ~t1:10.0 ~dt:1e-3 ()
+  in
+  let n = Array.length series.(0) in
+  let energy i = (series.(0).(i) ** 2.0) +. (series.(1).(i) ** 2.0) in
+  check_float_eps 1e-6 "energy conserved" (energy 0) (energy (n - 1))
+
+let dde_delay_term () =
+  (* x'(t) = -x(t - 1) with x == 1 for t <= 0.
+     On (0, 1]: x(t) = 1 - t exactly. *)
+  let f t _x hist = [| -.(hist 0 (t -. 1.0)) |] in
+  let times, series =
+    Dde.integrate ~f ~init:[| 1.0 |] ~t0:0.0 ~t1:1.0 ~dt:1e-3 ()
+  in
+  let n = Array.length times in
+  check_float_eps 1e-6 "linear on first interval" 0.0 series.(0).(n - 1);
+  (* and on (1, 2]: x(t) = 1 - t + (t-1)^2/2, so x(2) = -1 + 1/2. *)
+  let _times, series2 =
+    Dde.integrate ~f ~init:[| 1.0 |] ~t0:0.0 ~t1:2.0 ~dt:1e-3 ()
+  in
+  let m = Array.length series2.(0) in
+  check_float_eps 1e-5 "quadratic on second interval" (-0.5) series2.(0).(m - 1)
+
+let dde_euler_consistent () =
+  let f _t x _ = [| -.x.(0) |] in
+  let _t1, s_rk = Dde.integrate ~f ~init:[| 1.0 |] ~t0:0.0 ~t1:1.0 ~dt:1e-3 () in
+  let _t2, s_eu = Dde.euler ~f ~init:[| 1.0 |] ~t0:0.0 ~t1:1.0 ~dt:1e-4 () in
+  let last a = a.(Array.length a - 1) in
+  check_float_eps 1e-3 "euler approaches rk4" (last s_rk.(0)) (last s_eu.(0))
+
+let dde_record_every () =
+  let f _t _x _ = [| 1.0 |] in
+  let times, series =
+    Dde.integrate ~f ~init:[| 0.0 |] ~t0:0.0 ~t1:1.0 ~dt:0.01 ~record_every:10 ()
+  in
+  check_bool "10x fewer samples" true (Array.length times <= 12);
+  let n = Array.length times in
+  check_float_eps 1e-9 "x = t" times.(n - 1) series.(0).(n - 1)
+
+let dde_validation () =
+  let f _t x _ = [| -.x.(0) |] in
+  Alcotest.check_raises "bad dt" (Invalid_argument "Dde: dt must be positive")
+    (fun () ->
+      ignore (Dde.integrate ~f ~init:[| 1.0 |] ~t0:0.0 ~t1:1.0 ~dt:0.0 ()));
+  Alcotest.check_raises "bad horizon"
+    (Invalid_argument "Dde: t1 must exceed t0") (fun () ->
+      ignore (Dde.integrate ~f ~init:[| 1.0 |] ~t0:1.0 ~t1:1.0 ~dt:0.1 ()))
+
+(* --- Stability -------------------------------------------------------------- *)
+
+let stability_k_of () =
+  check_float_eps 1e-9 "K = ln(alpha)/delta" (log 0.99 /. 1e-4)
+    (Stability.k_of ~alpha:0.99 ~delta:1e-4)
+
+let stability_w_g () =
+  (* both arms of the min *)
+  check_float_eps 1e-12 "window-limited arm"
+    (0.1 *. (2.0 *. 5.0 /. (0.1 *. 0.1 *. 10000.0)))
+    (Stability.w_g ~c:10000.0 ~n_min:5.0 ~r_plus:0.1);
+  check_float_eps 1e-12 "rtt-limited arm" (0.1 /. 0.1)
+    (Stability.w_g ~c:1.0 ~n_min:100.0 ~r_plus:0.1)
+
+let theorem1_boundary_at_paper_point () =
+  (* Section 5.3: C = 100 pkt/s, N = 5, L = 2, boundary at R = 171 ms. *)
+  let k = Stability.k_of ~alpha:0.99 ~delta:1e-4 in
+  check_bool "stable inside" true
+    (Stability.theorem1_holds ~l_pert:2.0 ~c:100.0 ~n_min:5.0 ~r_plus:0.170 ~k);
+  check_bool "unstable outside" false
+    (Stability.theorem1_holds ~l_pert:2.0 ~c:100.0 ~n_min:5.0 ~r_plus:0.172 ~k)
+
+let delta_min_paper_curve () =
+  (* Fig 13(a): C = 1000 pkt/s, R+ = 200 ms — reaches ~0.1 s at N- = 40. *)
+  let d n = Stability.delta_min ~alpha:0.99 ~l_pert:2.0 ~c:1000.0 ~n_min:n ~r_plus:0.2 in
+  check_bool "monotone decreasing" true (d 5.0 > d 10.0 && d 10.0 > d 40.0);
+  check_float_eps 0.03 "~0.1 s at N=40" 0.115 (d 40.0);
+  (* Large enough N satisfies (11) outright: delta_min = 0. *)
+  check_float_eps 1e-12 "unconditional region" 0.0 (d 500.0)
+
+let equilibrium_formulas () =
+  let w, p = Stability.equilibrium ~c:100.0 ~n:5.0 ~r:0.1 in
+  check_float_eps 1e-9 "W* = RC/N" 2.0 w;
+  check_float_eps 1e-9 "p* = 2/W*^2" 0.5 p
+
+let pi_gains_relations () =
+  let g = Stability.pert_pi_gains ~c:1000.0 ~n_min:10.0 ~r_plus:0.1 ~r_star:0.08 in
+  check_bool "positive gains" true (g.Stability.k > 0.0 && g.Stability.m > 0.0);
+  check_float_eps 1e-12 "m = 2N/(R^2 C)" (2.0 *. 10.0 /. (0.01 *. 1000.0)) g.Stability.m;
+  let gr = Stability.router_pi_gains ~c:1000.0 ~n_min:10.0 ~r_plus:0.1 ~r_star:0.08 in
+  check_float_eps 1e-12 "router k = pert k / C" (g.Stability.k /. 1000.0) gr.Stability.k;
+  check_float_eps 1e-12 "same zero m" g.Stability.m gr.Stability.m
+
+(* --- Pert_fluid -------------------------------------------------------------- *)
+
+let pert_fluid_converges_inside () =
+  let p = Pert_fluid.paper_params ~r:0.1 () in
+  let _times, series = Pert_fluid.run p ~horizon:60.0 ~dt:0.001 ~record_every:100 () in
+  let w_star, tq_star, _ = Pert_fluid.equilibrium p in
+  let last a = a.(Array.length a - 1) in
+  check_float_eps 0.02 "W -> W*" w_star (last series.(0));
+  check_float_eps 0.02 "Tq -> Tq*" tq_star (last series.(1));
+  check_bool "verdict stable" true (Pert_fluid.is_stable_trajectory series.(0))
+
+let pert_fluid_oscillates_outside () =
+  let p = Pert_fluid.paper_params ~r:0.180 () in
+  let _times, series = Pert_fluid.run p ~horizon:60.0 ~dt:0.001 ~record_every:100 () in
+  check_bool "verdict oscillating" false
+    (Pert_fluid.is_stable_trajectory series.(0))
+
+let pert_fluid_equilibrium_formula () =
+  let p = Pert_fluid.paper_params ~r:0.1 () in
+  let w, tq, prob = Pert_fluid.equilibrium p in
+  check_float_eps 1e-9 "W*" 2.0 w;
+  check_float_eps 1e-9 "p*" 0.5 prob;
+  check_float_eps 1e-9 "Tq* inverts the curve" (0.05 +. (0.5 /. 2.0)) tq
+
+(* --- Red_fluid ----------------------------------------------------------------- *)
+
+let red_fluid_matches_pert_scaling () =
+  let pp = Pert_fluid.paper_params () in
+  let rp = Red_fluid.matched_to_pert pp in
+  check_float_eps 1e-12 "slope scaled by C"
+    (pp.Pert_fluid.l_pert /. pp.Pert_fluid.c)
+    rp.Red_fluid.l_red;
+  check_float_eps 1e-12 "threshold scaled by C"
+    (pp.Pert_fluid.t_min *. pp.Pert_fluid.c)
+    rp.Red_fluid.min_th;
+  let w_red, q_red, p_red = Red_fluid.equilibrium rp in
+  let w_pert, tq_pert, p_pert = Pert_fluid.equilibrium pp in
+  check_float_eps 1e-9 "same window" w_pert w_red;
+  check_float_eps 1e-9 "same probability" p_pert p_red;
+  check_float_eps 1e-9 "queue = delay * C" (tq_pert *. pp.Pert_fluid.c) q_red
+
+let red_fluid_converges () =
+  let rp = Red_fluid.matched_to_pert (Pert_fluid.paper_params ~r:0.1 ()) in
+  let _times, series = Red_fluid.run rp ~horizon:60.0 ~dt:0.001 ~record_every:100 () in
+  let w_star, q_star, _ = Red_fluid.equilibrium rp in
+  let last a = a.(Array.length a - 1) in
+  check_float_eps 0.05 "W -> W*" w_star (last series.(0));
+  check_float_eps 1.0 "q -> q*" q_star (last series.(1))
+
+(* --- Pi_fluid ------------------------------------------------------------------- *)
+
+let pi_fluid_pins_target () =
+  let p = Pi_fluid.make ~c:1000.0 ~n:10.0 ~r:0.1 ~tq_ref:0.003 () in
+  let _times, series =
+    Pi_fluid.run p ~init:[| 5.0; 0.01; 0.0 |] ~horizon:200.0 ~dt:0.0005
+      ~record_every:200 ()
+  in
+  (* The saturating controller leaves a small limit cycle around the
+     operating point, so compare tail averages, not endpoints. *)
+  let tail_mean a =
+    let n = Array.length a in
+    let start = (3 * n) / 4 in
+    let sum = ref 0.0 in
+    for i = start to n - 1 do
+      sum := !sum +. a.(i)
+    done;
+    !sum /. float_of_int (n - start)
+  in
+  let w_star, tq_star, _ = Pi_fluid.equilibrium p in
+  check_float_eps 0.5 "W near RC/N" w_star (tail_mean series.(0));
+  check_float_eps 0.002 "Tq pinned at target" tq_star (tail_mean series.(1))
+
+let stability_region_claims () =
+  let l_pert = 2.0 and n = 10.0 in
+  List.iter
+    (fun c ->
+      let kp = Stability.pert_k ~alpha:0.99 ~c ~n in
+      let kr = Stability.red_k ~wq:0.01 ~c in
+      let bp =
+        Stability.boundary_r
+          ~holds:(fun r ->
+            Stability.theorem1_holds ~l_pert ~c ~n_min:n ~r_plus:r ~k:kp)
+          ()
+      in
+      let br =
+        Stability.boundary_r
+          ~holds:(fun r ->
+            Stability.red_theorem_holds ~l_red:(l_pert /. c) ~c ~n_min:n
+              ~r_plus:r ~k:kr)
+          ()
+      in
+      check_bool "PERT region contains RED region" true (bp >= br))
+    [ 100.0; 1000.0; 10000.0 ];
+  (* eq. 15: constant C/N makes PERT's boundary capacity-independent *)
+  let boundary c =
+    let n = c /. 10.0 in
+    let kp = Stability.pert_k ~alpha:0.99 ~c ~n in
+    Stability.boundary_r
+      ~holds:(fun r ->
+        Stability.theorem1_holds ~l_pert ~c ~n_min:n ~r_plus:r ~k:kp)
+      ()
+  in
+  check_float_eps 1e-3 "scale invariant" (boundary 100.0) (boundary 10000.0)
+
+let dde_custom_initial_history () =
+  (* x'(t) = -x(t-1) with history x(t) = 0 for t <= 0: x stays 0 for one
+     unit, then is driven by the recorded trajectory (still 0). *)
+  let f t _x hist = [| -.(hist 0 (t -. 1.0)) |] in
+  let _times, series =
+    Dde.integrate ~f ~init:[| 0.0 |] ~initial_history:(fun _ _ -> 0.0)
+      ~t0:0.0 ~t1:3.0 ~dt:0.001 ()
+  in
+  let n = Array.length series.(0) in
+  check_float_eps 1e-9 "stays at rest" 0.0 series.(0).(n - 1)
+
+let boundary_r_unstable_everywhere () =
+  check_float_eps 1e-12 "returns lo when even lo fails" 0.001
+    (Stability.boundary_r ~holds:(fun _ -> false) ())
+
+let suite =
+  [
+    ("dde exponential decay", `Quick, dde_exponential_decay);
+    ("dde harmonic oscillator", `Quick, dde_harmonic_oscillator);
+    ("dde delay term analytic", `Quick, dde_delay_term);
+    ("dde euler consistency", `Quick, dde_euler_consistent);
+    ("dde record_every", `Quick, dde_record_every);
+    ("dde validation", `Quick, dde_validation);
+    ("stability k_of", `Quick, stability_k_of);
+    ("stability w_g arms", `Quick, stability_w_g);
+    ("theorem 1 boundary (paper)", `Quick, theorem1_boundary_at_paper_point);
+    ("delta_min curve (fig 13a)", `Quick, delta_min_paper_curve);
+    ("equilibrium formulas", `Quick, equilibrium_formulas);
+    ("pi gains relations", `Quick, pi_gains_relations);
+    ("pert fluid converges", `Quick, pert_fluid_converges_inside);
+    ("pert fluid oscillates", `Quick, pert_fluid_oscillates_outside);
+    ("pert fluid equilibrium", `Quick, pert_fluid_equilibrium_formula);
+    ("red fluid scaling", `Quick, red_fluid_matches_pert_scaling);
+    ("red fluid converges", `Quick, red_fluid_converges);
+    ("pi fluid pins target", `Quick, pi_fluid_pins_target);
+    ("stability region claims (5.4)", `Quick, stability_region_claims);
+    ("dde custom history", `Quick, dde_custom_initial_history);
+    ("boundary_r degenerate", `Quick, boundary_r_unstable_everywhere);
+  ]

@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "pert"
+    [
+      ("engine", Test_engine.suite);
+      ("core", Test_core.suite);
+      ("net", Test_net.suite);
+      ("tcp", Test_tcp.suite);
+      ("predictors", Test_predictors.suite);
+      ("fluid", Test_fluid.suite);
+      ("traffic", Test_traffic.suite);
+      ("experiments", Test_experiments.suite);
+      ("scenario", Test_scenario.suite);
+    ]

@@ -1,0 +1,619 @@
+(* Tests for the network substrate: packets, queues (DropTail, RED, PI),
+   links, nodes, topology/routing. *)
+
+open Netsim
+module Sim = Sim_engine.Sim
+module Rng = Sim_engine.Rng
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk_data ?(ecn = false) ?(seq = 0) factory =
+  Packet.data factory ~flow:0 ~src:0 ~dst:1 ~seq ~ecn ~now:0.0 ()
+
+(* --- Packet ------------------------------------------------------------- *)
+
+let packet_factory_ids () =
+  let f = Packet.factory () in
+  let a = mk_data f and b = mk_data f in
+  check_bool "distinct ids" true (a.Packet.id <> b.Packet.id);
+  check_int "data size" (Packet.mss + Packet.header_size) a.Packet.size;
+  check_bool "is_data" true (Packet.is_data a);
+  check_int "seq" 0 (Packet.seq_exn a);
+  let ack =
+    Packet.ack f ~flow:0 ~src:1 ~dst:0 ~ack:5 ~sack:[ (7, 9) ] ~ecn_echo:true
+      ~ts_echo:1.5 ~now:2.0 ()
+  in
+  check_int "ack size" Packet.header_size ack.Packet.size;
+  check_bool "ack not data" false (Packet.is_data ack);
+  Alcotest.check_raises "seq of ack"
+    (Invalid_argument "Packet.seq_exn: not a data packet") (fun () ->
+      ignore (Packet.seq_exn ack))
+
+(* --- Droptail ------------------------------------------------------------ *)
+
+let droptail_tail_drop () =
+  let q = Droptail.create ~limit_pkts:3 in
+  let f = Packet.factory () in
+  for i = 0 to 2 do
+    match q.Queue_disc.enqueue ~now:0.0 (mk_data ~seq:i f) with
+    | Queue_disc.Accept -> ()
+    | _ -> Alcotest.fail "should accept under limit"
+  done;
+  (match q.Queue_disc.enqueue ~now:0.0 (mk_data ~seq:3 f) with
+  | Queue_disc.Reject -> ()
+  | _ -> Alcotest.fail "should tail-drop at limit");
+  check_int "pkt length" 3 (q.Queue_disc.pkt_length ());
+  check_int "byte length" (3 * Packet.data_size) (q.Queue_disc.byte_length ());
+  (* FIFO order out *)
+  (match q.Queue_disc.dequeue ~now:0.0 with
+  | Some p -> check_int "fifo head" 0 (Packet.seq_exn p)
+  | None -> Alcotest.fail "dequeue");
+  check_int "length after dequeue" 2 (q.Queue_disc.pkt_length ())
+
+let droptail_validation () =
+  Alcotest.check_raises "bad limit"
+    (Invalid_argument "Droptail.create: limit must be positive") (fun () ->
+      ignore (Droptail.create ~limit_pkts:0))
+
+(* --- RED ------------------------------------------------------------------ *)
+
+let red_fixture ?(ecn = true) ?(limit = 100) () =
+  let params =
+    {
+      Red.wq = 0.5 (* fast-moving average to make tests direct *);
+      min_th = 5.0;
+      max_th = 15.0;
+      max_p = 0.1;
+      gentle = true;
+      adaptive = false;
+      ecn;
+    }
+  in
+  Red.create ~rng:(Rng.create 3) ~params ~capacity_pps:1000.0 ~limit_pkts:limit
+
+let red_accepts_when_idle () =
+  let q = red_fixture () in
+  let f = Packet.factory () in
+  for i = 0 to 3 do
+    match q.Queue_disc.enqueue ~now:(0.001 *. float_of_int i) (mk_data ~seq:i f) with
+    | Queue_disc.Accept -> ()
+    | _ -> Alcotest.fail "below min_th must accept"
+  done;
+  check_bool "avg tracked" true (Red.avg_queue q > 0.0)
+
+let red_marks_ecn_between_thresholds () =
+  let q = red_fixture () in
+  let f = Packet.factory () in
+  (* Build the queue (and average) well past min_th. *)
+  let marks = ref 0 and drops = ref 0 in
+  for i = 0 to 99 do
+    match q.Queue_disc.enqueue ~now:0.0 (mk_data ~ecn:true ~seq:i f) with
+    | Queue_disc.Accept -> ()
+    | Queue_disc.Accept_marked -> incr marks
+    | Queue_disc.Reject -> incr drops
+  done;
+  check_bool "some ECN marks" true (!marks > 0);
+  (* ECN-capable packets are marked, never probabilistically dropped, until
+     the hard region; with avg beyond 2*max_th they are dropped. *)
+  check_bool "hard drops once avg > 2 max_th" true (!drops > 0)
+
+let red_drops_non_ecn () =
+  let q = red_fixture ~ecn:false () in
+  let f = Packet.factory () in
+  let drops = ref 0 and marks = ref 0 in
+  for i = 0 to 99 do
+    match q.Queue_disc.enqueue ~now:0.0 (mk_data ~seq:i f) with
+    | Queue_disc.Accept -> ()
+    | Queue_disc.Accept_marked -> incr marks
+    | Queue_disc.Reject -> incr drops
+  done;
+  check_int "never marks without ecn" 0 !marks;
+  check_bool "drops instead" true (!drops > 0)
+
+let red_idle_decay () =
+  let q = red_fixture () in
+  let f = Packet.factory () in
+  for i = 0 to 9 do
+    ignore (q.Queue_disc.enqueue ~now:0.0 (mk_data ~seq:i f))
+  done;
+  let avg_busy = Red.avg_queue q in
+  (* Drain fully, then let it idle for a long time: the next arrival sees
+     a decayed average. *)
+  let rec drain () =
+    match q.Queue_disc.dequeue ~now:0.1 with Some _ -> drain () | None -> ()
+  in
+  drain ();
+  ignore (q.Queue_disc.enqueue ~now:10.0 (mk_data ~seq:100 f));
+  check_bool "average decayed during idle" true (Red.avg_queue q < avg_busy /. 2.0)
+
+let red_auto_params () =
+  (* 1000 pps * 5 ms / 2 = 2.5 is below the 5-packet floor. *)
+  let p = Red.auto_params ~capacity_pps:1000.0 ~limit_pkts:200 () in
+  check_float "min_th floored at 5" 5.0 p.Red.min_th;
+  check_float "max_th = 3 min_th" 15.0 p.Red.max_th;
+  let p1 = Red.auto_params ~capacity_pps:10_000.0 ~limit_pkts:400 () in
+  check_float "min_th = c*d/2 above the floor" 25.0 p1.Red.min_th;
+  check_bool "wq small" true (p.Red.wq < 0.01);
+  let p2 = Red.auto_params ~capacity_pps:10.0 ~limit_pkts:8 () in
+  check_bool "min_th clamped into buffer" true (p2.Red.min_th <= 2.0)
+
+let red_adaptive_moves_max_p () =
+  let params =
+    { (Red.auto_params ~capacity_pps:1000.0 ~limit_pkts:100 ()) with
+      Red.adaptive = true; wq = 0.5 }
+  in
+  let q = Red.create ~rng:(Rng.create 4) ~params ~capacity_pps:1000.0 ~limit_pkts:100 in
+  let f = Packet.factory () in
+  let initial = Red.current_max_p q in
+  (* Keep the average pinned high across several adaptation intervals. *)
+  for i = 0 to 200 do
+    ignore (q.Queue_disc.enqueue ~now:(0.1 *. float_of_int i) (mk_data ~ecn:true ~seq:i f))
+  done;
+  check_bool "max_p increased under persistent congestion" true
+    (Red.current_max_p q > initial)
+
+let red_wrong_disc () =
+  let q = Droptail.create ~limit_pkts:5 in
+  Alcotest.check_raises "not a RED queue"
+    (Invalid_argument "Red: not a RED discipline") (fun () ->
+      ignore (Red.avg_queue q))
+
+let red_count_correction_bounds_gaps () =
+  (* With the average pinned between the thresholds, the count-corrected
+     probability pa = pb / (1 - count*pb) guarantees a mark at least every
+     ceil(1/pb) arrivals — the de-clustering property RED is built on. *)
+  let params =
+    { Red.wq = 0.05; min_th = 2.0; max_th = 12.0; max_p = 0.5;
+      gentle = false; adaptive = false; ecn = true }
+  in
+  let q = Red.create ~rng:(Rng.create 11) ~params ~capacity_pps:1000.0 ~limit_pkts:100 in
+  let f = Packet.factory () in
+  (* Pin the instantaneous queue at 7 (every accepted arrival is matched
+     by a departure): the average converges to 7, mid-band, where
+     pb = 0.5 * (7-2)/10 = 0.25 and the gap bound is 1/pb = 4. *)
+  for i = 0 to 6 do
+    ignore (q.Queue_disc.enqueue ~now:0.0 (mk_data ~ecn:true ~seq:i f))
+  done;
+  for i = 7 to 2006 do
+    (match q.Queue_disc.enqueue ~now:0.001 (mk_data ~ecn:true ~seq:i f) with
+    | Queue_disc.Accept | Queue_disc.Accept_marked ->
+        ignore (q.Queue_disc.dequeue ~now:0.001)
+    | Queue_disc.Reject -> ())
+  done;
+  let gap = ref 0 and max_gap = ref 0 and marks = ref 0 in
+  for i = 0 to 1999 do
+    (match
+       q.Queue_disc.enqueue ~now:0.002 (mk_data ~ecn:true ~seq:(6000 + i) f)
+     with
+    | Queue_disc.Accept_marked ->
+        incr marks;
+        if !gap > !max_gap then max_gap := !gap;
+        gap := 0;
+        ignore (q.Queue_disc.dequeue ~now:0.002)
+    | Queue_disc.Accept ->
+        incr gap;
+        ignore (q.Queue_disc.dequeue ~now:0.002)
+    | Queue_disc.Reject -> ())
+  done;
+  check_bool "plenty of marks" true (!marks > 200);
+  (* pb >= 0.2 in the settled band -> gap bound 1/pb = 5, plus slack *)
+  check_bool "count correction bounds the gap" true (!max_gap <= 8)
+
+(* --- PI queue --------------------------------------------------------------- *)
+
+let pi_fixture () =
+  let params =
+    { Pi_queue.a = 0.01; b = 0.005; q_ref = 5.0; sample_interval = 0.01; ecn = true }
+  in
+  Pi_queue.create ~rng:(Rng.create 5) ~params ~limit_pkts:100
+
+let pi_probability_rises_and_falls () =
+  let q = pi_fixture () in
+  let f = Packet.factory () in
+  (* Queue pinned at 20 > q_ref: probability should integrate upward. *)
+  for i = 0 to 19 do
+    ignore (q.Queue_disc.enqueue ~now:0.0 (mk_data ~ecn:true ~seq:i f))
+  done;
+  ignore (q.Queue_disc.enqueue ~now:1.0 (mk_data ~ecn:true ~seq:20 f));
+  let p_high = Pi_queue.probability q in
+  check_bool "p grew above 0" true (p_high > 0.0);
+  (* Drain to zero and wait: probability should decay back down. *)
+  let rec drain () =
+    match q.Queue_disc.dequeue ~now:1.0 with Some _ -> drain () | None -> ()
+  in
+  drain ();
+  ignore (q.Queue_disc.enqueue ~now:5.0 (mk_data ~ecn:true ~seq:21 f));
+  check_bool "p decayed" true (Pi_queue.probability q < p_high)
+
+let pi_marks_ecn () =
+  let q = pi_fixture () in
+  let f = Packet.factory () in
+  (* Standing queue of ~20 (> q_ref = 5, well below the 100 limit): every
+     accepted packet is matched by a departure. *)
+  for i = 0 to 19 do
+    ignore (q.Queue_disc.enqueue ~now:0.0 (mk_data ~ecn:true ~seq:i f))
+  done;
+  let marks = ref 0 and drops = ref 0 in
+  for i = 20 to 519 do
+    (match
+       q.Queue_disc.enqueue ~now:(0.01 *. float_of_int i) (mk_data ~ecn:true ~seq:i f)
+     with
+    | Queue_disc.Accept_marked ->
+        incr marks;
+        ignore (q.Queue_disc.dequeue ~now:(0.01 *. float_of_int i))
+    | Queue_disc.Accept -> ignore (q.Queue_disc.dequeue ~now:(0.01 *. float_of_int i))
+    | Queue_disc.Reject -> incr drops)
+  done;
+  check_bool "ECN marks under sustained excess" true (!marks > 0);
+  check_int "no drops while marking" 0 !drops
+
+(* --- REM ---------------------------------------------------------------------- *)
+
+let rem_fixture () =
+  let params =
+    { Netsim.Rem.gamma = 0.01; alpha = 0.5; b_ref = 5.0; phi = 1.01;
+      sample_interval = 0.01; ecn = true }
+  in
+  Rem.create ~rng:(Rng.create 7) ~params ~capacity_pps:100.0 ~limit_pkts:200
+
+let rem_price_tracks_backlog () =
+  let q = rem_fixture () in
+  let f = Packet.factory () in
+  check_float "initial price" 0.0 (Rem.price q);
+  (* hold a backlog of 30 > b_ref across many intervals *)
+  for i = 0 to 29 do
+    ignore (q.Queue_disc.enqueue ~now:0.0 (mk_data ~ecn:true ~seq:i f))
+  done;
+  ignore (q.Queue_disc.enqueue ~now:2.0 (mk_data ~ecn:true ~seq:100 f));
+  let high = Rem.price q in
+  check_bool "price grew" true (high > 0.0);
+  check_bool "marking probability in (0,1)" true
+    (Rem.mark_probability q > 0.0 && Rem.mark_probability q < 1.0);
+  (* drain below the target: price must fall back toward zero *)
+  let rec drain () =
+    match q.Queue_disc.dequeue ~now:2.0 with Some _ -> drain () | None -> ()
+  in
+  drain ();
+  ignore (q.Queue_disc.enqueue ~now:10.0 (mk_data ~ecn:true ~seq:101 f));
+  check_bool "price decayed" true (Rem.price q < high)
+
+let rem_marks_under_price () =
+  let q = rem_fixture () in
+  let f = Packet.factory () in
+  let marks = ref 0 and drops = ref 0 in
+  for i = 0 to 999 do
+    (match
+       q.Queue_disc.enqueue ~now:(0.005 *. float_of_int i)
+         (mk_data ~ecn:true ~seq:i f)
+     with
+    | Queue_disc.Accept_marked -> incr marks
+    | Queue_disc.Reject -> incr drops
+    | Queue_disc.Accept -> ());
+    (* slow service keeps backlog above target *)
+    if i mod 2 = 0 then ignore (q.Queue_disc.dequeue ~now:(0.005 *. float_of_int i))
+  done;
+  check_bool "REM marks" true (!marks > 0)
+
+let rem_validation () =
+  Alcotest.check_raises "phi must exceed 1"
+    (Invalid_argument "Rem.create: phi must exceed 1") (fun () ->
+      ignore
+        (Rem.create ~rng:(Rng.create 1)
+           ~params:{ (Rem.default_params ~capacity_pps:100.0) with Rem.phi = 1.0 }
+           ~capacity_pps:100.0 ~limit_pkts:10))
+
+(* --- AVQ ---------------------------------------------------------------------- *)
+
+let avq_marks_on_virtual_overflow () =
+  let params = { (Avq.default_params ()) with Netsim.Avq.virtual_buffer = 5.0 } in
+  let q = Avq.create ~params ~capacity_pps:100.0 ~limit_pkts:1000 in
+  let f = Packet.factory () in
+  (* a burst far above the virtual capacity must overflow the virtual
+     queue and mark *)
+  let marks = ref 0 in
+  for i = 0 to 49 do
+    match q.Queue_disc.enqueue ~now:0.001 (mk_data ~ecn:true ~seq:i f) with
+    | Queue_disc.Accept_marked -> incr marks
+    | Queue_disc.Accept | Queue_disc.Reject -> ()
+  done;
+  check_bool "burst marked" true (!marks > 30);
+  (* virtual capacity stays within [0, C] *)
+  let c = Avq.virtual_capacity q in
+  check_bool "virtual capacity bounded" true (c >= 0.0 && c <= 100.0)
+
+let avq_adapts_capacity () =
+  let q = Avq.create ~params:(Avq.default_params ()) ~capacity_pps:100.0 ~limit_pkts:1000 in
+  let f = Packet.factory () in
+  (* light load (10 pkt/s against gamma*C = 98): c_tilde pins at C *)
+  for i = 0 to 99 do
+    ignore (q.Queue_disc.enqueue ~now:(0.1 *. float_of_int i) (mk_data ~ecn:true ~seq:i f));
+    ignore (q.Queue_disc.dequeue ~now:(0.1 *. float_of_int i))
+  done;
+  check_float "pins at C under light load" 100.0 (Avq.virtual_capacity q);
+  (* overload (1000 pkt/s): c_tilde must fall *)
+  for i = 0 to 999 do
+    ignore (q.Queue_disc.enqueue ~now:(10.0 +. (0.001 *. float_of_int i)) (mk_data ~ecn:true ~seq:(1000 + i) f));
+    ignore (q.Queue_disc.dequeue ~now:(10.0 +. (0.001 *. float_of_int i)))
+  done;
+  check_bool "falls under overload" true (Avq.virtual_capacity q < 100.0)
+
+(* --- Link --------------------------------------------------------------------- *)
+
+let link_fixture ?(bandwidth = 1e6) ?(delay = 0.01) ?(limit = 50) sim =
+  Link.create sim ~name:"l" ~bandwidth ~delay
+    ~disc:(Droptail.create ~limit_pkts:limit)
+
+let link_timing_exact () =
+  let sim = Sim.create () in
+  let link = link_fixture sim in
+  let arrival = ref 0.0 in
+  Link.set_deliver link (fun _ -> arrival := Sim.now sim);
+  let f = Packet.factory () in
+  Sim.at sim 0.0 (fun () -> Link.send link (mk_data f));
+  Sim.run sim;
+  (* 1040 bytes at 1 Mbps = 8.32 ms serialisation + 10 ms propagation. *)
+  check_float "delivery time" (0.00832 +. 0.01) !arrival
+
+let link_serialises_back_to_back () =
+  let sim = Sim.create () in
+  let link = link_fixture sim in
+  let arrivals = ref [] in
+  Link.set_deliver link (fun p -> arrivals := (Packet.seq_exn p, Sim.now sim) :: !arrivals);
+  let f = Packet.factory () in
+  Sim.at sim 0.0 (fun () ->
+      Link.send link (mk_data ~seq:0 f);
+      Link.send link (mk_data ~seq:1 f));
+  Sim.run sim;
+  match List.rev !arrivals with
+  | [ (0, t0); (1, t1) ] ->
+      check_float "second is one serialisation later" 0.00832 (t1 -. t0)
+  | _ -> Alcotest.fail "expected two arrivals in order"
+
+let link_max_queue_watermark () =
+  let sim = Sim.create () in
+  let link = link_fixture sim in
+  Link.set_deliver link ignore;
+  let f = Packet.factory () in
+  Sim.at sim 0.0 (fun () ->
+      for i = 0 to 9 do
+        Link.send link (mk_data ~seq:i f)
+      done);
+  Sim.run sim;
+  (* first packet starts transmitting immediately; nine buffered at peak *)
+  check_int "high watermark" 9 (Link.max_queue_pkts link);
+  Link.reset_stats link;
+  check_int "watermark resets to current" 0 (Link.max_queue_pkts link)
+
+let link_counters_and_reset () =
+  let sim = Sim.create () in
+  let link = link_fixture ~limit:2 sim in
+  Link.set_deliver link ignore;
+  let f = Packet.factory () in
+  Sim.at sim 0.0 (fun () ->
+      for i = 0 to 4 do
+        Link.send link (mk_data ~seq:i f)
+      done);
+  Sim.run sim;
+  check_int "arrivals" 5 (Link.arrivals link);
+  (* limit 2: the first is transmitted immediately, two buffered, two dropped *)
+  check_int "drops" 2 (Link.drops link);
+  check_bool "drop rate" true (Link.drop_rate link = 0.4);
+  check_bool "utilization positive" true (Link.utilization link > 0.0);
+  Link.reset_stats link;
+  check_int "drops reset" 0 (Link.drops link);
+  check_int "arrivals reset" 0 (Link.arrivals link)
+
+let link_drop_trace () =
+  let sim = Sim.create () in
+  let link = link_fixture ~limit:1 sim in
+  Link.set_deliver link ignore;
+  Link.enable_drop_trace link;
+  let f = Packet.factory () in
+  Sim.at sim 0.5 (fun () ->
+      for i = 0 to 3 do
+        Link.send link (mk_data ~seq:i f)
+      done);
+  Sim.run sim;
+  let drops = Link.drop_times link in
+  check_int "two drops traced" 2 (Array.length drops);
+  Array.iter (fun t -> check_float "at send time" 0.5 t) drops
+
+let link_queue_trace_lookup () =
+  let sim = Sim.create () in
+  let link = link_fixture sim in
+  Link.set_deliver link ignore;
+  Link.enable_queue_trace link ~interval:0.1 ();
+  let f = Packet.factory () in
+  Sim.at sim 0.45 (fun () ->
+      for i = 0 to 9 do
+        Link.send link (mk_data ~seq:i f)
+      done);
+  Sim.run ~until:1.0 sim;
+  check_float "queue before burst" 0.0 (Link.queue_at link 0.2);
+  check_bool "queue after burst" true (Link.queue_at link 0.55 > 0.0)
+
+let link_jitter_reorders () =
+  let sim = Sim.create ~seed:9 () in
+  let link =
+    Link.create ~jitter:0.02 sim ~name:"j" ~bandwidth:1e8 ~delay:0.001
+      ~disc:(Droptail.create ~limit_pkts:100)
+  in
+  let order = ref [] in
+  Link.set_deliver link (fun p -> order := Packet.seq_exn p :: !order);
+  let f = Packet.factory () in
+  Sim.at sim 0.0 (fun () ->
+      for i = 0 to 49 do
+        Link.send link (mk_data ~seq:i f)
+      done);
+  Sim.run sim;
+  let arrived = List.rev !order in
+  check_int "all delivered" 50 (List.length arrived);
+  check_bool "some reordering happened" true
+    (arrived <> List.sort compare arrived);
+  Alcotest.(check (list int))
+    "no loss, no duplication"
+    (List.init 50 (fun i -> i))
+    (List.sort compare arrived)
+
+let rem_default_params_sane () =
+  let p = Rem.default_params ~capacity_pps:1000.0 in
+  check_bool "phi > 1" true (p.Rem.phi > 1.0);
+  check_bool "positive interval" true (p.Rem.sample_interval > 0.0)
+
+(* --- Node / Topology ------------------------------------------------------------ *)
+
+let topology_routing_chain () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim in
+  let n = Array.init 4 (fun _ -> Topology.add_node topo) in
+  let disc () = Droptail.create ~limit_pkts:100 in
+  for i = 0 to 2 do
+    ignore
+      (Topology.add_duplex topo ~a:n.(i) ~b:n.(i + 1) ~bandwidth:1e7 ~delay:0.001
+         ~disc_ab:(disc ()) ~disc_ba:(disc ()))
+  done;
+  Topology.compute_routes topo;
+  check_int "node count" 4 (Topology.node_count topo);
+  check_int "links" 6 (List.length (Topology.links topo));
+  (* End-to-end delivery via intermediate hops. *)
+  let got = ref None in
+  Node.attach_agent n.(3) ~flow:7 (fun p -> got := Some (Packet.seq_exn p));
+  let f = Packet.factory () in
+  let pkt = Packet.data f ~flow:7 ~src:0 ~dst:3 ~seq:42 ~ecn:false ~now:0.0 () in
+  Sim.at sim 0.0 (fun () -> Topology.inject topo n.(0) pkt);
+  Sim.run sim;
+  Alcotest.(check (option int)) "delivered across 3 hops" (Some 42) !got
+
+let topology_shortest_path () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim in
+  (* Triangle with an extra 2-hop detour: BFS must pick the direct edge. *)
+  let a = Topology.add_node topo
+  and b = Topology.add_node topo
+  and c = Topology.add_node topo in
+  let disc () = Droptail.create ~limit_pkts:10 in
+  let direct = Topology.add_link topo ~src:a ~dst:c ~bandwidth:1e6 ~delay:0.001 ~disc:(disc ()) in
+  ignore (Topology.add_link topo ~src:a ~dst:b ~bandwidth:1e6 ~delay:0.001 ~disc:(disc ()));
+  ignore (Topology.add_link topo ~src:b ~dst:c ~bandwidth:1e6 ~delay:0.001 ~disc:(disc ()));
+  Topology.compute_routes topo;
+  (match Node.route_to a (Node.id c) with
+  | Some l -> Alcotest.(check string) "direct link chosen" (Link.name direct) (Link.name l)
+  | None -> Alcotest.fail "no route");
+  check_bool "no route back (directed)" true (Node.route_to c (Node.id a) = None)
+
+let node_agent_demux () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim in
+  let a = Topology.add_node topo and b = Topology.add_node topo in
+  ignore
+    (Topology.add_duplex topo ~a ~b ~bandwidth:1e7 ~delay:0.001
+       ~disc_ab:(Droptail.create ~limit_pkts:10)
+       ~disc_ba:(Droptail.create ~limit_pkts:10));
+  Topology.compute_routes topo;
+  let hits_1 = ref 0 and hits_2 = ref 0 in
+  Node.attach_agent b ~flow:1 (fun _ -> incr hits_1);
+  Node.attach_agent b ~flow:2 (fun _ -> incr hits_2);
+  let f = Packet.factory () in
+  Sim.at sim 0.0 (fun () ->
+      Node.receive a (Packet.data f ~flow:1 ~src:0 ~dst:1 ~seq:0 ~ecn:false ~now:0.0 ());
+      Node.receive a (Packet.data f ~flow:2 ~src:0 ~dst:1 ~seq:0 ~ecn:false ~now:0.0 ());
+      Node.receive a (Packet.data f ~flow:3 ~src:0 ~dst:1 ~seq:0 ~ecn:false ~now:0.0 ()));
+  Sim.run sim;
+  check_int "flow 1" 1 !hits_1;
+  check_int "flow 2" 1 !hits_2;
+  Node.detach_agent b ~flow:1;
+  Sim.at sim (Sim.now sim +. 0.001) (fun () ->
+      Node.receive a (Packet.data f ~flow:1 ~src:0 ~dst:1 ~seq:1 ~ecn:false ~now:0.0 ()));
+  Sim.run sim;
+  check_int "detached agent silent" 1 !hits_1
+
+(* --- Tracer -------------------------------------------------------------- *)
+
+let tracer_records_lifecycle () =
+  let sim = Sim.create () in
+  let link = link_fixture ~limit:2 sim in
+  Link.set_deliver link ignore;
+  let tracer = Tracer.create sim ~links:[ link ] in
+  let f = Packet.factory () in
+  Sim.at sim 0.0 (fun () ->
+      for i = 0 to 4 do
+        Link.send link (mk_data ~seq:i f)
+      done);
+  Sim.run sim;
+  (* 3 accepted (1 transmitting + 2 buffered), 2 dropped:
+     3 enqueues + 3 dequeues + 3 receives + 2 drops *)
+  check_int "event count" 11 (Tracer.events tracer);
+  let trace = Tracer.to_string tracer in
+  let count c =
+    String.fold_left
+      (fun (at_bol, n) ch ->
+        if at_bol && ch = c then (false, n + 1) else (ch = '\n', n))
+      (true, 0) trace
+    |> snd
+  in
+  check_int "enqueues" 3 (count '+');
+  check_int "dequeues" 3 (count '-');
+  check_int "receives" 3 (count 'r');
+  check_int "drops" 2 (count 'd');
+  check_bool "ns-2 fields present" true
+    (String.length trace > 0
+    && String.split_on_char ' ' (List.hd (String.split_on_char '\n' trace))
+       |> List.length = 12)
+
+let tracer_marks_flags () =
+  let sim = Sim.create () in
+  let link = link_fixture sim in
+  Link.set_deliver link ignore;
+  let tracer = Tracer.create sim ~links:[ link ] in
+  let f = Packet.factory () in
+  let pkt = mk_data ~seq:0 f in
+  pkt.Packet.retransmit <- true;
+  Sim.at sim 0.0 (fun () -> Link.send link pkt);
+  Sim.run sim;
+  check_bool "retransmit flag traced" true
+    (let trace = Tracer.to_string tracer in
+     String.length trace > 0
+     &&
+     let has_sub sub s =
+       let n = String.length sub and m = String.length s in
+       let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+       go 0
+     in
+     has_sub "-R--" trace)
+
+let suite =
+  [
+    ("packet factory/accessors", `Quick, packet_factory_ids);
+    ("droptail tail drop", `Quick, droptail_tail_drop);
+    ("droptail validation", `Quick, droptail_validation);
+    ("red accepts when idle", `Quick, red_accepts_when_idle);
+    ("red marks ecn", `Quick, red_marks_ecn_between_thresholds);
+    ("red drops non-ecn", `Quick, red_drops_non_ecn);
+    ("red idle decay", `Quick, red_idle_decay);
+    ("red auto params", `Quick, red_auto_params);
+    ("red adaptive max_p", `Quick, red_adaptive_moves_max_p);
+    ("red wrong discipline", `Quick, red_wrong_disc);
+    ("red count correction", `Quick, red_count_correction_bounds_gaps);
+    ("pi probability rises/falls", `Quick, pi_probability_rises_and_falls);
+    ("rem price tracks backlog", `Quick, rem_price_tracks_backlog);
+    ("rem marks under price", `Quick, rem_marks_under_price);
+    ("rem validation", `Quick, rem_validation);
+    ("avq marks on virtual overflow", `Quick, avq_marks_on_virtual_overflow);
+    ("avq adapts capacity", `Quick, avq_adapts_capacity);
+    ("pi marks ecn", `Quick, pi_marks_ecn);
+    ("link timing exact", `Quick, link_timing_exact);
+    ("link serialisation", `Quick, link_serialises_back_to_back);
+    ("link max-queue watermark", `Quick, link_max_queue_watermark);
+    ("link counters/reset", `Quick, link_counters_and_reset);
+    ("link drop trace", `Quick, link_drop_trace);
+    ("link queue trace", `Quick, link_queue_trace_lookup);
+    ("topology routing chain", `Quick, topology_routing_chain);
+    ("topology shortest path", `Quick, topology_shortest_path);
+    ("node agent demux", `Quick, node_agent_demux);
+    ("link jitter reorders", `Quick, link_jitter_reorders);
+    ("rem default params", `Quick, rem_default_params_sane);
+    ("tracer records lifecycle", `Quick, tracer_records_lifecycle);
+    ("tracer flags", `Quick, tracer_marks_flags);
+  ]

@@ -1,0 +1,299 @@
+(* Tests for the Section 2 machinery: traces, the A/B/C transition
+   analysis, and the nine congestion predictors on synthetic signals. *)
+
+open Predictors
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk_trace ?cwnds ~rtts ?(dt = 0.01) ?(flow_losses = [||]) ?(queue_losses = [||]) () =
+  let n = Array.length rtts in
+  let times = Array.init n (fun i -> dt *. float_of_int i) in
+  Trace.make ~times ~rtts ?cwnds ~flow_losses ~queue_losses ()
+
+(* --- Trace ------------------------------------------------------------------ *)
+
+let trace_validation () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Trace.make: length mismatch") (fun () ->
+      ignore
+        (Trace.make ~times:[| 0.0 |] ~rtts:[| 0.1; 0.2 |] ~flow_losses:[||]
+           ~queue_losses:[||] ()))
+
+let trace_base_rtt () =
+  let t = mk_trace ~rtts:[| 0.3; 0.1; 0.2 |] () in
+  check_float "base is min" 0.1 t.Trace.base_rtt;
+  check_int "length" 3 (Trace.length t)
+
+let trace_per_rtt_spacing () =
+  (* constant 50 ms RTT sampled every 10 ms: decision points ~5 samples apart *)
+  let t = mk_trace ~rtts:(Array.make 100 0.05) () in
+  let idx = Trace.per_rtt_indices t in
+  check_bool "sparser than per-ack" true (Array.length idx <= 21);
+  Array.iteri
+    (fun k i ->
+      if k > 0 then
+        check_bool "gap >= one RTT" true
+          (t.Trace.times.(i) -. t.Trace.times.(idx.(k - 1)) >= 0.05))
+    idx
+
+(* --- Transitions ----------------------------------------------------------------- *)
+
+let transitions_textbook () =
+  (* A(2) -> B(3) -> loss -> A... -> B -> back to A (false positive). *)
+  let times = Array.init 10 (fun i -> float_of_int i) in
+  let states = [| false; false; true; true; true; false; true; true; false; false |] in
+  (* loss at t=4.5 while in B; the machine resets to A, so the sample at
+     t=5 (false) does not count as a B->A exit *)
+  let c = Transitions.count ~times ~states ~losses:[| 4.5 |] () in
+  check_int "a_to_b" 2 c.Transitions.a_to_b;
+  check_int "b_to_c" 1 c.Transitions.b_to_c;
+  check_int "b_to_a (false positives)" 1 c.Transitions.b_to_a;
+  check_int "a_to_c" 0 c.Transitions.a_to_c;
+  check_float "efficiency" 0.5 (Transitions.efficiency c);
+  check_float "false positive rate" 0.5 (Transitions.false_positive_rate c);
+  check_float "false negative rate" 0.0 (Transitions.false_negative_rate c)
+
+let transitions_false_negative () =
+  let times = [| 0.0; 1.0; 2.0 |] in
+  let states = [| false; false; false |] in
+  let c = Transitions.count ~times ~states ~losses:[| 1.5 |] () in
+  check_int "a_to_c" 1 c.Transitions.a_to_c;
+  check_float "fn rate" 1.0 (Transitions.false_negative_rate c);
+  check_float "efficiency degenerate" 0.0 (Transitions.efficiency c)
+
+let transitions_loss_merge () =
+  let times = [| 0.0; 1.0; 2.0; 3.0 |] in
+  let states = [| true; true; true; true |] in
+  (* Three drops within 100 ms are one buffer-overflow episode. *)
+  let c =
+    Transitions.count ~times ~states ~losses:[| 1.50; 1.55; 1.58; 2.9 |]
+      ~loss_merge:0.2 ()
+  in
+  check_int "merged into two episodes" 2 c.Transitions.loss_episodes;
+  (* first episode from B; machine resets to A, signal still high -> back
+     to B before the second episode *)
+  check_int "b_to_c twice" 2 c.Transitions.b_to_c
+
+let transitions_losses_after_samples () =
+  let times = [| 0.0; 1.0 |] in
+  let states = [| false; true |] in
+  let c = Transitions.count ~times ~states ~losses:[| 5.0 |] () in
+  check_int "trailing loss counted from B" 1 c.Transitions.b_to_c
+
+let transitions_fp_times () =
+  let times = [| 0.0; 1.0; 2.0; 3.0; 4.0 |] in
+  let states = [| false; true; false; true; false |] in
+  let fp =
+    Transitions.false_positive_times ~times ~states ~losses:[| 3.5 |] ()
+  in
+  (* B->A at t=2 is a false positive; the B at t=3 ends in the loss. *)
+  Alcotest.(check (array (float 1e-9))) "fp times" [| 2.0 |] fp
+
+let transitions_qcheck_rates =
+  QCheck.Test.make ~name:"efficiency + false-positive rate = 1 when B exits exist"
+    ~count:300
+    QCheck.(pair (list_of_size (Gen.int_range 2 60) bool) (list (float_bound_exclusive 0.6)))
+    (fun (states, losses) ->
+      let states = Array.of_list states in
+      let times = Array.init (Array.length states) (fun i -> 0.01 *. float_of_int i) in
+      let losses = Array.of_list losses in
+      let c = Transitions.count ~times ~states ~losses () in
+      let exits = c.Transitions.b_to_c + c.Transitions.b_to_a in
+      if exits = 0 then true
+      else
+        abs_float
+          (Transitions.efficiency c +. Transitions.false_positive_rate c -. 1.0)
+        < 1e-9)
+
+(* --- Predictors ---------------------------------------------------------------------- *)
+
+let inst_threshold_basic () =
+  let t = mk_trace ~rtts:[| 0.05; 0.051; 0.058; 0.06; 0.052 |] () in
+  let p = Predictor.inst_threshold ~offset:0.005 () in
+  Alcotest.(check (array bool))
+    "above base+5ms"
+    [| false; false; true; true; false |]
+    (p.Predictor.predict t)
+
+let ewma_smooths_spikes () =
+  (* One spiky sample must not flip the 0.99-weight signal. *)
+  let rtts = Array.make 200 0.05 in
+  rtts.(100) <- 0.2;
+  let t = mk_trace ~rtts () in
+  let p = Predictor.ewma ~alpha:0.99 ~offset:0.005 () in
+  let states = p.Predictor.predict t in
+  check_bool "spike filtered" false (Array.exists (fun b -> b) states)
+
+let ewma_follows_sustained_shift () =
+  let rtts = Array.append (Array.make 100 0.05) (Array.make 400 0.08) in
+  let t = mk_trace ~rtts () in
+  let p = Predictor.ewma ~alpha:0.99 ~offset:0.005 () in
+  let states = p.Predictor.predict t in
+  check_bool "eventually detects" true states.(499);
+  check_bool "not before the shift" false states.(99)
+
+let moving_average_window () =
+  let rtts = Array.append (Array.make 50 0.05) (Array.make 50 0.1) in
+  let t = mk_trace ~rtts () in
+  let p = Predictor.moving_average ~window:10 ~offset:0.005 () in
+  let states = p.Predictor.predict t in
+  check_bool "before shift low" false states.(49);
+  check_bool "after window fills" true states.(70)
+
+let card_detects_gradient () =
+  (* monotonically rising RTT -> positive normalised delay gradient *)
+  let rtts = Array.init 300 (fun i -> 0.05 +. (0.0002 *. float_of_int i)) in
+  let t = mk_trace ~rtts () in
+  let p = Predictor.card () in
+  let states = p.Predictor.predict t in
+  check_bool "predicts during rise" true states.(250);
+  (* falling RTT -> no congestion *)
+  let rtts_down = Array.init 300 (fun i -> 0.11 -. (0.0002 *. float_of_int i)) in
+  let t2 = mk_trace ~rtts:rtts_down () in
+  let states2 = p.Predictor.predict t2 in
+  check_bool "silent during fall" false states2.(250)
+
+let dual_midpoint () =
+  (* RTT oscillating between 0.05 and 0.15: DUAL flags samples above 0.10 *)
+  let rtts = Array.init 400 (fun i -> if i mod 40 < 20 then 0.05 else 0.15) in
+  let t = mk_trace ~rtts () in
+  let p = Predictor.dual () in
+  let states = p.Predictor.predict t in
+  check_bool "some predictions" true (Array.exists (fun b -> b) states);
+  (* its decisions align with the high phase at per-RTT points *)
+  let idx = Trace.per_rtt_indices t in
+  Array.iter
+    (fun i ->
+      if i > 100 && t.Trace.rtts.(i) < 0.08 then
+        check_bool "low phase not flagged at decision points" false
+          (t.Trace.rtts.(i) > 0.1))
+    idx
+
+let vegas_needs_cwnd () =
+  let t = mk_trace ~rtts:(Array.make 50 0.05) () in
+  let p = Predictor.vegas () in
+  Alcotest.check_raises "missing cwnd"
+    (Invalid_argument "Predictor.vegas: trace has no cwnd record") (fun () ->
+      ignore (p.Predictor.predict t))
+
+let vegas_backlog_rule () =
+  (* cwnd 20, base 0.05; rtt 0.08 gives diff = 20*(1-0.05/0.08)=7.5 > 3 *)
+  let n = 200 in
+  let rtts = Array.init n (fun i -> if i < 100 then 0.05 else 0.08) in
+  let cwnds = Array.make n 20.0 in
+  let t = mk_trace ~rtts ~cwnds () in
+  let p = Predictor.vegas () in
+  let states = p.Predictor.predict t in
+  check_bool "flags large backlog" true states.(n - 1);
+  check_bool "quiet at base rtt" false states.(50)
+
+let cim_short_vs_long () =
+  let rtts = Array.append (Array.make 100 0.05) (Array.make 20 0.09) in
+  let t = mk_trace ~rtts () in
+  let p = Predictor.cim ~short:5 ~long:50 ~margin:0.05 () in
+  let states = p.Predictor.predict t in
+  check_bool "recent burst detected" true states.(115);
+  check_bool "steady state quiet" false states.(99)
+
+let tri_s_throughput_flatten () =
+  (* Ack spacing doubles midway => per-epoch throughput halves => NTG < 0. *)
+  let n = 300 in
+  let times = Array.make n 0.0 in
+  let t = ref 0.0 in
+  for i = 0 to n - 1 do
+    t := !t +. (if i < 150 then 0.005 else 0.01);
+    times.(i) <- !t
+  done;
+  let rtts = Array.make n 0.05 in
+  let trace = Trace.make ~times ~rtts ~flow_losses:[||] ~queue_losses:[||] () in
+  let p = Predictor.tri_s () in
+  let states = p.Predictor.predict trace in
+  (* the negative-gradient epoch spans the rate change; afterwards the
+     gradient is ~0 again, so look for any flagged sample in the second
+     half rather than at the very end *)
+  let flagged = ref false in
+  for i = 150 to n - 1 do
+    if states.(i) then flagged := true
+  done;
+  check_bool "flags around the slowdown" true !flagged;
+  check_bool "quiet during the steady first phase" false states.(100)
+
+let standard_set_composition () =
+  let set = Predictor.standard_set ~buffer_pkts:750 in
+  check_int "nine predictors" 9 (List.length set);
+  Alcotest.(check (list string)) "paper order"
+    [ "card"; "tri-s"; "dual"; "vegas"; "cim"; "inst-rtt"; "ma-750";
+      "ewma-0.875"; "ewma-0.99" ]
+    (List.map (fun p -> p.Predictor.name) set)
+
+let predictor_outputs_full_length =
+  QCheck.Test.make ~name:"every predictor returns one state per sample" ~count:50
+    QCheck.(list_of_size (Gen.int_range 10 300) (float_range 0.02 0.3))
+    (fun rtt_list ->
+      let rtts = Array.of_list rtt_list in
+      let cwnds = Array.make (Array.length rtts) 10.0 in
+      let t = mk_trace ~rtts ~cwnds () in
+      List.for_all
+        (fun p -> Array.length (p.Predictor.predict t) = Array.length rtts)
+        (Predictor.standard_set ~buffer_pkts:50))
+
+let moving_average_short_trace () =
+  (* window larger than the trace: falls back to the running mean *)
+  let t = mk_trace ~rtts:[| 0.05; 0.07; 0.09 |] () in
+  let p = Predictor.moving_average ~window:100 ~offset:0.005 () in
+  let states = p.Predictor.predict t in
+  check_int "full length" 3 (Array.length states);
+  check_bool "running mean crosses threshold" true states.(2)
+
+let transitions_empty_inputs () =
+  let c = Transitions.count ~times:[||] ~states:[||] ~losses:[||] () in
+  check_int "no transitions" 0
+    (c.Transitions.a_to_b + c.Transitions.b_to_c + c.Transitions.a_to_c
+   + c.Transitions.b_to_a);
+  check_float "degenerate rates" 0.0 (Transitions.efficiency c);
+  (* losses with no samples still count as episodes from state A *)
+  let c2 = Transitions.count ~times:[||] ~states:[||] ~losses:[| 1.0; 5.0 |] () in
+  check_int "episodes" 2 c2.Transitions.loss_episodes;
+  check_int "all false negatives" 2 c2.Transitions.a_to_c
+
+let predictor_validation () =
+  Alcotest.check_raises "cim windows" (Invalid_argument "Predictor.cim")
+    (fun () -> ignore (Predictor.cim ~short:10 ~long:5 ()));
+  Alcotest.check_raises "ma window"
+    (Invalid_argument "Predictor.moving_average") (fun () ->
+      ignore (Predictor.moving_average ~window:0 ()));
+  Alcotest.check_raises "ewma alpha" (Invalid_argument "Predictor.ewma")
+    (fun () -> ignore (Predictor.ewma ~alpha:1.0 ()))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ transitions_qcheck_rates; predictor_outputs_full_length ]
+
+let suite =
+  [
+    ("trace validation", `Quick, trace_validation);
+    ("trace base rtt", `Quick, trace_base_rtt);
+    ("trace per-rtt spacing", `Quick, trace_per_rtt_spacing);
+    ("transitions textbook", `Quick, transitions_textbook);
+    ("transitions false negative", `Quick, transitions_false_negative);
+    ("transitions loss merge", `Quick, transitions_loss_merge);
+    ("transitions trailing loss", `Quick, transitions_losses_after_samples);
+    ("transitions fp times", `Quick, transitions_fp_times);
+    ("inst threshold", `Quick, inst_threshold_basic);
+    ("ewma smooths spikes", `Quick, ewma_smooths_spikes);
+    ("ewma follows shift", `Quick, ewma_follows_sustained_shift);
+    ("moving average window", `Quick, moving_average_window);
+    ("card gradient", `Quick, card_detects_gradient);
+    ("dual midpoint", `Quick, dual_midpoint);
+    ("vegas needs cwnd", `Quick, vegas_needs_cwnd);
+    ("vegas backlog rule", `Quick, vegas_backlog_rule);
+    ("cim windows", `Quick, cim_short_vs_long);
+    ("tri-s throughput", `Quick, tri_s_throughput_flatten);
+    ("standard set", `Quick, standard_set_composition);
+    ("moving average short trace", `Quick, moving_average_short_trace);
+    ("transitions empty inputs", `Quick, transitions_empty_inputs);
+    ("predictor validation", `Quick, predictor_validation);
+  ]
+  @ qsuite

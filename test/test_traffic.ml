@@ -1,0 +1,154 @@
+(* Tests for the workload generators: FTP, web sessions, CBR. *)
+
+module Sim = Sim_engine.Sim
+module T = Netsim.Topology
+open Traffic
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fixture ?(bandwidth = 10e6) () =
+  let sim = Sim.create ~seed:21 () in
+  let topo = T.create sim in
+  let a = T.add_node topo and b = T.add_node topo in
+  let disc () = Netsim.Droptail.create ~limit_pkts:1000 in
+  ignore
+    (T.add_duplex topo ~a ~b ~bandwidth ~delay:0.005 ~disc_ab:(disc ())
+       ~disc_ba:(disc ()));
+  T.compute_routes topo;
+  (sim, topo, a, b)
+
+(* --- Ftp -------------------------------------------------------------------- *)
+
+let ftp_spawns_unbounded_flows () =
+  let sim, topo, a, b = fixture () in
+  let flows =
+    Ftp.spawn topo
+      ~pairs:[ (a, b); (a, b); (a, b) ]
+      ~cc_factory:Tcpstack.Cc.newreno ()
+  in
+  check_int "three flows" 3 (List.length flows);
+  Sim.run ~until:5.0 sim;
+  List.iter
+    (fun f ->
+      check_bool "made progress" true (Tcpstack.Flow.acked_pkts f > 0);
+      check_bool "never completes" false (Tcpstack.Flow.completed f))
+    flows
+
+let ftp_staggered_starts () =
+  let sim, topo, a, b = fixture () in
+  let flows =
+    Ftp.spawn topo
+      ~pairs:(List.init 10 (fun _ -> (a, b)))
+      ~cc_factory:Tcpstack.Cc.newreno ~start_window:(1.0, 3.0) ()
+  in
+  (* Before t=1 nothing may be sent; after t=3 everything must run. *)
+  Sim.run ~until:0.9 sim;
+  List.iter
+    (fun f -> check_int "quiet before window" 0 (Tcpstack.Flow.snd_next f))
+    flows;
+  Sim.run ~until:6.0 sim;
+  List.iter
+    (fun f -> check_bool "started within window" true (Tcpstack.Flow.acked_pkts f > 0))
+    flows
+
+(* --- Web --------------------------------------------------------------------- *)
+
+let web_completes_objects () =
+  let sim, topo, a, b = fixture () in
+  let stats =
+    Web.start_sessions topo ~n:20 ~src_pool:[| a |] ~dst_pool:[| b |]
+      ~cc_factory:Tcpstack.Cc.newreno ()
+  in
+  Sim.run ~until:60.0 sim;
+  check_bool "objects completed" true (stats.Web.objects_completed > 10);
+  check_bool "packets accounted" true
+    (stats.Web.pkts_completed >= 2 * stats.Web.objects_completed)
+
+let web_respects_until () =
+  let sim, topo, a, b = fixture () in
+  let stats =
+    Web.start_sessions topo ~n:10 ~src_pool:[| a |] ~dst_pool:[| b |]
+      ~cc_factory:Tcpstack.Cc.newreno ~until:5.0 ()
+  in
+  Sim.run ~until:30.0 sim;
+  let after_cutoff = stats.Web.objects_completed in
+  Sim.run ~until:200.0 sim;
+  (* a page in flight at the cutoff may still finish, but generation stops *)
+  check_bool "no unbounded growth after cutoff" true
+    (stats.Web.objects_completed - after_cutoff < 100)
+
+let web_empty_pool_rejected () =
+  let _sim, topo, a, _ = fixture () in
+  Alcotest.check_raises "empty pool"
+    (Invalid_argument "Web.start_sessions: empty node pool") (fun () ->
+      ignore
+        (Web.start_sessions topo ~n:1 ~src_pool:[||] ~dst_pool:[| a |]
+           ~cc_factory:Tcpstack.Cc.newreno ()))
+
+(* --- Cbr ---------------------------------------------------------------------- *)
+
+let cbr_rate_accuracy () =
+  let sim, topo, a, b = fixture () in
+  let cbr = Cbr.start topo ~src:a ~dst:b ~rate_bps:1e6 ~stop:10.0 () in
+  Sim.run ~until:12.0 sim;
+  (* 1 Mbps for 10 s at 1040-byte packets: ~1202 packets. *)
+  check_bool "sent close to nominal" true (abs (Cbr.sent cbr - 1202) <= 2);
+  check_int "all delivered on an idle link" (Cbr.sent cbr) (Cbr.received cbr)
+
+let cbr_halt () =
+  let sim, topo, a, b = fixture () in
+  let cbr = Cbr.start topo ~src:a ~dst:b ~rate_bps:1e6 () in
+  Sim.run ~until:1.0 sim;
+  Cbr.halt cbr;
+  let sent = Cbr.sent cbr in
+  Sim.run ~until:5.0 sim;
+  check_int "no more packets after halt" sent (Cbr.sent cbr)
+
+let cbr_competes_with_tcp () =
+  let sim, topo, a, b = fixture ~bandwidth:5e6 () in
+  let flow = Tcpstack.Flow.create topo ~src:a ~dst:b ~cc:(Tcpstack.Cc.newreno ()) () in
+  let _cbr = Cbr.start topo ~src:a ~dst:b ~rate_bps:3e6 () in
+  Sim.run ~until:20.0 sim;
+  let goodput = Tcpstack.Flow.goodput_bps flow ~now:(Sim.now sim) in
+  (* TCP should be squeezed to roughly the residual 2 Mbps. *)
+  check_bool "tcp yields to cbr" true (goodput < 3.5e6);
+  check_bool "tcp still gets residual share" true (goodput > 0.8e6)
+
+let cbr_validation () =
+  let _sim, topo, a, b = fixture () in
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Cbr.start: rate must be positive") (fun () ->
+      ignore (Cbr.start topo ~src:a ~dst:b ~rate_bps:0.0 ()))
+
+let ftp_empty_pairs () =
+  let _sim, topo, _, _ = fixture () in
+  check_int "no flows" 0
+    (List.length (Ftp.spawn topo ~pairs:[] ~cc_factory:Tcpstack.Cc.newreno ()))
+
+let web_deterministic_per_seed () =
+  let run () =
+    let sim, topo, a, b = fixture () in
+    let stats =
+      Web.start_sessions topo ~n:10 ~src_pool:[| a |] ~dst_pool:[| b |]
+        ~cc_factory:Tcpstack.Cc.newreno ()
+    in
+    Sim.run ~until:30.0 sim;
+    (stats.Web.objects_completed, stats.Web.pkts_completed)
+  in
+  check_bool "same seed, same workload" true (run () = run ())
+
+let suite =
+  [
+    ("ftp spawns unbounded", `Quick, ftp_spawns_unbounded_flows);
+    ("ftp staggered starts", `Quick, ftp_staggered_starts);
+    ("web completes objects", `Quick, web_completes_objects);
+    ("web respects until", `Quick, web_respects_until);
+    ("web empty pool", `Quick, web_empty_pool_rejected);
+    ("cbr rate accuracy", `Quick, cbr_rate_accuracy);
+    ("cbr halt", `Quick, cbr_halt);
+    ("cbr competes with tcp", `Quick, cbr_competes_with_tcp);
+    ("cbr validation", `Quick, cbr_validation);
+    ("ftp empty pairs", `Quick, ftp_empty_pairs);
+    ("web deterministic", `Quick, web_deterministic_per_seed);
+  ]
