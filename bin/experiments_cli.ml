@@ -13,7 +13,9 @@ let scale_arg =
     value
     & opt scale_conv Experiments.Scale.Default
     & info [ "s"; "scale" ] ~docv:"SCALE"
-        ~doc:"Experiment size: quick, default or full (paper parameters).")
+        ~doc:
+          "Experiment size: smoke (sub-second, CI), quick, default or full \
+           (paper parameters).")
 
 let csv_arg =
   Arg.(

@@ -6,6 +6,7 @@ open Cmdliner
 let scheme_conv =
   let parse = function
     | "pert" -> Ok Experiments.Schemes.Pert
+    | "pert-ecn" -> Ok Experiments.Schemes.Pert_ecn
     | "sack-droptail" | "sack" -> Ok Experiments.Schemes.Sack_droptail
     | "sack-red-ecn" | "red" -> Ok Experiments.Schemes.Sack_red_ecn
     | "vegas" -> Ok Experiments.Schemes.Vegas
@@ -27,9 +28,9 @@ let scheme =
     & opt scheme_conv Experiments.Schemes.Pert
     & info [ "scheme" ]
         ~doc:
-          "Congestion control / queue combination: pert, sack-droptail, \
-           sack-red-ecn, vegas, pert-pi, sack-pi-ecn, pert-rem, \
-           sack-rem-ecn, sack-avq-ecn.")
+          "Congestion control / queue combination: pert, pert-ecn, \
+           sack-droptail, sack-red-ecn, vegas, pert-pi, sack-pi-ecn, \
+           pert-rem, sack-rem-ecn, sack-avq-ecn.")
 
 let bandwidth =
   Arg.(

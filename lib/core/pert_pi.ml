@@ -36,7 +36,8 @@ let create ?(alpha = 0.99) ?(decrease_factor = 0.35) ~gains ~target_delay
     early_responses = 0;
   }
 
-let clamp01 x = if x < 0.0 then 0.0 else if x > 1.0 then 1.0 else x
+(* NaN-safe: a non-finite PI state must not escape as a probability. *)
+let clamp01 x = if x >= 1.0 then 1.0 else if x >= 0.0 then x else 0.0
 
 let update_probability t =
   let err = Srtt.queueing_delay t.srtt -. t.target_delay in

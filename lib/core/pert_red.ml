@@ -24,7 +24,11 @@ let create ?(curve = Response_curve.default) ?(alpha = 0.99)
 
 let probability t =
   if Srtt.samples t.srtt = 0 then 0.0
-  else Response_curve.probability t.curve (Srtt.queueing_delay t.srtt)
+  else
+    (* The curve is within [0,1] by construction for finite inputs; the
+       clamp guarantees the contract even if the curve is ever extended. *)
+    Float.max 0.0
+      (Float.min 1.0 (Response_curve.probability t.curve (Srtt.queueing_delay t.srtt)))
 
 let on_ack t ~now ~rtt ~u =
   Srtt.observe t.srtt rtt;

@@ -10,6 +10,10 @@ let create ?(alpha = 0.99) () =
   { alpha; srtt = 0.0; min_rtt = infinity; samples = 0 }
 
 let observe t sample =
+  (* A single NaN would poison the EWMA (and min_rtt) forever; reject it
+     loudly instead. *)
+  if Float.is_nan sample || sample = infinity then
+    invalid_arg "Srtt.observe: non-finite RTT";
   if sample <= 0.0 then invalid_arg "Srtt.observe: non-positive RTT";
   if t.samples = 0 then t.srtt <- sample
   else t.srtt <- (t.alpha *. t.srtt) +. ((1.0 -. t.alpha) *. sample);

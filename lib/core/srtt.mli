@@ -13,8 +13,8 @@ val create : ?alpha:float -> unit -> t
 
 val observe : t -> float -> unit
 (** Feed one instantaneous RTT sample (seconds). The first sample
-    initialises the average. Non-positive samples raise
-    [Invalid_argument]. *)
+    initialises the average. Non-positive or non-finite samples raise
+    [Invalid_argument] (a NaN would otherwise poison the EWMA forever). *)
 
 val value : t -> float
 (** Current smoothed RTT. Raises [Invalid_argument] before any sample. *)

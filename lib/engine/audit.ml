@@ -1,0 +1,74 @@
+type violation = { time : float; subject : string; message : string }
+
+type t = {
+  sim : Sim.t;
+  interval : float;
+  max_kept : int;
+  mutable checks : (string * (now:float -> string option)) list;  (* newest first *)
+  mutable kept : violation list;  (* newest first *)
+  mutable count : int;
+  mutable last_tick : float;
+}
+
+let report t ~now ~subject message =
+  t.count <- t.count + 1;
+  if t.count <= t.max_kept then
+    t.kept <- { time = now; subject; message } :: t.kept
+
+let tick t () =
+  let now = Sim.now t.sim in
+  if now < t.last_tick then
+    report t ~now ~subject:"sim"
+      (Printf.sprintf "clock went backwards: %g after %g" now t.last_tick);
+  t.last_tick <- now;
+  List.iter
+    (fun (subject, check) ->
+      match check ~now with
+      | Some message -> report t ~now ~subject message
+      | None -> ())
+    t.checks
+
+let create ?(interval = 0.1) ?(max_kept = 100) sim =
+  if interval <= 0.0 then invalid_arg "Audit.create: interval must be positive";
+  let t =
+    {
+      sim;
+      interval;
+      max_kept;
+      checks = [];
+      kept = [];
+      count = 0;
+      last_tick = Sim.now sim;
+    }
+  in
+  Sim.every sim ~start:(Sim.now sim +. interval) interval (tick t);
+  t
+
+let add_check t ~subject check = t.checks <- (subject, check) :: t.checks
+
+let enable_watchdog ?(max_events_per_instant = 1_000_000) t =
+  Sim.set_watchdog t.sim ~max_events_per_instant (fun message ->
+      report t ~now:(Sim.now t.sim) ~subject:"sim" message;
+      Sim.stop t.sim)
+
+let check_finite t ~now ~subject ~what value =
+  if Float.is_finite value then true
+  else begin
+    report t ~now ~subject (Printf.sprintf "%s is non-finite (%g)" what value);
+    false
+  end
+
+let violations t = List.rev t.kept
+let violation_count t = t.count
+let ok t = t.count = 0
+
+let summary t =
+  if t.count = 0 then "audit: no invariant violations"
+  else
+    let worst =
+      match List.rev t.kept with
+      | { time; subject; message } :: _ ->
+          Printf.sprintf " (first at t=%g, %s: %s)" time subject message
+      | [] -> ""
+    in
+    Printf.sprintf "audit: %d invariant violation(s)%s" t.count worst

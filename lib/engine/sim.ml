@@ -5,6 +5,9 @@ type t = {
   mutable stopped : bool;
   mutable executed : int;
   root_rng : Rng.t;
+  (* livelock watchdog: bound on events executed without the clock moving *)
+  mutable watchdog : (int * (string -> unit)) option;
+  mutable instant_events : int;
 }
 
 let create ?(seed = 42) () =
@@ -15,6 +18,8 @@ let create ?(seed = 42) () =
     stopped = false;
     executed = 0;
     root_rng = Rng.create seed;
+    watchdog = None;
+    instant_events = 0;
   }
 
 let now t = t.clock
@@ -42,6 +47,13 @@ let every t ?start period f =
 
 let stop t = t.stopped <- true
 
+let set_watchdog t ~max_events_per_instant on_trip =
+  if max_events_per_instant <= 0 then
+    invalid_arg "Sim.set_watchdog: budget must be positive";
+  t.watchdog <- Some (max_events_per_instant, on_trip)
+
+let clear_watchdog t = t.watchdog <- None
+
 let run ?until t =
   t.stopped <- false;
   let horizon = match until with Some u -> u | None -> infinity in
@@ -54,8 +66,18 @@ let run ?until t =
           match Heap.pop t.heap with
           | None -> ()
           | Some (time, _, f) ->
+              if time > t.clock then t.instant_events <- 0;
               t.clock <- time;
               t.executed <- t.executed + 1;
+              t.instant_events <- t.instant_events + 1;
+              (match t.watchdog with
+              | Some (budget, trip) when t.instant_events = budget + 1 ->
+                  trip
+                    (Printf.sprintf
+                       "livelock suspected: %d events executed at t=%g \
+                        without the clock advancing"
+                       t.instant_events time)
+              | _ -> ());
               f ();
               loop ())
   in

@@ -28,6 +28,16 @@ val every : t -> ?start:float -> float -> (unit -> unit) -> unit
 val stop : t -> unit
 (** Stop the event loop after the current event returns. *)
 
+val set_watchdog :
+  t -> max_events_per_instant:int -> (string -> unit) -> unit
+(** [set_watchdog t ~max_events_per_instant trip] arms a livelock detector:
+    if more than [max_events_per_instant] events execute without the clock
+    advancing (a zero-delay scheduling loop), [trip] is called once — per
+    stuck instant — with a diagnostic. [trip] may call {!stop} to abort the
+    run. Replaces any previous watchdog. *)
+
+val clear_watchdog : t -> unit
+
 val run : ?until:float -> t -> unit
 (** Execute events until the heap drains, [until] is reached (events
     scheduled strictly after [until] stay queued, the clock advances to

@@ -18,6 +18,8 @@ type config = {
   warmup : float;
   start_window : float * float;
   delay_signal : Tcpstack.Flow.delay_signal;
+  fault : Netsim.Fault.spec option;
+  audit : bool;
   seed : int;
 }
 
@@ -34,6 +36,8 @@ let default =
     warmup = 20.0;
     start_window = (0.0, 5.0);
     delay_signal = `Rtt;
+    fault = None;
+    audit = true;
     seed = 42;
   }
 
@@ -52,6 +56,8 @@ type built = {
   config : config;
   cc_factory : unit -> Tcpstack.Cc.t;
   routers : Netsim.Node.t * Netsim.Node.t;
+  fault : Netsim.Fault.t option;
+  audit : Sim_engine.Audit.t option;
 }
 
 (* Access links are 10x the bottleneck and lightly buffered relative to
@@ -103,6 +109,11 @@ let build config =
       ~delay:bneck_delay
       ~disc:(Schemes.bottleneck_disc config.scheme ctx)
   in
+  (* Impairments apply to the forward bottleneck: that is the wire the
+     delay signal crosses. Attach before any flow is built so the rng
+     split order — and thus unimpaired runs — is unchanged when
+     [config.fault] is [None]. *)
+  let fault = Option.map (fun spec -> Netsim.Fault.attach spec bottleneck) config.fault in
   let attach_host router rtt_target =
     (* Each direction of the access pair contributes
        (rtt_target/2 - bneck_delay)/2 one-way delay. *)
@@ -148,6 +159,25 @@ let build config =
     ignore
       (Traffic.Web.start_sessions topo ~n:config.web_sessions ~src_pool:web_src
          ~dst_pool:web_dst ~cc_factory ~ecn ());
+  let audit =
+    if not config.audit then None
+    else begin
+      let a = Sim_engine.Audit.create ~interval:0.1 sim in
+      Sim_engine.Audit.enable_watchdog a;
+      List.iter
+        (fun l ->
+          Sim_engine.Audit.add_check a ~subject:(Link.name l) (fun ~now:_ ->
+              Link.conservation_error l))
+        (T.links topo);
+      List.iter
+        (fun f ->
+          Sim_engine.Audit.add_check a
+            ~subject:(Printf.sprintf "flow-%d" (Flow.id f)) (fun ~now:_ ->
+              Flow.audit_check f))
+        (forward_flows @ reverse);
+      Some a
+    end
+  in
   {
     topo;
     bottleneck;
@@ -157,6 +187,8 @@ let build config =
     config;
     cc_factory;
     routers = (r1, r2);
+    fault;
+    audit;
   }
 
 let reset built =
@@ -176,6 +208,7 @@ type result = {
   marks : int;
   early_responses : int;
   loss_events : int;
+  audit_violations : int;
 }
 
 let measure built =
@@ -202,6 +235,10 @@ let measure built =
         built.forward_flows;
     loss_events =
       List.fold_left (fun a f -> a + Flow.loss_events f) 0 built.forward_flows;
+    audit_violations =
+      (match built.audit with
+      | Some a -> Sim_engine.Audit.violation_count a
+      | None -> 0);
   }
 
 let run config =

@@ -22,12 +22,22 @@ type config = {
   delay_signal : Tcpstack.Flow.delay_signal;
       (** [`Rtt] (default) or [`Owd] for the Section 7 one-way-delay
           variant of the long-lived flows *)
+  fault : Netsim.Fault.spec option;
+      (** impairments applied to the forward bottleneck link (default
+          [None]; attaching a fault consumes extra rng splits, so faulty
+          and fault-free runs are separate random universes) *)
+  audit : bool;
+      (** run the {!Sim_engine.Audit} invariant checks — per-link packet
+          conservation, per-flow sanity, clock monotonicity, livelock
+          watchdog — every 100 ms of simulated time (default [true];
+          pure observation, does not perturb the simulation) *)
   seed : int;
 }
 
 val default : config
 (** PERT scheme, 50 Mbps, 60 ms, 16 forward flows, no reverse flows, no
-    web, BDP buffer, 60 s with 20 s warm-up, starts in [(0, 5)] s. *)
+    web, BDP buffer, 60 s with 20 s warm-up, starts in [(0, 5)] s, no
+    fault, auditing on. *)
 
 val uniform_flows : config -> n:int -> config
 (** Set [flow_rtts] to [n] copies of [config.rtt]. *)
@@ -46,6 +56,8 @@ type result = {
   marks : int;
   early_responses : int;  (** summed over forward flows *)
   loss_events : int;  (** summed over forward flows *)
+  audit_violations : int;
+      (** total invariant violations observed (0 when auditing is off) *)
 }
 
 val run : config -> result
@@ -61,6 +73,8 @@ type built = {
   config : config;
   cc_factory : unit -> Tcpstack.Cc.t;
   routers : Netsim.Node.t * Netsim.Node.t;
+  fault : Netsim.Fault.t option;  (** fault handle when [config.fault] set *)
+  audit : Sim_engine.Audit.t option;  (** audit handle when enabled *)
 }
 
 val build : config -> built

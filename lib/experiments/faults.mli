@@ -1,0 +1,19 @@
+(** The PERT-under-impairment suite (registry id ["faults"]): PERT vs
+    SACK/DropTail vs PERT+ECN on a dumbbell whose bottleneck misbehaves —
+    random non-congestive loss, link flapping with recovery, and ECN
+    bleaching. Every run executes with the {!Sim_engine.Audit} invariant
+    checks enabled and reports the violation count in its last column
+    (expected 0). Graceful-degradation bar: PERT's aggregate goodput must
+    not fall below plain SACK's under a polluted delay signal. *)
+
+val lossy : Scale.t -> Output.table
+(** 0.1–5% seeded random wire loss on the bottleneck. *)
+
+val flapping : Scale.t -> Output.table
+(** Memoryless link up/down flapping; exercises RTO backoff + recovery. *)
+
+val bleached : Scale.t -> Output.table
+(** CE marks cleared in flight with probability 0–100%. *)
+
+val all : Scale.t -> Output.table list
+(** [lossy; flapping; bleached]. *)

@@ -56,6 +56,8 @@ let collect_uncached scale case =
       warmup = 0.0;
       start_window = (0.0, 5.0);
       delay_signal = `Rtt;
+      fault = None;
+      audit = true;
       seed = 1000 + case.id;
     }
   in

@@ -136,6 +136,12 @@ let all =
       summary = "reverse-path congestion: RTT vs one-way-delay signal";
       run = (fun scale -> [ Ablations.reverse_traffic scale ]);
     };
+    {
+      id = "faults";
+      paper_ref = "Sections 5.3/7 (beyond the paper)";
+      summary = "PERT vs SACK vs PERT+ECN under loss, flapping, ECN bleaching";
+      run = Faults.all;
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

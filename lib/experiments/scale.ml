@@ -1,11 +1,21 @@
-type t = Quick | Default | Full
+type t = Smoke | Quick | Default | Full
 
 let of_string = function
+  | "smoke" -> Ok Smoke
   | "quick" -> Ok Quick
   | "default" -> Ok Default
   | "full" -> Ok Full
-  | s -> Error (Printf.sprintf "unknown scale %S (quick|default|full)" s)
+  | s -> Error (Printf.sprintf "unknown scale %S (smoke|quick|default|full)" s)
 
-let to_string = function Quick -> "quick" | Default -> "default" | Full -> "full"
-let pick t ~quick ~default ~full =
-  match t with Quick -> quick | Default -> default | Full -> full
+let to_string = function
+  | Smoke -> "smoke"
+  | Quick -> "quick"
+  | Default -> "default"
+  | Full -> "full"
+
+let pick ?smoke t ~quick ~default ~full =
+  match t with
+  | Smoke -> ( match smoke with Some v -> v | None -> quick)
+  | Quick -> quick
+  | Default -> default
+  | Full -> full

@@ -1,16 +1,20 @@
 (** Experiment sizing. The paper's parameters (up to 1 Gbps, 1000 flows,
     400 s) are far beyond what a packet-level simulation can sweep in an
-    interactive session, so each experiment defines three sizes:
+    interactive session, so each experiment defines up to four sizes:
 
+    - [Smoke]: sub-second sanity runs for CI — experiments without an
+      explicit smoke size fall back to their quick parameters;
     - [Quick]: seconds per experiment — used by the benchmark harness and
       smoke tests;
     - [Default]: minutes for the full suite — preserves every qualitative
       relationship the paper reports;
     - [Full]: the paper's published parameters (hours of CPU). *)
 
-type t = Quick | Default | Full
+type t = Smoke | Quick | Default | Full
 
 val of_string : string -> (t, string) result
 val to_string : t -> string
 
-val pick : t -> quick:'a -> default:'a -> full:'a -> 'a
+val pick : ?smoke:'a -> t -> quick:'a -> default:'a -> full:'a -> 'a
+(** [pick ?smoke t ~quick ~default ~full] selects the parameter for [t];
+    [Smoke] uses [smoke] when given and falls back to [quick]. *)

@@ -9,6 +9,7 @@ type t =
       decrease_factor : float;
       limit_per_rtt : bool;
     }
+  | Pert_ecn
   | Sack_droptail
   | Sack_red_ecn
   | Vegas
@@ -21,6 +22,7 @@ type t =
 
 let name = function
   | Pert -> "pert"
+  | Pert_ecn -> "pert-ecn"
   | Pert_tuned _ -> "pert-tuned"
   | Sack_droptail -> "sack-droptail"
   | Sack_red_ecn -> "sack-red-ecn"
@@ -35,7 +37,8 @@ let name = function
 let all_fig4_schemes = [ Pert; Sack_droptail; Sack_red_ecn; Vegas ]
 
 let uses_ecn = function
-  | Sack_red_ecn | Sack_pi_ecn _ | Sack_rem_ecn | Sack_avq_ecn -> true
+  | Pert_ecn | Sack_red_ecn | Sack_pi_ecn _ | Sack_rem_ecn | Sack_avq_ecn ->
+      true
   | Pert | Pert_tuned _ | Sack_droptail | Vegas | Pert_pi _ | Pert_rem
   | Pert_avq ->
       false
@@ -81,7 +84,7 @@ let bottleneck_disc t ctx =
       Netsim.Avq.create
         ~params:(Netsim.Avq.default_params ())
         ~capacity_pps:ctx.capacity_pps ~limit_pkts:ctx.limit_pkts
-  | Sack_red_ecn ->
+  | Pert_ecn | Sack_red_ecn ->
       let params =
         Netsim.Red.auto_params ~capacity_pps:ctx.capacity_pps
           ~limit_pkts:ctx.limit_pkts ()
@@ -101,7 +104,8 @@ let cc_factory t ctx () =
     ->
       Tcpstack.Cc.newreno ()
   | Vegas -> Tcpstack.Vegas.create ()
-  | Pert -> Tcpstack.Pert_cc.create ~rng:(Rng.split (Sim.rng ctx.sim)) ()
+  | Pert | Pert_ecn ->
+      Tcpstack.Pert_cc.create ~rng:(Rng.split (Sim.rng ctx.sim)) ()
   | Pert_rem -> Tcpstack.Pert_rem_cc.create ~rng:(Rng.split (Sim.rng ctx.sim)) ()
   | Pert_avq -> Tcpstack.Pert_avq_cc.create ~rng:(Rng.split (Sim.rng ctx.sim)) ()
   | Pert_tuned { curve; alpha; decrease_factor; limit_per_rtt } ->

@@ -15,6 +15,10 @@ type t =
       decrease_factor : float;
       limit_per_rtt : bool;
     }  (** PERT with non-default knobs — used by the ablation study *)
+  | Pert_ecn
+      (** PERT flows that are additionally ECN-capable, over a marking
+          RED bottleneck — used by the fault suite to study ECN
+          bleaching: with marks bleached it degrades to plain PERT *)
   | Sack_droptail
   | Sack_red_ecn
   | Vegas

@@ -1,0 +1,221 @@
+module Sim = Sim_engine.Sim
+module Rng = Sim_engine.Rng
+
+type outages =
+  | No_outages
+  | Scheduled of (float * float) list
+  | Flapping of { mean_up : float; mean_down : float }
+
+type spec = {
+  drop_prob : float;
+  corrupt_prob : float;
+  bleach_prob : float;
+  remark_prob : float;
+  dup_prob : float;
+  reorder_prob : float;
+  reorder_extra : float;
+  spike_prob : float;
+  spike_delay : float;
+  outages : outages;
+}
+
+let none =
+  {
+    drop_prob = 0.0;
+    corrupt_prob = 0.0;
+    bleach_prob = 0.0;
+    remark_prob = 0.0;
+    dup_prob = 0.0;
+    reorder_prob = 0.0;
+    reorder_extra = 0.0;
+    spike_prob = 0.0;
+    spike_delay = 0.0;
+    outages = No_outages;
+  }
+
+let lossy p = { none with drop_prob = p }
+
+let validate spec =
+  let prob what p =
+    if not (Float.is_finite p) || p < 0.0 || p > 1.0 then
+      invalid_arg (Printf.sprintf "Fault: %s must be in [0,1]" what)
+  in
+  prob "drop_prob" spec.drop_prob;
+  prob "corrupt_prob" spec.corrupt_prob;
+  prob "bleach_prob" spec.bleach_prob;
+  prob "remark_prob" spec.remark_prob;
+  prob "dup_prob" spec.dup_prob;
+  prob "reorder_prob" spec.reorder_prob;
+  prob "spike_prob" spec.spike_prob;
+  if spec.reorder_extra < 0.0 then invalid_arg "Fault: negative reorder_extra";
+  if spec.spike_delay < 0.0 then invalid_arg "Fault: negative spike_delay";
+  (match spec.outages with
+  | No_outages -> ()
+  | Scheduled windows ->
+      List.iter
+        (fun (down_at, up_at) ->
+          if down_at < 0.0 || up_at <= down_at then
+            invalid_arg "Fault: outage windows need 0 <= down_at < up_at")
+        windows
+  | Flapping { mean_up; mean_down } ->
+      if mean_up <= 0.0 || mean_down <= 0.0 then
+        invalid_arg "Fault: flapping means must be positive")
+
+type stats = {
+  wire_drops : int;
+  corrupt_drops : int;
+  bleached : int;
+  remarked : int;
+  duplicated : int;
+  reordered : int;
+  delayed : int;
+  outage_drops : int;
+  transitions : int;
+  downtime : float;
+}
+
+type t = {
+  sim : Sim.t;
+  link : Link.t;
+  spec : spec;
+  pkt_rng : Rng.t;
+  outage_rng : Rng.t;
+  mutable wire_drops : int;
+  mutable corrupt_drops : int;
+  mutable bleached : int;
+  mutable remarked : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable delayed : int;
+  mutable transitions : int;
+  mutable downtime : float;
+  mutable went_down_at : float option;
+}
+
+let go_down t =
+  if Link.is_up t.link then begin
+    t.transitions <- t.transitions + 1;
+    t.went_down_at <- Some (Sim.now t.sim);
+    Link.set_up t.link false
+  end
+
+let go_up t =
+  if not (Link.is_up t.link) then begin
+    t.transitions <- t.transitions + 1;
+    (match t.went_down_at with
+    | Some since -> t.downtime <- t.downtime +. (Sim.now t.sim -. since)
+    | None -> ());
+    t.went_down_at <- None;
+    Link.set_up t.link true
+  end
+
+let schedule_outages t =
+  match t.spec.outages with
+  | No_outages -> ()
+  | Scheduled windows ->
+      List.iter
+        (fun (down_at, up_at) ->
+          Sim.at t.sim down_at (fun () -> go_down t);
+          Sim.at t.sim up_at (fun () -> go_up t))
+        windows
+  | Flapping { mean_up; mean_down } ->
+      let rec up_phase () =
+        Sim.after t.sim (Rng.exponential t.outage_rng mean_up) (fun () ->
+            go_down t;
+            down_phase ())
+      and down_phase () =
+        Sim.after t.sim (Rng.exponential t.outage_rng mean_down) (fun () ->
+            go_up t;
+            up_phase ())
+      in
+      up_phase ()
+
+(* Applied at the receiver end of the wire: the packet has already left
+   the queue and crossed the link, which is where non-congestive loss,
+   corruption and ECN meddling physically happen. Each impairment draws
+   from [pkt_rng] only when its probability is non-zero, so a given spec
+   always consumes the same number of draws per packet and replays are
+   bit-identical. *)
+let impair t inner pkt =
+  let s = t.spec in
+  let hit p = p > 0.0 && Rng.bernoulli t.pkt_rng p in
+  if hit s.drop_prob then t.wire_drops <- t.wire_drops + 1
+  else if hit s.corrupt_prob then t.corrupt_drops <- t.corrupt_drops + 1
+  else begin
+    if pkt.Packet.ecn_marked && hit s.bleach_prob then begin
+      pkt.Packet.ecn_marked <- false;
+      t.bleached <- t.bleached + 1
+    end;
+    if pkt.Packet.ecn_capable && (not pkt.Packet.ecn_marked)
+       && hit s.remark_prob
+    then begin
+      pkt.Packet.ecn_marked <- true;
+      t.remarked <- t.remarked + 1
+    end;
+    let extra = ref 0.0 in
+    if hit s.reorder_prob then begin
+      t.reordered <- t.reordered + 1;
+      extra := !extra +. Rng.float t.pkt_rng s.reorder_extra
+    end;
+    if hit s.spike_prob then begin
+      t.delayed <- t.delayed + 1;
+      extra := !extra +. s.spike_delay
+    end;
+    let dup = hit s.dup_prob in
+    if dup then t.duplicated <- t.duplicated + 1;
+    if !extra > 0.0 then Sim.after t.sim !extra (fun () -> inner pkt)
+    else inner pkt;
+    (* The duplicate takes the direct path even when the original was
+       delayed — that itself is a reordering, as on real networks. *)
+    if dup then inner pkt
+  end
+
+let attach spec link =
+  validate spec;
+  let sim = Link.sim link in
+  let t =
+    {
+      sim;
+      link;
+      spec;
+      pkt_rng = Rng.split (Sim.rng sim);
+      outage_rng = Rng.split (Sim.rng sim);
+      wire_drops = 0;
+      corrupt_drops = 0;
+      bleached = 0;
+      remarked = 0;
+      duplicated = 0;
+      reordered = 0;
+      delayed = 0;
+      transitions = 0;
+      downtime = 0.0;
+      went_down_at = None;
+    }
+  in
+  Link.interpose_deliver link (impair t);
+  schedule_outages t;
+  t
+
+let link t = t.link
+let spec t = t.spec
+
+let stats t =
+  let downtime =
+    match t.went_down_at with
+    | Some since -> t.downtime +. (Sim.now t.sim -. since)
+    | None -> t.downtime
+  in
+  {
+    wire_drops = t.wire_drops;
+    corrupt_drops = t.corrupt_drops;
+    bleached = t.bleached;
+    remarked = t.remarked;
+    duplicated = t.duplicated;
+    reordered = t.reordered;
+    delayed = t.delayed;
+    outage_drops = Link.outage_drops t.link;
+    transitions = t.transitions;
+    downtime;
+  }
+
+let lost t = t.wire_drops + t.corrupt_drops + Link.outage_drops t.link

@@ -1,0 +1,72 @@
+(** Composable link-impairment layer for robustness experiments.
+
+    A fault attaches to an existing {!Link} and perturbs traffic *after*
+    the queue discipline and the wire — exactly where the network
+    misbehaves in ways a delay-based controller cannot see coming:
+    non-congestive random loss, bit corruption (detected and dropped at
+    the receiver), ECN bleaching/remarking middleboxes, packet
+    duplication, reordering bursts, delay spikes, and link outages with
+    recovery (scheduled or memoryless flapping).
+
+    All randomness comes from two generators split off the simulation's
+    root {!Sim_engine.Rng} at attach time, so runs with the same seed
+    replay the exact same drop/outage schedule bit-for-bit. Impairments
+    compose: probabilities are evaluated per packet in a fixed order
+    (loss, corruption, ECN, latency, duplication). *)
+
+type outages =
+  | No_outages
+  | Scheduled of (float * float) list
+      (** [(down_at, up_at)] absolute-time windows, seconds *)
+  | Flapping of { mean_up : float; mean_down : float }
+      (** memoryless up/down alternation with exponential holding times *)
+
+type spec = {
+  drop_prob : float;  (** non-congestive random loss on the wire *)
+  corrupt_prob : float;  (** bit corruption; packet dropped at receiver *)
+  bleach_prob : float;  (** probability a CE mark is cleared in flight *)
+  remark_prob : float;  (** probability an ECT packet is spuriously CE-marked *)
+  dup_prob : float;  (** packet duplication *)
+  reorder_prob : float;  (** chance of an extra uniform [0, reorder_extra) delay *)
+  reorder_extra : float;  (** seconds; > serialization time reorders packets *)
+  spike_prob : float;  (** chance of a fixed delay spike *)
+  spike_delay : float;  (** seconds added on a spike *)
+  outages : outages;
+}
+
+val none : spec
+(** All impairments off — the identity spec to build others from with
+    record update syntax: [{ Fault.none with drop_prob = 0.01 }]. *)
+
+val lossy : float -> spec
+(** [lossy p] is [{ none with drop_prob = p }]. *)
+
+type t
+
+val attach : spec -> Link.t -> t
+(** Validate the spec (probabilities in [0,1], sane outage windows) and
+    decorate the link's delivery path via {!Link.interpose_deliver};
+    outages drive {!Link.set_up}. Multiple faults may be stacked on one
+    link; each keeps its own counters and random streams. *)
+
+val link : t -> Link.t
+val spec : t -> spec
+
+(** Counters of impairments actually applied (not just configured). *)
+type stats = {
+  wire_drops : int;
+  corrupt_drops : int;
+  bleached : int;
+  remarked : int;
+  duplicated : int;
+  reordered : int;
+  delayed : int;  (** delay spikes applied *)
+  outage_drops : int;  (** from the link: packets offered while down *)
+  transitions : int;  (** up->down and down->up state changes *)
+  downtime : float;  (** total seconds down, including any open outage *)
+}
+
+val stats : t -> stats
+
+val lost : t -> int
+(** Packets this fault removed: wire drops + corruption + outage drops. *)

@@ -15,7 +15,14 @@ type t = {
   mutable deliver : Packet.t -> unit;
   mutable event_hook : (event -> Packet.t -> unit) option;
   mutable busy : bool;
-  (* measurement *)
+  mutable up : bool;
+  (* lifetime accounting (never reset): conservation invariant *)
+  mutable life_arrivals : int;
+  mutable life_drops : int;
+  mutable delivered : int;
+  mutable in_flight : int;  (* dequeued, not yet handed to [deliver] *)
+  mutable outage_drops : int;
+  (* measurement (reset at window boundaries) *)
   mutable arrivals : int;
   mutable drops : int;
   mutable marks : int;
@@ -42,6 +49,12 @@ let create ?(jitter = 0.0) sim ~name ~bandwidth ~delay ~disc =
     deliver = (fun _ -> invalid_arg "Link: deliver not wired");
     event_hook = None;
     busy = false;
+    up = true;
+    life_arrivals = 0;
+    life_drops = 0;
+    delivered = 0;
+    in_flight = 0;
+    outage_drops = 0;
     arrivals = 0;
     drops = 0;
     marks = 0;
@@ -54,11 +67,17 @@ let create ?(jitter = 0.0) sim ~name ~bandwidth ~delay ~disc =
   }
 
 let set_deliver t f = t.deliver <- f
+
+let interpose_deliver t wrap =
+  let inner = t.deliver in
+  t.deliver <- wrap inner
+
 let set_event_hook t f = t.event_hook <- Some f
 
 let emit t event pkt =
   match t.event_hook with Some f -> f event pkt | None -> ()
 let name t = t.name
+let sim t = t.sim
 let bandwidth t = t.bandwidth
 let delay t = t.delay
 let disc t = t.disc
@@ -71,47 +90,87 @@ let note_queue_change t =
   Stats.Time_weighted.update t.qavg ~now ~value:(float_of_int len)
 
 let rec start_transmission t =
-  match t.disc.Queue_disc.dequeue ~now:(Sim.now t.sim) with
-  | None -> t.busy <- false
-  | Some pkt ->
-      note_queue_change t;
-      emit t Dequeue pkt;
-      t.busy <- true;
-      let tx_time = float_of_int (8 * pkt.Packet.size) /. t.bandwidth in
-      Sim.after t.sim tx_time (fun () ->
-          t.bytes_sent <- t.bytes_sent + pkt.Packet.size;
-          (* Propagation proceeds in parallel with the next transmission;
-             per-packet jitter may reorder deliveries. *)
-          let extra =
-            if t.jitter > 0.0 then Sim_engine.Rng.float t.jitter_rng t.jitter
-            else 0.0
-          in
-          Sim.after t.sim (t.delay +. extra) (fun () ->
-              emit t Receive pkt;
-              t.deliver pkt);
-          start_transmission t)
+  if not t.up then t.busy <- false
+  else
+    match t.disc.Queue_disc.dequeue ~now:(Sim.now t.sim) with
+    | None -> t.busy <- false
+    | Some pkt ->
+        note_queue_change t;
+        emit t Dequeue pkt;
+        t.busy <- true;
+        t.in_flight <- t.in_flight + 1;
+        let tx_time = float_of_int (8 * pkt.Packet.size) /. t.bandwidth in
+        Sim.after t.sim tx_time (fun () ->
+            t.bytes_sent <- t.bytes_sent + pkt.Packet.size;
+            (* Propagation proceeds in parallel with the next transmission;
+               per-packet jitter may reorder deliveries. *)
+            let extra =
+              if t.jitter > 0.0 then Sim_engine.Rng.float t.jitter_rng t.jitter
+              else 0.0
+            in
+            Sim.after t.sim (t.delay +. extra) (fun () ->
+                emit t Receive pkt;
+                t.in_flight <- t.in_flight - 1;
+                t.delivered <- t.delivered + 1;
+                t.deliver pkt);
+            start_transmission t)
+
+let drop t pkt =
+  t.drops <- t.drops + 1;
+  t.life_drops <- t.life_drops + 1;
+  emit t Drop pkt;
+  match t.drop_trace with Some v -> Fvec.push v (Sim.now t.sim) | None -> ()
 
 let send t pkt =
   t.arrivals <- t.arrivals + 1;
-  let now = Sim.now t.sim in
-  match t.disc.Queue_disc.enqueue ~now pkt with
-  | Queue_disc.Reject ->
-      t.drops <- t.drops + 1;
-      emit t Drop pkt;
-      (match t.drop_trace with Some v -> Fvec.push v now | None -> ())
-  | Queue_disc.Accept | Queue_disc.Accept_marked as v ->
-      if v = Queue_disc.Accept_marked then begin
-        pkt.Packet.ecn_marked <- true;
-        t.marks <- t.marks + 1
-      end;
-      emit t Enqueue pkt;
-      note_queue_change t;
-      if not t.busy then start_transmission t
+  t.life_arrivals <- t.life_arrivals + 1;
+  if not t.up then begin
+    (* Down links lose offered packets on the floor, like an unplugged
+       cable; queued and in-flight packets are kept. *)
+    t.outage_drops <- t.outage_drops + 1;
+    drop t pkt
+  end
+  else
+    let now = Sim.now t.sim in
+    match t.disc.Queue_disc.enqueue ~now pkt with
+    | Queue_disc.Reject -> drop t pkt
+    | Queue_disc.Accept | Queue_disc.Accept_marked as v ->
+        if v = Queue_disc.Accept_marked then begin
+          pkt.Packet.ecn_marked <- true;
+          t.marks <- t.marks + 1
+        end;
+        emit t Enqueue pkt;
+        note_queue_change t;
+        if not t.busy then start_transmission t
+
+let set_up t up =
+  if up && not t.up then begin
+    t.up <- true;
+    (* Resume draining whatever accumulated during the outage. *)
+    if not t.busy then start_transmission t
+  end
+  else if not up then t.up <- false
+
+let is_up t = t.up
 
 let arrivals t = t.arrivals
 let drops t = t.drops
 let marks t = t.marks
 let bytes_sent t = t.bytes_sent
+let delivered t = t.delivered
+let in_flight t = t.in_flight
+let outage_drops t = t.outage_drops
+
+let conservation_error t =
+  let queued = t.disc.Queue_disc.pkt_length () in
+  let accounted = t.life_drops + queued + t.in_flight + t.delivered in
+  if t.life_arrivals = accounted then None
+  else
+    Some
+      (Printf.sprintf
+         "packet conservation violated: %d arrivals <> %d dropped + %d \
+          queued + %d in flight + %d delivered"
+         t.life_arrivals t.life_drops queued t.in_flight t.delivered)
 
 let avg_queue_pkts t = Stats.Time_weighted.average t.qavg ~now:(Sim.now t.sim)
 let max_queue_pkts t = t.qmax

@@ -19,6 +19,13 @@ val create :
 val set_deliver : t -> (Packet.t -> unit) -> unit
 (** Install the receiver-side callback (set by {!Topology}). *)
 
+val interpose_deliver :
+  t -> ((Packet.t -> unit) -> Packet.t -> unit) -> unit
+(** [interpose_deliver t wrap] replaces the delivery callback with
+    [wrap inner], where [inner] is the current callback — the decoration
+    point used by {!Fault} to impair traffic after it leaves the wire.
+    Composable: later wrappers see earlier ones as [inner]. *)
+
 (** Per-packet lifecycle events, for tracing. *)
 type event =
   | Enqueue  (** accepted into the queue *)
@@ -34,10 +41,22 @@ val send : t -> Packet.t -> unit
 (** Offer a packet to the link's queue; drops and marks happen here. *)
 
 val name : t -> string
+val sim : t -> Sim_engine.Sim.t
 val bandwidth : t -> float
 val delay : t -> float
 val disc : t -> Queue_disc.t
 val queue_length : t -> int
+
+(** {2 Availability} *)
+
+val set_up : t -> bool -> unit
+(** Take the link down or bring it back up. While down, offered packets
+    are dropped (counted in both {!drops} and {!outage_drops}), queued
+    packets are retained, and any packet mid-transmission or mid-flight
+    still arrives; on recovery the transmitter resumes draining the
+    queue. Links start up. *)
+
+val is_up : t -> bool
 
 (** {2 Measurement} *)
 
@@ -45,6 +64,22 @@ val arrivals : t -> int
 val drops : t -> int
 val marks : t -> int
 val bytes_sent : t -> int
+
+val delivered : t -> int
+(** Packets handed to the delivery callback since creation (lifetime
+    counter, unaffected by {!reset_stats}). *)
+
+val in_flight : t -> int
+(** Packets dequeued for transmission but not yet delivered. *)
+
+val outage_drops : t -> int
+(** Packets dropped because the link was down (lifetime counter). *)
+
+val conservation_error : t -> string option
+(** Packet-conservation invariant over lifetime counters:
+    [arrivals = dropped + queued + in_flight + delivered]. Returns a
+    diagnostic when accounting has drifted — the {!Sim_engine.Audit}
+    check registered per link by the experiment harness. *)
 
 val avg_queue_pkts : t -> float
 (** Time-weighted average queue length (packets) since the last

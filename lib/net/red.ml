@@ -60,10 +60,13 @@ let create ~rng ~params ~capacity_pps ~limit_pkts =
   let update_avg now =
     let q = float_of_int (Queue_disc.Fifo.pkts fifo) in
     if q = 0.0 && not (Float.is_nan st.idle_start) then begin
-      (* Decay the average as if m small packets were serviced while idle. *)
+      (* Decay the average as if m small packets were serviced while idle.
+         Keep the idle clock running: if this arrival is rejected the queue
+         stays empty, and later arrivals must keep decaying by elapsed time
+         (ns-2's q_time), or a pinned-high average force-drops forever. *)
       let m = (now -. st.idle_start) /. tx_time in
       st.avg <- st.avg *. ((1.0 -. st.p.wq) ** m);
-      st.idle_start <- Float.nan
+      st.idle_start <- now
     end
     else st.avg <- ((1.0 -. st.p.wq) *. st.avg) +. (st.p.wq *. q)
   in

@@ -535,9 +535,31 @@ let stop t =
   Node.detach_agent t.src ~flow:t.id;
   Node.detach_agent t.dst ~flow:t.id
 
+let rto_value t = Rto.value t.rto
+
 let debug_state t =
   Printf.sprintf
     "una=%d next=%d pipe=%d cwnd=%.2f ssthresh=%.2f dupacks=%d rec=%b rp=%d sacked=%d stopped=%b"
     t.snd_una t.snd_next t.pipe t.window.Cc.Window.cwnd
     t.window.Cc.Window.ssthresh t.dupacks t.in_recovery t.recovery_point
     (Hashtbl.length t.sacked) t.stopped
+
+let audit_check t =
+  let finite = Float.is_finite in
+  let w = t.window in
+  let bad what v =
+    Some (Printf.sprintf "%s = %g out of range (%s)" what v (debug_state t))
+  in
+  if (not (finite w.Cc.Window.cwnd)) || w.Cc.Window.cwnd < 1.0 then
+    bad "cwnd" w.Cc.Window.cwnd
+  else if (not (finite w.Cc.Window.ssthresh)) || w.Cc.Window.ssthresh <= 0.0
+  then bad "ssthresh" w.Cc.Window.ssthresh
+  else if t.pipe < 0 then bad "pipe" (float_of_int t.pipe)
+  else if t.snd_next < t.snd_una then
+    Some
+      (Printf.sprintf "snd_next %d behind snd_una %d (%s)" t.snd_next
+         t.snd_una (debug_state t))
+  else
+    match Rto.srtt t.rto with
+    | Some s when (not (finite s)) || s <= 0.0 -> bad "srtt" s
+    | _ -> None

@@ -78,7 +78,19 @@ val loss_times : t -> float array
     timeout) since {!enable_loss_trace}. *)
 
 val stop : t -> unit
-(** Halt transmission and detach agents (used for departing flows). *)
+(** Halt transmission, cancel the pending RTO timer, and detach agents
+    (used for departing flows). A stopped flow never fires another
+    timeout. *)
+
+val rto_value : t -> float
+(** Current retransmission timeout, including any exponential backoff
+    (capped at the {!Rto} maximum, 60 s by default). *)
+
+val audit_check : t -> string option
+(** Invariant check for {!Sim_engine.Audit}: cwnd finite and >= 1,
+    ssthresh finite and positive, pipe non-negative, send sequence
+    ordering intact, smoothed RTT finite. Returns a diagnostic including
+    {!debug_state} on violation. *)
 
 (**/**)
 

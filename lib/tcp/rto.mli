@@ -8,7 +8,8 @@ val create : ?min_rto:float -> ?max_rto:float -> ?initial:float -> unit -> t
 (** Defaults: [min_rto = 0.2] s, [max_rto = 60] s, [initial = 1] s. *)
 
 val observe : t -> float -> unit
-(** Feed an RTT sample (seconds); resets any backoff. *)
+(** Feed an RTT sample (seconds); resets any backoff. Non-positive or
+    non-finite samples raise [Invalid_argument]. *)
 
 val value : t -> float
 (** Current timeout, including backoff. *)

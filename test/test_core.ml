@@ -87,7 +87,37 @@ let srtt_validation () =
     (Invalid_argument "Srtt.observe: non-positive RTT") (fun () ->
       Srtt.observe s 0.0)
 
+let srtt_rejects_non_finite () =
+  (* A NaN or infinite sample silently poisons the EWMA (and every
+     probability derived from it) forever — it must be rejected loudly. *)
+  let s = Srtt.create () in
+  Alcotest.check_raises "nan"
+    (Invalid_argument "Srtt.observe: non-finite RTT") (fun () ->
+      Srtt.observe s Float.nan);
+  Alcotest.check_raises "infinity"
+    (Invalid_argument "Srtt.observe: non-finite RTT") (fun () ->
+      Srtt.observe s Float.infinity);
+  check_int "rejected samples are not counted" 0 (Srtt.samples s)
+
 (* --- Pert_red ----------------------------------------------------------------- *)
+
+let pert_red_probability_boundaries () =
+  (* alpha 0 makes the EWMA follow the latest sample exactly, so the
+     queueing delay (sample - min) is fully controlled. Default curve:
+     t_min 5 ms, t_max 10 ms, p_max 0.05, saturating at 2*t_max. *)
+  let e = Pert_red.create ~alpha:0.0 () in
+  check_float "0 with no samples" 0.0 (Pert_red.probability e);
+  let s = Pert_red.srtt e in
+  Srtt.observe s 0.1;
+  check_float "0 at base RTT" 0.0 (Pert_red.probability e);
+  Srtt.observe s 0.105;
+  check_float "0 at the t_min knee" 0.0 (Pert_red.probability e);
+  Srtt.observe s 0.11;
+  check_float "p_max at the t_max knee" 0.05 (Pert_red.probability e);
+  Srtt.observe s 0.12;
+  check_float "1 at 2*t_max" 1.0 (Pert_red.probability e);
+  Srtt.observe s 5.0;
+  check_float "clamped to 1 far beyond the curve" 1.0 (Pert_red.probability e)
 
 let pert_red_quiet_below_threshold () =
   let e = Pert_red.create () in
@@ -347,6 +377,8 @@ let suite =
     ("srtt ewma recurrence", `Quick, srtt_ewma_recurrence);
     ("srtt convergence", `Quick, srtt_convergence);
     ("srtt validation", `Quick, srtt_validation);
+    ("srtt rejects non-finite", `Quick, srtt_rejects_non_finite);
+    ("pert-red probability boundaries", `Quick, pert_red_probability_boundaries);
     ("pert-red quiet below threshold", `Quick, pert_red_quiet_below_threshold);
     ("pert-red responds when congested", `Quick, pert_red_responds_when_congested);
     ("pert-red once per RTT", `Quick, pert_red_once_per_rtt);

@@ -384,6 +384,96 @@ let fvec_clear_and_iter () =
   Fvec.clear v;
   check_int "cleared" 0 (Fvec.length v)
 
+(* --- Audit ------------------------------------------------------------------ *)
+
+let audit_clean_run () =
+  let sim = Sim.create () in
+  let a = Audit.create ~interval:0.05 sim in
+  Audit.add_check a ~subject:"always-ok" (fun ~now:_ -> None);
+  Sim.run ~until:1.0 sim;
+  check_bool "ok" true (Audit.ok a);
+  check_int "no violations" 0 (Audit.violation_count a);
+  Alcotest.(check string)
+    "summary" "audit: no invariant violations" (Audit.summary a)
+
+let audit_records_failing_check () =
+  let sim = Sim.create () in
+  let a = Audit.create ~interval:0.1 ~max_kept:3 sim in
+  Audit.add_check a ~subject:"queue" (fun ~now ->
+      if now > 0.55 then Some "count drifted" else None);
+  Sim.run ~until:1.0 sim;
+  check_bool "not ok" false (Audit.ok a);
+  (* ticks at 0.6..1.0 all fail; only the first [max_kept] are kept
+     verbatim but the total stays exact *)
+  check_bool "total is exact" true (Audit.violation_count a >= 4);
+  check_int "kept capped" 3 (List.length (Audit.violations a));
+  (match Audit.violations a with
+  | { Audit.time; subject; message } :: _ ->
+      check_bool "oldest first, with sim time" true (time > 0.55 && time < 0.75);
+      Alcotest.(check string) "subject" "queue" subject;
+      Alcotest.(check string) "message" "count drifted" message
+  | [] -> Alcotest.fail "no violation kept");
+  check_bool "summary names the first violation" true
+    (String.length (Audit.summary a) > 0 && not (Audit.ok a))
+
+let audit_check_finite () =
+  let sim = Sim.create () in
+  let a = Audit.create sim in
+  check_bool "finite passes" true
+    (Audit.check_finite a ~now:0.0 ~subject:"x" ~what:"v" 1.0);
+  check_bool "nan caught" false
+    (Audit.check_finite a ~now:0.0 ~subject:"x" ~what:"v" Float.nan);
+  check_bool "infinity caught" false
+    (Audit.check_finite a ~now:0.0 ~subject:"x" ~what:"v" Float.infinity);
+  check_int "two violations" 2 (Audit.violation_count a)
+
+let sim_watchdog_semantics () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "zero budget"
+    (Invalid_argument "Sim.set_watchdog: budget must be positive") (fun () ->
+      Sim.set_watchdog sim ~max_events_per_instant:0 ignore);
+  let trips = ref 0 in
+  Sim.set_watchdog sim ~max_events_per_instant:10 (fun _ -> incr trips);
+  (* 25 zero-delay events at t=1: over budget, but the trip must fire
+     exactly once for the stuck instant *)
+  let n = ref 0 in
+  let rec spin () =
+    incr n;
+    if !n < 25 then Sim.after sim 0.0 spin
+  in
+  Sim.at sim 1.0 spin;
+  Sim.at sim 2.0 ignore;
+  Sim.run sim;
+  check_int "one trip per stuck instant" 1 !trips;
+  check_int "all events still ran" 25 !n;
+  (* once cleared, the same burst goes unreported *)
+  Sim.clear_watchdog sim;
+  n := 0;
+  Sim.at sim 3.0 spin;
+  Sim.run sim;
+  check_int "no trip after clear" 1 !trips
+
+let audit_watchdog_stops_livelock () =
+  let sim = Sim.create () in
+  let a = Audit.create sim in
+  Audit.enable_watchdog ~max_events_per_instant:500 a;
+  let spins = ref 0 in
+  let rec spin () =
+    incr spins;
+    Sim.after sim 0.0 spin
+  in
+  Sim.at sim 0.25 spin;
+  Sim.run ~until:10.0 sim;
+  check_bool "trip recorded as violation" false (Audit.ok a);
+  (match Audit.violations a with
+  | { Audit.subject = "sim"; message; _ } :: _ ->
+      check_bool "message names livelock" true
+        (String.length message > 0
+        && String.sub message 0 8 = "livelock")
+  | _ -> Alcotest.fail "expected a sim-subject violation");
+  check_bool "stopped promptly instead of hanging" true (!spins <= 502);
+  check_float "clock stuck at the livelock instant" 0.25 (Sim.now sim)
+
 let qsuite = List.map QCheck_alcotest.to_alcotest [ heap_qcheck_sorted; jain_qcheck_bounds ]
 
 let suite =
@@ -425,5 +515,10 @@ let suite =
     ("fvec clear/iter", `Quick, fvec_clear_and_iter);
     ("fvec push/get", `Quick, fvec_push_get);
     ("fvec lower_bound", `Quick, fvec_lower_bound);
+    ("audit clean run", `Quick, audit_clean_run);
+    ("audit records violations", `Quick, audit_records_failing_check);
+    ("audit check_finite", `Quick, audit_check_finite);
+    ("sim watchdog semantics", `Quick, sim_watchdog_semantics);
+    ("audit watchdog stops livelock", `Quick, audit_watchdog_stops_livelock);
   ]
   @ qsuite

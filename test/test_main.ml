@@ -5,6 +5,7 @@ let () =
       ("core", Test_core.suite);
       ("net", Test_net.suite);
       ("tcp", Test_tcp.suite);
+      ("faults", Test_faults.suite);
       ("predictors", Test_predictors.suite);
       ("fluid", Test_fluid.suite);
       ("traffic", Test_traffic.suite);

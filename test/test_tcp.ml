@@ -50,6 +50,33 @@ let rto_validation () =
     (Invalid_argument "Rto.observe: non-positive sample") (fun () ->
       Rto.observe r 0.0)
 
+let rto_rejects_non_finite () =
+  let r = Rto.create () in
+  Alcotest.check_raises "nan"
+    (Invalid_argument "Rto.observe: non-finite sample") (fun () ->
+      Rto.observe r Float.nan);
+  Alcotest.check_raises "infinity"
+    (Invalid_argument "Rto.observe: non-finite sample") (fun () ->
+      Rto.observe r Float.infinity)
+
+let rto_backoff_caps_at_max () =
+  let r = Rto.create () in
+  (* srtt 2, rttvar 1 -> rto 6 s; doubling must saturate at max_rto (60 s)
+     and never overflow past it *)
+  Rto.observe r 2.0;
+  for _ = 1 to 30 do
+    Rto.backoff r
+  done;
+  check_float_eps 1e-9 "capped at max_rto" 60.0 (Rto.value r);
+  Rto.observe r 2.0;
+  check_bool "fresh sample resets the backoff" true (Rto.value r < 10.0);
+  let r2 = Rto.create ~max_rto:2.0 () in
+  Rto.observe r2 0.5;
+  for _ = 1 to 10 do
+    Rto.backoff r2
+  done;
+  check_float_eps 1e-9 "custom cap respected" 2.0 (Rto.value r2)
+
 (* --- congestion-control unit tests (drive the Cc.t record directly) ---------- *)
 
 let reno_increase_rules () =
@@ -241,6 +268,48 @@ let timeout_on_blackout () =
   Sim.run ~until:60.0 fx.sim;
   check_bool "completed despite blackout" true (Flow.completed flow);
   check_bool "used a timeout" true (Flow.timeouts flow >= 1)
+
+(* --- link outages ------------------------------------------------------------ *)
+
+let blackout_backoff_and_recovery () =
+  (* Take the bottleneck down for 20 s mid-transfer: the RTO must back off
+     exponentially (a handful of timeouts, not one per min_rto), and the
+     first post-recovery ACK must reset the backoff. *)
+  let fx = fixture () in
+  let flow =
+    Flow.create fx.topo ~src:fx.src ~dst:fx.dst ~cc:(Cc.newreno ()) ()
+  in
+  Sim.run ~until:0.5 fx.sim;
+  let acked_before = Flow.acked_pkts flow in
+  check_bool "warm before the outage" true (acked_before > 0);
+  Link.set_up fx.bottleneck false;
+  Sim.run ~until:20.5 fx.sim;
+  let during = Flow.timeouts flow in
+  check_bool "exponential backoff: a few timeouts, not ~100" true
+    (during >= 3 && during <= 10);
+  check_bool "rto grew under backoff" true (Flow.rto_value flow > 2.0);
+  Link.set_up fx.bottleneck true;
+  Sim.run ~until:45.0 fx.sim;
+  check_bool "transfer resumed after recovery" true
+    (Flow.acked_pkts flow > acked_before + 100);
+  check_bool "backoff reset by the first post-recovery ACK" true
+    (Flow.rto_value flow < 1.0);
+  Flow.stop flow
+
+let stop_cancels_pending_rto () =
+  (* Unacked data over a dead link leaves an RTO armed; stopping the flow
+     must cancel it so the timer never fires on a detached flow. *)
+  let fx = fixture () in
+  let flow =
+    Flow.create fx.topo ~src:fx.src ~dst:fx.dst ~cc:(Cc.newreno ()) ()
+  in
+  Sim.run ~until:0.5 fx.sim;
+  Link.set_up fx.bottleneck false;
+  Sim.run ~until:0.6 fx.sim;
+  Flow.stop flow;
+  let at_stop = Flow.timeouts flow in
+  Sim.run ~until:30.0 fx.sim;
+  check_int "no timeout fires after stop" at_stop (Flow.timeouts flow)
 
 let receiver_reordering () =
   (* Drop + later holes force out-of-order arrival at the receiver; total
@@ -569,6 +638,10 @@ let suite =
     ("rto min clamp", `Quick, rto_min_clamp);
     ("rto backoff/reset", `Quick, rto_backoff_and_reset);
     ("rto validation", `Quick, rto_validation);
+    ("rto rejects non-finite", `Quick, rto_rejects_non_finite);
+    ("rto backoff caps at max", `Quick, rto_backoff_caps_at_max);
+    ("blackout backoff + recovery", `Quick, blackout_backoff_and_recovery);
+    ("stop cancels pending rto", `Quick, stop_cancels_pending_rto);
     ("reno increase rules", `Quick, reno_increase_rules);
     ("vegas increases when uncongested", `Quick, vegas_increases_when_uncongested);
     ("vegas decreases when backlogged", `Quick, vegas_decreases_when_backlogged);
