@@ -10,7 +10,7 @@ module R = Pert_core.Pert_red
 
 let () =
   let engine = R.create () in
-  let rng = Random.State.make [| 11 |] in
+  let rng = Sim_engine.Rng.create 11 in
   let base = 0.050 in
   (* 4000 ACKs at ~2 ms spacing: queueing delay ramps 0 -> 25 ms over the
      first half, then drains back. *)
@@ -22,7 +22,7 @@ let () =
       else float_of_int (4000 - i) /. 2000.0
     in
     let rtt = base +. (0.025 *. ramp) in
-    match R.on_ack engine ~now:t ~rtt ~u:(Random.State.float rng 1.0) with
+    match R.on_ack engine ~now:t ~rtt ~u:(Sim_engine.Rng.float rng 1.0) with
     | R.Hold -> ()
     | R.Early_response -> responses := (t, R.probability engine) :: !responses
   done;

@@ -46,7 +46,7 @@ let create ?(srtt_alpha = 0.99) ?(decrease_factor = 0.35) ~params () =
 let update t ~now =
   let tq = Srtt.queueing_delay t.srtt in
   let dt =
-    if t.last_update = neg_infinity then t.p.sample_interval
+    if Float.equal t.last_update neg_infinity then t.p.sample_interval
     else Float.max 0.0 (now -. t.last_update)
   in
   let busy = tq > idle_eps in
@@ -63,7 +63,8 @@ let on_ack t ~now ~rtt ~u:_ =
   if now >= t.next_update then begin
     update t ~now;
     t.next_update <-
-      (if t.next_update = neg_infinity then now +. t.p.sample_interval
+      (if Float.equal t.next_update neg_infinity then
+         now +. t.p.sample_interval
        else Float.max (t.next_update +. t.p.sample_interval) now)
   end;
   if

@@ -49,7 +49,7 @@ let on_ack t ~now ~rtt ~u =
   if now >= t.next_update then begin
     update_probability t;
     t.next_update <-
-      (if t.next_update = neg_infinity then now +. t.sample_interval
+      (if Float.equal t.next_update neg_infinity then now +. t.sample_interval
        else Float.max (t.next_update +. t.sample_interval) now)
   end;
   if now -. t.last_response >= Srtt.value t.srtt && u < t.p then begin

@@ -56,7 +56,8 @@ let on_ack t ~now ~rtt ~u =
   if now >= t.next_update then begin
     update_price t;
     t.next_update <-
-      (if t.next_update = neg_infinity then now +. t.p.sample_interval
+      (if Float.equal t.next_update neg_infinity then
+         now +. t.p.sample_interval
        else Float.max (t.next_update +. t.p.sample_interval) now)
   end;
   if now -. t.last_response >= Srtt.value t.srtt && u < probability t then begin

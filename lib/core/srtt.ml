@@ -12,7 +12,7 @@ let create ?(alpha = 0.99) () =
 let observe t sample =
   (* A single NaN would poison the EWMA (and min_rtt) forever; reject it
      loudly instead. *)
-  if Float.is_nan sample || sample = infinity then
+  if not (Float.is_finite sample) then
     invalid_arg "Srtt.observe: non-finite RTT";
   if sample <= 0.0 then invalid_arg "Srtt.observe: non-positive RTT";
   if t.samples = 0 then t.srtt <- sample

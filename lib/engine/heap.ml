@@ -33,7 +33,7 @@ let grow t x =
 (* [lt t i j] : does slot [i] have strictly smaller priority than slot [j]? *)
 let lt t i j =
   t.times.(i) < t.times.(j)
-  || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
+  || (Float.equal t.times.(i) t.times.(j) && t.seqs.(i) < t.seqs.(j))
 
 let swap t i j =
   let tm = t.times.(i) and sq = t.seqs.(i) and dt = t.data.(i) in

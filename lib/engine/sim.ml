@@ -8,6 +8,7 @@ type t = {
   (* livelock watchdog: bound on events executed without the clock moving *)
   mutable watchdog : (int * (string -> unit)) option;
   mutable instant_events : int;
+  mutable next_id : int;
 }
 
 let create ?(seed = 42) () =
@@ -20,10 +21,16 @@ let create ?(seed = 42) () =
     root_rng = Rng.create seed;
     watchdog = None;
     instant_events = 0;
+    next_id = 0;
   }
 
 let now t = t.clock
 let rng t = t.root_rng
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
 
 let at t time f =
   if time < t.clock then
@@ -82,6 +89,10 @@ let run ?until t =
               loop ())
   in
   loop ();
-  if t.stopped then () else match until with Some u -> t.clock <- max t.clock u | None -> ()
+  if t.stopped then ()
+  else
+    match until with
+    | Some u -> t.clock <- Float.max t.clock u
+    | None -> ()
 
 let events_executed t = t.executed

@@ -15,6 +15,12 @@ val now : t -> float
 val rng : t -> Rng.t
 (** The simulation's root generator; components should {!Rng.split} it. *)
 
+val fresh_id : t -> int
+(** Per-simulation id allocator: 0, 1, 2, ... Entities (flows, CBR
+    sources) draw their ids here so reruns of a simulation in the same
+    process produce identical ids — a process-global counter would not
+    replay. *)
+
 val at : t -> float -> (unit -> unit) -> unit
 (** [at t time f] schedules [f] at absolute [time]. [time >= now t]. *)
 

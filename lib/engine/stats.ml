@@ -95,7 +95,8 @@ let jain_index xs =
   else
     let sum = Array.fold_left ( +. ) 0.0 xs in
     let sum_sq = Array.fold_left (fun a x -> a +. (x *. x)) 0.0 xs in
-    if sum_sq = 0.0 then 1.0 else sum *. sum /. (float_of_int n *. sum_sq)
+    if Float.equal sum_sq 0.0 then 1.0
+    else sum *. sum /. (float_of_int n *. sum_sq)
 
 let percentile xs p =
   let n = Array.length xs in

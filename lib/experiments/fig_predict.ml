@@ -40,7 +40,12 @@ let flow_rtts n =
   :: List.init (max 0 (n - 1)) (fun i ->
          0.020 +. (0.100 *. float_of_int i /. float_of_int (max 1 (n - 1))))
 
-let cache : (Scale.t * int, Trace.t) Hashtbl.t = Hashtbl.create 16
+(* Memoises the expensive SACK/droptail trace collection shared by
+   fig2/fig3/fig4. Safe despite being toplevel state: keys fully determine
+   the deterministic simulation that fills them, so a hit returns exactly
+   what a fresh run would produce. *)
+let[@lint.allow "D3"] cache : (Scale.t * int, Trace.t) Hashtbl.t =
+  Hashtbl.create 16
 
 let collect_uncached scale case =
   let config =

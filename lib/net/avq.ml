@@ -16,8 +16,9 @@ type state = {
   mutable last_arrival : float;
 }
 
-let registry : (string, state) Hashtbl.t = Hashtbl.create 8
-let next_instance = ref 0
+(* Link the opaque Queue_disc.t back to AVQ internals for introspection
+   (no global registry: that would be module-toplevel mutable state). *)
+type Queue_disc.internals += Avq of state
 
 let create ~params ~capacity_pps ~limit_pkts =
   if limit_pkts <= 0 then invalid_arg "Avq.create: limit must be positive";
@@ -58,19 +59,17 @@ let create ~params ~capacity_pps ~limit_pkts =
       Queue_disc.Accept
     end
   in
-  let name = Printf.sprintf "avq#%d" !next_instance in
-  incr next_instance;
-  Hashtbl.replace registry name st;
   {
-    Queue_disc.name;
+    Queue_disc.name = "avq";
     enqueue;
     dequeue = (fun ~now:_ -> Queue_disc.Fifo.pop fifo);
     pkt_length = (fun () -> Queue_disc.Fifo.pkts fifo);
     byte_length = (fun () -> Queue_disc.Fifo.bytes fifo);
     capacity_pkts = limit_pkts;
+    internals = Avq st;
   }
 
 let virtual_capacity disc =
-  match Hashtbl.find_opt registry disc.Queue_disc.name with
-  | Some st -> st.c_tilde
-  | None -> invalid_arg "Avq: not an AVQ discipline"
+  match disc.Queue_disc.internals with
+  | Avq st -> st.c_tilde
+  | _ -> invalid_arg "Avq: not an AVQ discipline"

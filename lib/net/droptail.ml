@@ -15,4 +15,5 @@ let create ~limit_pkts =
     pkt_length = (fun () -> Queue_disc.Fifo.pkts fifo);
     byte_length = (fun () -> Queue_disc.Fifo.bytes fifo);
     capacity_pkts = limit_pkts;
+    internals = Queue_disc.Opaque;
   }

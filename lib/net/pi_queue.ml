@@ -13,8 +13,10 @@ type state = {
   mutable next_update : float;
 }
 
-let registry : (string, state) Hashtbl.t = Hashtbl.create 8
-let next_instance = ref 0
+(* Link the opaque Queue_disc.t back to PI internals for introspection
+   (no global registry: that would be module-toplevel mutable state). *)
+type Queue_disc.internals += Pi of state
+
 let clamp01 x = if x < 0.0 then 0.0 else if x > 1.0 then 1.0 else x
 
 let create ~rng ~params ~limit_pkts =
@@ -51,19 +53,17 @@ let create ~rng ~params ~limit_pkts =
       Queue_disc.Accept
     end
   in
-  let name = Printf.sprintf "pi#%d" !next_instance in
-  incr next_instance;
-  Hashtbl.replace registry name st;
   {
-    Queue_disc.name;
+    Queue_disc.name = "pi";
     enqueue;
     dequeue = (fun ~now:_ -> Queue_disc.Fifo.pop fifo);
     pkt_length = (fun () -> Queue_disc.Fifo.pkts fifo);
     byte_length = (fun () -> Queue_disc.Fifo.bytes fifo);
     capacity_pkts = limit_pkts;
+    internals = Pi st;
   }
 
 let probability disc =
-  match Hashtbl.find_opt registry disc.Queue_disc.name with
-  | Some st -> st.prob
-  | None -> invalid_arg "Pi_queue: not a PI discipline"
+  match disc.Queue_disc.internals with
+  | Pi st -> st.prob
+  | _ -> invalid_arg "Pi_queue: not a PI discipline"

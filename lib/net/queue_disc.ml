@@ -1,4 +1,6 @@
 type verdict = Accept | Accept_marked | Reject
+type internals = ..
+type internals += Opaque
 
 type t = {
   name : string;
@@ -7,6 +9,7 @@ type t = {
   pkt_length : unit -> int;
   byte_length : unit -> int;
   capacity_pkts : int;
+  internals : internals;
 }
 
 module Fifo = struct

@@ -8,6 +8,16 @@
 
 type verdict = Accept | Accept_marked | Reject
 
+type internals = ..
+(** Discipline-private state, surfaced so a concrete module can recover
+    its own internals from the closure record for introspection
+    ([Red.avg_queue], [Rem.price], ...) without any global registry —
+    module-toplevel registries are a replay/determinism hazard (lint rule
+    D3). Each implementation extends this type with its own constructor
+    and matches on it in its accessors. *)
+
+type internals += Opaque  (** for disciplines with nothing to expose *)
+
 type t = {
   name : string;
   enqueue : now:float -> Packet.t -> verdict;
@@ -15,6 +25,7 @@ type t = {
   pkt_length : unit -> int;  (** packets currently buffered *)
   byte_length : unit -> int;  (** bytes currently buffered *)
   capacity_pkts : int;  (** buffer limit in packets *)
+  internals : internals;  (** see {!type-internals} *)
 }
 
 (** FIFO storage shared by discipline implementations. *)

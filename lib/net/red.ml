@@ -32,10 +32,10 @@ type state = {
   mutable next_adapt : float;
 }
 
-(* Registry linking the opaque Queue_disc.t back to RED internals for
-   introspection (avg_queue, current_max_p). *)
-let registry : (string, state) Hashtbl.t = Hashtbl.create 8
-let next_instance = ref 0
+(* Link the opaque Queue_disc.t back to RED internals for introspection
+   (avg_queue, current_max_p) — no global registry: that would be
+   module-toplevel mutable state. *)
+type Queue_disc.internals += Red of state
 
 let adapt_interval = 0.5
 
@@ -53,13 +53,20 @@ let adapt st now =
 let create ~rng ~params ~capacity_pps ~limit_pkts =
   if limit_pkts <= 0 then invalid_arg "Red.create: limit must be positive";
   let fifo = Queue_disc.Fifo.create () in
+  (* The queue starts empty: idle since t = 0. [idle_start] is NaN exactly
+     while packets are buffered, so every push clears it and the
+     drain-to-empty dequeue restores it. *)
   let st =
     { p = params; avg = 0.0; count = -1; idle_start = 0.0; next_adapt = 0.0 }
   in
+  let push pkt =
+    Queue_disc.Fifo.push fifo pkt;
+    st.idle_start <- Float.nan
+  in
   let tx_time = 1.0 /. Float.max 1.0 capacity_pps in
   let update_avg now =
-    let q = float_of_int (Queue_disc.Fifo.pkts fifo) in
-    if q = 0.0 && not (Float.is_nan st.idle_start) then begin
+    let pkts = Queue_disc.Fifo.pkts fifo in
+    if pkts = 0 && not (Float.is_nan st.idle_start) then begin
       (* Decay the average as if m small packets were serviced while idle.
          Keep the idle clock running: if this arrival is rejected the queue
          stays empty, and later arrivals must keep decaying by elapsed time
@@ -68,11 +75,13 @@ let create ~rng ~params ~capacity_pps ~limit_pkts =
       st.avg <- st.avg *. ((1.0 -. st.p.wq) ** m);
       st.idle_start <- now
     end
-    else st.avg <- ((1.0 -. st.p.wq) *. st.avg) +. (st.p.wq *. q)
+    else
+      st.avg <-
+        ((1.0 -. st.p.wq) *. st.avg) +. (st.p.wq *. float_of_int pkts)
   in
   let mark_or_drop pkt =
     if st.p.ecn && pkt.Packet.ecn_capable then begin
-      Queue_disc.Fifo.push fifo pkt;
+      push pkt;
       Queue_disc.Accept_marked
     end
     else Queue_disc.Reject
@@ -97,13 +106,13 @@ let create ~rng ~params ~capacity_pps ~limit_pkts =
           mark_or_drop pkt
         end
         else begin
-          Queue_disc.Fifo.push fifo pkt;
+          push pkt;
           Queue_disc.Accept
         end
       in
       if st.avg < p.min_th then begin
         st.count <- -1;
-        Queue_disc.Fifo.push fifo pkt;
+        push pkt;
         Queue_disc.Accept
       end
       else if st.avg < p.max_th then
@@ -124,22 +133,20 @@ let create ~rng ~params ~capacity_pps ~limit_pkts =
         if Queue_disc.Fifo.pkts fifo = 0 then st.idle_start <- now;
         Some pkt
   in
-  let name = Printf.sprintf "red#%d" !next_instance in
-  incr next_instance;
-  Hashtbl.replace registry name st;
   {
-    Queue_disc.name;
+    Queue_disc.name = "red";
     enqueue;
     dequeue;
     pkt_length = (fun () -> Queue_disc.Fifo.pkts fifo);
     byte_length = (fun () -> Queue_disc.Fifo.bytes fifo);
     capacity_pkts = limit_pkts;
+    internals = Red st;
   }
 
 let state_of disc =
-  match Hashtbl.find_opt registry disc.Queue_disc.name with
-  | Some st -> st
-  | None -> invalid_arg "Red: not a RED discipline"
+  match disc.Queue_disc.internals with
+  | Red st -> st
+  | _ -> invalid_arg "Red: not a RED discipline"
 
 let avg_queue disc = (state_of disc).avg
 let current_max_p disc = (state_of disc).p.max_p

@@ -25,8 +25,9 @@ type state = {
   mutable next_update : float;
 }
 
-let registry : (string, state) Hashtbl.t = Hashtbl.create 8
-let next_instance = ref 0
+(* Link the opaque Queue_disc.t back to REM internals for introspection
+   (no global registry: that would be module-toplevel mutable state). *)
+type Queue_disc.internals += Rem of state
 
 let probability st = 1.0 -. (st.p.phi ** -.st.price)
 
@@ -76,22 +77,20 @@ let create ~rng ~params ~capacity_pps ~limit_pkts =
       Queue_disc.Accept
     end
   in
-  let name = Printf.sprintf "rem#%d" !next_instance in
-  incr next_instance;
-  Hashtbl.replace registry name st;
   {
-    Queue_disc.name;
+    Queue_disc.name = "rem";
     enqueue;
     dequeue = (fun ~now:_ -> Queue_disc.Fifo.pop fifo);
     pkt_length = (fun () -> Queue_disc.Fifo.pkts fifo);
     byte_length = (fun () -> Queue_disc.Fifo.bytes fifo);
     capacity_pkts = limit_pkts;
+    internals = Rem st;
   }
 
 let state_of disc =
-  match Hashtbl.find_opt registry disc.Queue_disc.name with
-  | Some st -> st
-  | None -> invalid_arg "Rem: not a REM discipline"
+  match disc.Queue_disc.internals with
+  | Rem st -> st
+  | _ -> invalid_arg "Rem: not a REM discipline"
 
 let price disc = (state_of disc).price
 let mark_probability disc = probability (state_of disc)

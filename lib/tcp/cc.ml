@@ -9,6 +9,8 @@ module Window = struct
 end
 
 type early_action = No_response | Reduce of float
+type engine = ..
+type engine += No_engine
 
 type t = {
   name : string;
@@ -16,6 +18,7 @@ type t = {
   early : Window.t -> rtt:float option -> now:float -> early_action;
   on_loss : now:float -> unit;
   ecn_beta : float;
+  engine : engine;
 }
 
 let reno_increase w ~newly_acked ~rtt:_ ~now:_ =
@@ -33,4 +36,5 @@ let newreno () =
     early = (fun _ ~rtt:_ ~now:_ -> No_response);
     on_loss = (fun ~now:_ -> ());
     ecn_beta = 0.5;
+    engine = No_engine;
   }

@@ -25,6 +25,16 @@ type early_action =
       (** [Reduce f]: multiplicative early decrease
           [cwnd <- max 1 ((1 - f) * cwnd)]; also leaves slow start. *)
 
+type engine = ..
+(** The decision engine behind a controller, surfaced so a concrete
+    module ({!Pert_cc}, {!Pert_pi_cc}, ...) can recover its own engine
+    from the closure record for introspection without any global registry
+    — module-toplevel registries are a replay/determinism hazard (lint
+    rule D3). Each implementation extends this type with its own
+    constructor and matches on it in its [engine_of]. *)
+
+type engine += No_engine  (** for controllers with nothing to expose *)
+
 type t = {
   name : string;
   on_ack : Window.t -> newly_acked:int -> rtt:float option -> now:float -> unit;
@@ -44,6 +54,7 @@ type t = {
   ecn_beta : float;
       (** Multiplicative decrease factor applied on an ECN echo
           (standard: 0.5). *)
+  engine : engine;  (** see {!type-engine} *)
 }
 
 val reno_increase :

@@ -4,8 +4,6 @@ module Packet = Netsim.Packet
 module Node = Netsim.Node
 module Topology = Netsim.Topology
 
-let next_flow_id = ref 0
-
 type delay_signal = [ `Rtt | `Owd ]
 
 (* Receiver-side set of out-of-order intervals [(first, last_exclusive)],
@@ -465,8 +463,7 @@ let create topo ~src ~dst ~cc ?(ecn = false) ?total_pkts ?start
     ?(initial_cwnd = 2.0) ?(max_cwnd = 1_000_000.0) ?(delay_signal = `Rtt)
     ?(delayed_acks = false) ?(on_complete = fun _ -> ()) () =
   let sim = Topology.sim topo in
-  let flow_id = !next_flow_id in
-  incr next_flow_id;
+  let flow_id = Sim.fresh_id sim in
   let t =
     {
       sim;

@@ -1,8 +1,9 @@
 module Pert_avq = Pert_core.Pert_avq
 module Rng = Sim_engine.Rng
 
-let registry : (string, Pert_avq.t) Hashtbl.t = Hashtbl.create 8
-let next_instance = ref 0
+(* Link the opaque Cc.t back to its decision engine for introspection
+   (no global registry: that would be module-toplevel mutable state). *)
+type Cc.engine += Engine of Pert_avq.t
 
 let create ~rng ?(params = Pert_avq.default_params) ?srtt_alpha
     ?decrease_factor () =
@@ -16,18 +17,16 @@ let create ~rng ?(params = Pert_avq.default_params) ?srtt_alpha
         | Pert_avq.Early_response ->
             Cc.Reduce (Pert_avq.decrease_factor engine))
   in
-  let name = Printf.sprintf "pert-avq#%d" !next_instance in
-  incr next_instance;
-  Hashtbl.replace registry name engine;
   {
-    Cc.name;
+    Cc.name = "pert-avq";
     on_ack = Cc.reno_increase;
     early;
     on_loss = (fun ~now -> Pert_avq.note_loss engine ~now);
     ecn_beta = 0.5;
+    engine = Engine engine;
   }
 
 let engine_of cc =
-  match Hashtbl.find_opt registry cc.Cc.name with
-  | Some engine -> engine
-  | None -> invalid_arg "Pert_avq_cc.engine_of: not a PERT/AVQ controller"
+  match cc.Cc.engine with
+  | Engine engine -> engine
+  | _ -> invalid_arg "Pert_avq_cc.engine_of: not a PERT/AVQ controller"

@@ -1,8 +1,9 @@
 module Pert_red = Pert_core.Pert_red
 module Rng = Sim_engine.Rng
 
-let registry : (string, Pert_red.t) Hashtbl.t = Hashtbl.create 8
-let next_instance = ref 0
+(* Link the opaque Cc.t back to its decision engine for introspection
+   (no global registry: that would be module-toplevel mutable state). *)
+type Cc.engine += Engine of Pert_red.t
 
 let create ~rng ?curve ?alpha ?decrease_factor ?limit_per_rtt () =
   let engine = Pert_red.create ?curve ?alpha ?decrease_factor ?limit_per_rtt () in
@@ -17,18 +18,16 @@ let create ~rng ?curve ?alpha ?decrease_factor ?limit_per_rtt () =
         | Pert_red.Early_response ->
             Cc.Reduce (Pert_red.decrease_factor engine))
   in
-  let name = Printf.sprintf "pert#%d" !next_instance in
-  incr next_instance;
-  Hashtbl.replace registry name engine;
   {
-    Cc.name;
+    Cc.name = "pert";
     on_ack = Cc.reno_increase;
     early;
     on_loss = (fun ~now -> Pert_red.note_loss engine ~now);
     ecn_beta = 0.5;
+    engine = Engine engine;
   }
 
 let engine_of cc =
-  match Hashtbl.find_opt registry cc.Cc.name with
-  | Some engine -> engine
-  | None -> invalid_arg "Pert_cc.engine_of: not a PERT controller"
+  match cc.Cc.engine with
+  | Engine engine -> engine
+  | _ -> invalid_arg "Pert_cc.engine_of: not a PERT controller"

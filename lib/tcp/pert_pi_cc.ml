@@ -1,8 +1,9 @@
 module Pert_pi = Pert_core.Pert_pi
 module Rng = Sim_engine.Rng
 
-let registry : (string, Pert_pi.t) Hashtbl.t = Hashtbl.create 8
-let next_instance = ref 0
+(* Link the opaque Cc.t back to its decision engine for introspection
+   (no global registry: that would be module-toplevel mutable state). *)
+type Cc.engine += Engine of Pert_pi.t
 
 let create ~rng ~gains ~target_delay ~sample_interval ?alpha ?decrease_factor
     () =
@@ -19,18 +20,16 @@ let create ~rng ~gains ~target_delay ~sample_interval ?alpha ?decrease_factor
         | Pert_pi.Early_response ->
             Cc.Reduce (Pert_pi.decrease_factor engine))
   in
-  let name = Printf.sprintf "pert-pi#%d" !next_instance in
-  incr next_instance;
-  Hashtbl.replace registry name engine;
   {
-    Cc.name;
+    Cc.name = "pert-pi";
     on_ack = Cc.reno_increase;
     early;
     on_loss = (fun ~now -> Pert_pi.note_loss engine ~now);
     ecn_beta = 0.5;
+    engine = Engine engine;
   }
 
 let engine_of cc =
-  match Hashtbl.find_opt registry cc.Cc.name with
-  | Some engine -> engine
-  | None -> invalid_arg "Pert_pi_cc.engine_of: not a PERT/PI controller"
+  match cc.Cc.engine with
+  | Engine engine -> engine
+  | _ -> invalid_arg "Pert_pi_cc.engine_of: not a PERT/PI controller"

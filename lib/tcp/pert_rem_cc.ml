@@ -1,8 +1,9 @@
 module Pert_rem = Pert_core.Pert_rem
 module Rng = Sim_engine.Rng
 
-let registry : (string, Pert_rem.t) Hashtbl.t = Hashtbl.create 8
-let next_instance = ref 0
+(* Link the opaque Cc.t back to its decision engine for introspection
+   (no global registry: that would be module-toplevel mutable state). *)
+type Cc.engine += Engine of Pert_rem.t
 
 let create ~rng ?(params = Pert_rem.default_params) ?srtt_alpha
     ?decrease_factor () =
@@ -16,18 +17,16 @@ let create ~rng ?(params = Pert_rem.default_params) ?srtt_alpha
         | Pert_rem.Early_response ->
             Cc.Reduce (Pert_rem.decrease_factor engine))
   in
-  let name = Printf.sprintf "pert-rem#%d" !next_instance in
-  incr next_instance;
-  Hashtbl.replace registry name engine;
   {
-    Cc.name;
+    Cc.name = "pert-rem";
     on_ack = Cc.reno_increase;
     early;
     on_loss = (fun ~now -> Pert_rem.note_loss engine ~now);
     ecn_beta = 0.5;
+    engine = Engine engine;
   }
 
 let engine_of cc =
-  match Hashtbl.find_opt registry cc.Cc.name with
-  | Some engine -> engine
-  | None -> invalid_arg "Pert_rem_cc.engine_of: not a PERT/REM controller"
+  match cc.Cc.engine with
+  | Engine engine -> engine
+  | _ -> invalid_arg "Pert_rem_cc.engine_of: not a PERT/REM controller"

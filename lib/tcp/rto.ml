@@ -22,7 +22,7 @@ let create ?(min_rto = 0.2) ?(max_rto = 60.0) ?(initial = 1.0) () =
 let clamp t x = Float.min t.max_rto (Float.max t.min_rto x)
 
 let observe t sample =
-  if Float.is_nan sample || sample = infinity then
+  if not (Float.is_finite sample) then
     invalid_arg "Rto.observe: non-finite sample";
   if sample <= 0.0 then invalid_arg "Rto.observe: non-positive sample";
   if not t.has_sample then begin

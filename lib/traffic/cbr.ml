@@ -2,9 +2,9 @@ module Sim = Sim_engine.Sim
 module Packet = Netsim.Packet
 module Node = Netsim.Node
 
-(* CBR shares the flow-id space with TCP flows via a distinct negative
-   range to avoid colliding with Flow's counter. *)
-let next_cbr_id = ref (-1)
+(* CBR shares the per-simulation id space with TCP flows via a distinct
+   negative range to avoid colliding with Flow's ids. *)
+let fresh_cbr_id sim = -1 - Sim.fresh_id sim
 
 type t = {
   sim : Sim.t;
@@ -22,8 +22,7 @@ type t = {
 let start topo ~src ~dst ~rate_bps ?start ?(stop = infinity) () =
   if rate_bps <= 0.0 then invalid_arg "Cbr.start: rate must be positive";
   let sim = Netsim.Topology.sim topo in
-  let id = !next_cbr_id in
-  decr next_cbr_id;
+  let id = fresh_cbr_id sim in
   let t =
     {
       sim;

@@ -1,0 +1,136 @@
+(* End-to-end tests for tools/pertlint: each fixture in
+   test/lint_fixtures violates exactly one rule at a documented line;
+   pertlint (run as a subprocess on the fixture's .cmt) must flag exactly
+   that line, and the allow_ok fixture must come out clean.
+
+   The test runs from _build/default/test/lint, so the executable and the
+   fixture .cmt files are reachable by relative path. *)
+
+let exe = Filename.concat (Filename.concat ".." "..") "tools/pertlint/pertlint.exe"
+
+let fixture_cmt modname =
+  Printf.sprintf "../lint_fixtures/.lint_fixtures.objs/byte/lint_fixtures__%s.cmt"
+    modname
+
+(* Returns (exit_code, output_lines). *)
+let run_pertlint args =
+  let out = Filename.temp_file "pertlint" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1"
+      (Filename.quote exe)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let rec read acc =
+    match input_line ic with
+    | line -> read (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = read [] in
+  close_in ic;
+  Sys.remove out;
+  (code, lines)
+
+let contains_sub line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* (rule, fixture module, source basename, expected 1-based line) *)
+let bad_fixtures =
+  [
+    ("D1", "D1_bad", "d1_bad.ml", 4);
+    ("D2", "D2_bad", "d2_bad.ml", 4);
+    ("D3", "D3_bad", "d3_bad.ml", 4);
+    ("N1", "N1_bad", "n1_bad.ml", 4);
+    ("N2", "N2_bad", "n2_bad.ml", 4);
+    ("H1", "H1_bad", "h1_bad.ml", 4);
+    ("M1", "M1_bad", "m1_bad.ml", 1);
+  ]
+
+let rule_fires (rule, modname, src, line) () =
+  let code, lines =
+    run_pertlint [ "--rules"; rule; "--assume-scope"; "lib"; fixture_cmt modname ]
+  in
+  check_int (rule ^ " exit code") 1 code;
+  let tagged =
+    List.filter (fun l -> contains_sub l (Printf.sprintf "[%s]" rule)) lines
+  in
+  check_int (rule ^ " fires exactly once") 1 (List.length tagged);
+  check_bool
+    (Printf.sprintf "%s flagged at %s:%d" rule src line)
+    true
+    (List.for_all
+       (fun l -> contains_sub l (Printf.sprintf "%s:%d:" src line))
+       tagged)
+
+(* The same fixtures contain no violation of any *other* expression-level
+   rule: with the fixture's own rule (and M1, which fires on every
+   mli-less fixture) disabled, pertlint must exit clean. *)
+let rule_isolated (rule, modname, _, _) () =
+  let others =
+    List.filter
+      (fun r -> r <> rule && r <> "M1")
+      (List.map (fun (r, _, _, _) -> r) bad_fixtures)
+  in
+  let code, lines =
+    run_pertlint
+      [
+        "--rules"; String.concat "," others;
+        "--assume-scope"; "lib";
+        fixture_cmt modname;
+      ]
+  in
+  check_int (rule ^ " no cross-rule noise: exit") 0 code;
+  check_int (rule ^ " no cross-rule noise: output") 0 (List.length lines)
+
+let allow_suppresses () =
+  let code, lines =
+    run_pertlint [ "--assume-scope"; "lib"; fixture_cmt "Allow_ok" ]
+  in
+  check_int "allow_ok exit code" 0 code;
+  check_int "allow_ok diagnostics" 0 (List.length lines)
+
+let stats_table () =
+  let code, lines =
+    run_pertlint
+      [ "--stats"; "--assume-scope"; "lib"; fixture_cmt "Allow_ok" ]
+  in
+  check_int "stats exit code" 0 code;
+  check_bool "stats prints a total line" true
+    (List.exists (fun l -> contains_sub l "total: 0 violation(s)") lines)
+
+let unknown_rule_rejected () =
+  let code, _ = run_pertlint [ "--rules"; "BOGUS"; fixture_cmt "Allow_ok" ] in
+  check_int "unknown rule exit code" 2 code
+
+let () =
+  let fires =
+    List.map
+      (fun ((rule, _, _, _) as fx) ->
+        (Printf.sprintf "%s fires at documented line" rule, `Quick, rule_fires fx))
+      bad_fixtures
+  in
+  let isolated =
+    List.map
+      (fun ((rule, _, _, _) as fx) ->
+        (Printf.sprintf "%s fixture is clean for other rules" rule, `Quick,
+         rule_isolated fx))
+      bad_fixtures
+  in
+  Alcotest.run "pertlint"
+    [
+      ("rule firing", fires);
+      ("rule isolation", isolated);
+      ( "suppression",
+        [
+          ("[@lint.allow] suppresses every rule", `Quick, allow_suppresses);
+          ("--stats prints the summary table", `Quick, stats_table);
+          ("unknown --rules id is rejected", `Quick, unknown_rule_rejected);
+        ] );
+    ]

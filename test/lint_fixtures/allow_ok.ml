@@ -1,0 +1,16 @@
+(* Fixture for pertlint suppression: every rule is violated here, and
+   every violation carries a [@lint.allow "<rule>"] attribute (or the
+   file-level [@@@lint.allow] for M1, which has no expression to attach
+   to). test/lint runs pertlint with all rules on and expects a clean
+   exit. *)
+
+[@@@lint.allow "M1"]
+
+let draw () = (Random.int 10 [@lint.allow "D1"])
+let now () = (Unix.gettimeofday () [@lint.allow "D2"])
+let[@lint.allow "D3"] counter = ref 0
+(* For infix operators the attribute must sit on the parenthesized
+   application, not the right operand: [(x = 0.0) [@lint.allow "N1"]]. *)
+let is_unset (x : float) = (x = 0.0) [@lint.allow "N1"]
+let coerce (n : int) : bool = (Obj.magic n [@lint.allow "N2"])
+let safe_div a b = (try a / b with _ -> 0) [@lint.allow "H1"]

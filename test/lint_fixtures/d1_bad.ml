@@ -1,0 +1,4 @@
+(* Fixture for pertlint rule D1: ambient randomness outside the Rng
+   module. The violation must stay on line 4 — test/lint asserts it. *)
+
+let draw () = Random.int 10

@@ -1,0 +1,4 @@
+(* Fixture for pertlint rule D2: wall-clock read in (assumed) lib scope.
+   The violation must stay on line 4 — test/lint asserts it. *)
+
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,8 @@
+(* Fixture for pertlint rule D3: module-toplevel mutable state. The
+   violation must stay on line 4 — test/lint asserts it. *)
+
+let counter = ref 0
+let bump () = incr counter
+
+(* Not a violation: the ref is minted per call, inside a constructor. *)
+let fresh_counter () = ref 0

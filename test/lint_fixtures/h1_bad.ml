@@ -1,0 +1,7 @@
+(* Fixture for pertlint rule H1: catch-all exception handler. The
+   violation must stay on line 4 — test/lint asserts it. *)
+
+let safe_div a b = try a / b with _ -> 0
+
+(* Not a violation: a specific exception is matched. *)
+let safe_div' a b = try a / b with Division_by_zero -> 0

@@ -1,0 +1,4 @@
+(* Fixture for pertlint rule M1: a module with no .mli. The violation is
+   file-level and reported at line 1 — test/lint asserts it. *)
+
+let answer = 42

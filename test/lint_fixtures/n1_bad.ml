@@ -1,0 +1,10 @@
+(* Fixture for pertlint rule N1: structural equality on floats. The
+   violation must stay on line 4 — test/lint asserts it. *)
+
+let is_unset (x : float) = x = 0.0
+
+(* Not a violation: integer equality is exact. *)
+let is_zero (n : int) = n = 0
+
+(* Not a violation: Float.equal is the NaN-aware primitive. *)
+let same (a : float) (b : float) = Float.equal a b

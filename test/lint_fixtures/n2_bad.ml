@@ -1,0 +1,4 @@
+(* Fixture for pertlint rule N2: Obj.magic. The violation must stay on
+   line 4 — test/lint asserts it. *)
+
+let coerce (n : int) : bool = Obj.magic n

@@ -188,7 +188,7 @@ let pert_red_response_rate_matches_p () =
      curve gives p = 0.025 per ACK; with the limiter off, the measured
      response rate over 40k ACKs must match to within 20%. *)
   let e = Pert_red.create ~limit_per_rtt:false () in
-  let rng = Random.State.make [| 77 |] in
+  let rng = Sim_engine.Rng.create 77 in
   Pert_red.on_ack e ~now:0.0 ~rtt:0.05 ~u:1.0 |> ignore;
   (* settle the smoothed signal at base + 7.5 ms *)
   for i = 1 to 2000 do
@@ -201,7 +201,7 @@ let pert_red_response_rate_matches_p () =
       Pert_red.on_ack e
         ~now:(0.3 +. (0.0001 *. float_of_int i))
         ~rtt:0.0575
-        ~u:(Random.State.float rng 1.0)
+        ~u:(Sim_engine.Rng.float rng 1.0)
     with
     | Pert_red.Early_response -> incr hits
     | Pert_red.Hold -> ()

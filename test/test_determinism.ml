@@ -1,0 +1,33 @@
+(* End-to-end replay regression: running an experiment family twice with
+   the same root seed must produce byte-identical result rows. This locks
+   in the PR 1 fault-replay guarantee across the whole stack — seeded Rng
+   splitting, per-simulation id allocation, and registry-free queue/cc
+   introspection — not just per module. Before flow ids and discipline
+   introspection became per-simulation, the second in-process run saw
+   different process-global counters and could diverge. *)
+
+open Experiments
+
+let render tables =
+  String.concat "\n" (List.map Output.to_csv tables)
+
+let run_family id scale =
+  match Registry.find id with
+  | None -> Alcotest.fail ("unknown experiment family: " ^ id)
+  | Some e -> render (e.Registry.run scale)
+
+let byte_identical id scale () =
+  let first = run_family id scale in
+  let second = run_family id scale in
+  Alcotest.(check string) (id ^ " rows byte-identical across reruns") first
+    second
+
+let suite =
+  [
+    ( "faults family replays byte-identically",
+      `Slow,
+      byte_identical "faults" Scale.Smoke );
+    ( "fig6 family replays byte-identically (smoke)",
+      `Slow,
+      byte_identical "fig6" Scale.Smoke );
+  ]

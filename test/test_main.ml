@@ -10,5 +10,6 @@ let () =
       ("fluid", Test_fluid.suite);
       ("traffic", Test_traffic.suite);
       ("experiments", Test_experiments.suite);
+      ("determinism", Test_determinism.suite);
       ("scenario", Test_scenario.suite);
     ]

@@ -1,0 +1,454 @@
+(* pertlint — typedtree-based determinism & numerical-safety linter.
+
+   Walks the .cmt files dune produces under _build and enforces the repo
+   invariants that PERT's bit-identical-replay guarantee rests on:
+
+     D1  no [Random.*] outside lib/engine/rng.ml (all randomness must flow
+         through the splittable [Rng]); also flags [module R = Random].
+     D2  no wall-clock or environment reads ([Unix.gettimeofday], [Sys.time],
+         [Sys.getenv], ...) inside lib/.
+     D3  no module-toplevel mutable state ([ref], mutable records, arrays,
+         [Hashtbl.create], ...) inside lib/ — shared state that survives
+         across runs breaks replay.  State created under a [fun] (i.e. per
+         call, inside an explicit constructor) is fine.
+     N1  no polymorphic/structural comparison on float operands ([=], [<>],
+         [compare], [min], [max]) — NaN-oblivious; use [Float.equal],
+         [Float.compare], [Float.min]/[Float.max] or a tolerance.
+     N2  no [Obj.magic].
+     H1  no catch-all [try ... with _ ->] swallowing exceptions.
+     M1  every lib/ module ships an .mli (checked as: the .cmt has a
+         sibling .cmti).
+
+   Suppression: attach [@lint.allow "D3"] to an expression or
+   [let[@lint.allow "D3"] x = ...] to a binding; a floating
+   [@@@lint.allow "M1"] disables a rule for the whole file.  The payload
+   may list several rules separated by spaces or commas.
+
+   Checks are intentionally structural (no Env reconstruction), so type
+   abbreviations of [float] are not expanded — direct float operands only. *)
+
+(* No current rule is warning-severity; the level exists so later rules can
+   be introduced without immediately gating the build. *)
+type severity = Err | Warn [@@warning "-37"]
+
+type rule = { id : string; severity : severity; what : string }
+
+let all_rules =
+  [
+    { id = "D1"; severity = Err; what = "Random.* outside lib/engine/rng.ml" };
+    { id = "D2"; severity = Err; what = "wall-clock/environment read in lib/" };
+    { id = "D3"; severity = Err; what = "module-toplevel mutable state in lib/" };
+    { id = "N1"; severity = Err; what = "structural =/compare/min/max on float" };
+    { id = "N2"; severity = Err; what = "Obj.magic" };
+    { id = "H1"; severity = Err; what = "catch-all exception handler" };
+    { id = "M1"; severity = Err; what = "lib/ module without an .mli" };
+  ]
+
+let rule_by_id id = List.find_opt (fun r -> r.id = id) all_rules
+
+(* ---------- configuration (set once from the CLI in [main]) ---------- *)
+
+let enabled_rules = ref (List.map (fun r -> r.id) all_rules)
+let assume_scope_lib = ref false
+let quiet = ref false
+let stats = ref false
+
+(* ---------- per-run accounting ---------- *)
+
+let counts : (string, int) Hashtbl.t = Hashtbl.create 8
+let error_total = ref 0
+let files_scanned = ref 0
+
+(* ---------- per-file state ---------- *)
+
+let cur_source = ref ""
+let cur_in_lib = ref false
+let file_allows : string list ref = ref []
+let allow_stack : string list list ref = ref []
+
+let string_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let string_suffix ~suffix s =
+  let ls = String.length s and l = String.length suffix in
+  ls >= l && String.sub s (ls - l) l = suffix
+
+let allows_of_attribute (attr : Parsetree.attribute) =
+  if attr.attr_name.txt <> "lint.allow" then []
+  else
+    match attr.attr_payload with
+    | PStr
+        [
+          {
+            pstr_desc =
+              Pstr_eval
+                ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+            _;
+          };
+        ] ->
+        String.split_on_char ' ' s
+        |> List.concat_map (String.split_on_char ',')
+        |> List.filter_map (fun t ->
+               let t = String.trim t in
+               if t = "" then None else Some t)
+    | _ -> []
+
+let allows_of_attributes attrs = List.concat_map allows_of_attribute attrs
+
+let with_allows attrs f =
+  match allows_of_attributes attrs with
+  | [] -> f ()
+  | allows ->
+      allow_stack := allows :: !allow_stack;
+      Fun.protect ~finally:(fun () -> allow_stack := List.tl !allow_stack) f
+
+let allowed id =
+  List.mem id !file_allows
+  || List.exists (fun set -> List.mem id set) !allow_stack
+
+let report id (loc : Location.t) msg =
+  if List.mem id !enabled_rules && not (allowed id) then begin
+    let r =
+      match rule_by_id id with Some r -> r | None -> assert false
+    in
+    let p = loc.loc_start in
+    let sev = match r.severity with Err -> "error" | Warn -> "warning" in
+    if r.severity = Err then incr error_total;
+    Hashtbl.replace counts id (1 + Option.value ~default:0 (Hashtbl.find_opt counts id));
+    if not !quiet then
+      Printf.printf "%s:%d:%d: %s [%s] %s\n" p.pos_fname p.pos_lnum
+        (p.pos_cnum - p.pos_bol) sev id msg
+  end
+
+(* ---------- rule predicates ---------- *)
+
+let in_lib () = !cur_in_lib
+let is_rng_ml () = string_suffix ~suffix:"lib/engine/rng.ml" !cur_source
+
+let d1_hit name =
+  name = "Stdlib.Random" || string_prefix ~prefix:"Stdlib.Random." name
+
+let d2_names =
+  [
+    "Stdlib.Sys.time";
+    "Stdlib.Sys.getenv";
+    "Stdlib.Sys.getenv_opt";
+    "Unix.gettimeofday";
+    "Unix.time";
+    "Unix.times";
+    "Unix.clock";
+    "Unix.localtime";
+    "Unix.gmtime";
+    "Unix.getenv";
+    "Unix.environment";
+  ]
+
+let n1_fns =
+  [
+    "Stdlib.=";
+    "Stdlib.<>";
+    "Stdlib.==";
+    "Stdlib.!=";
+    "Stdlib.compare";
+    "Stdlib.min";
+    "Stdlib.max";
+  ]
+
+let d3_creators =
+  [
+    "Stdlib.ref";
+    "Stdlib.Hashtbl.create";
+    "Stdlib.Buffer.create";
+    "Stdlib.Queue.create";
+    "Stdlib.Stack.create";
+    "Stdlib.Atomic.make";
+    "Stdlib.Array.make";
+    "Stdlib.Array.create_float";
+    "Stdlib.Array.init";
+    "Stdlib.Bytes.create";
+    "Stdlib.Bytes.make";
+    "Stdlib.Random.State.make";
+    "Stdlib.Random.get_state";
+  ]
+
+let is_float_ty ty =
+  match Types.get_desc ty with
+  | Tconstr (p, _, _) -> Path.same p Predef.path_float
+  | _ -> false
+
+let rec catch_all_pat (p : Typedtree.pattern) =
+  match p.pat_desc with
+  | Tpat_any -> true
+  | Tpat_alias (p, _, _) -> catch_all_pat p
+  | Tpat_or (a, b, _) -> catch_all_pat a || catch_all_pat b
+  | _ -> false
+
+(* ---------- main typedtree walk (D1, D2, N1, N2, H1) ---------- *)
+
+let check_ident (e : Typedtree.expression) path =
+  let name = Path.name path in
+  if d1_hit name && not (is_rng_ml ()) then
+    report "D1" e.exp_loc
+      (Printf.sprintf "'%s': randomness outside lib/engine/rng.ml; draw via a split Rng"
+         name);
+  if in_lib () && List.mem name d2_names then
+    report "D2" e.exp_loc
+      (Printf.sprintf "'%s': wall-clock/environment read breaks replay; thread the value in"
+         name);
+  if name = "Stdlib.Obj.magic" then
+    report "N2" e.exp_loc "Obj.magic defeats the type system"
+
+let check_expr (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (path, _, _) -> check_ident e path
+  | Texp_apply ({ exp_desc = Texp_ident (path, _, _); exp_loc = floc; _ }, args)
+    when List.mem (Path.name path) n1_fns ->
+      let float_arg =
+        List.exists
+          (function
+            | _, Some (a : Typedtree.expression) -> is_float_ty a.exp_type
+            | _, None -> false)
+          args
+      in
+      if float_arg then
+        report "N1" floc
+          (Printf.sprintf
+             "structural '%s' on float operands is NaN-oblivious; use Float.equal/Float.compare/Float.min/Float.max or a tolerance"
+             (Path.last path))
+  | Texp_try (_, cases) ->
+      List.iter
+        (fun (c : Typedtree.value Typedtree.case) ->
+          if c.c_guard = None && catch_all_pat c.c_lhs then
+            report "H1" c.c_lhs.pat_loc
+              "catch-all 'with _ ->' swallows every exception (incl. Out_of_memory, Stack_overflow); match specific exceptions")
+        cases
+  | _ -> ()
+
+let iterator =
+  let open Tast_iterator in
+  let expr sub (e : Typedtree.expression) =
+    with_allows e.exp_attributes (fun () ->
+        check_expr e;
+        default_iterator.expr sub e)
+  in
+  let value_binding sub (vb : Typedtree.value_binding) =
+    with_allows vb.vb_attributes (fun () ->
+        default_iterator.value_binding sub vb)
+  in
+  let module_expr sub (me : Typedtree.module_expr) =
+    (match me.mod_desc with
+    | Tmod_ident (path, _) when d1_hit (Path.name path) && not (is_rng_ml ()) ->
+        report "D1" me.mod_loc
+          (Printf.sprintf "aliasing '%s' re-exports ambient randomness" (Path.name path))
+    | _ -> ());
+    default_iterator.module_expr sub me
+  in
+  { default_iterator with expr; value_binding; module_expr }
+
+(* ---------- D3: module-toplevel mutable state (lib/ only) ----------
+
+   Walks structure items; inside a toplevel binding it recurses through the
+   evaluated spine of the expression but never under [fun]/[lazy], so state
+   minted per call inside an explicit constructor is not flagged. *)
+
+let rec d3_structure (s : Typedtree.structure) =
+  List.iter d3_item s.str_items
+
+and d3_item (it : Typedtree.structure_item) =
+  match it.str_desc with
+  | Tstr_value (_, vbs) -> List.iter d3_binding vbs
+  | Tstr_module mb -> d3_module_expr mb.mb_expr
+  | Tstr_recmodule mbs ->
+      List.iter (fun (mb : Typedtree.module_binding) -> d3_module_expr mb.mb_expr) mbs
+  | Tstr_include incl -> d3_module_expr incl.incl_mod
+  | _ -> ()
+
+and d3_module_expr (me : Typedtree.module_expr) =
+  match me.mod_desc with
+  | Tmod_structure s -> d3_structure s
+  | Tmod_constraint (me, _, _, _) -> d3_module_expr me
+  | _ -> ()
+
+and d3_binding (vb : Typedtree.value_binding) =
+  with_allows vb.vb_attributes (fun () -> d3_expr vb.vb_expr)
+
+and d3_expr (e : Typedtree.expression) =
+  with_allows e.exp_attributes (fun () ->
+      match e.exp_desc with
+      | Texp_function _ | Texp_lazy _ -> ()
+      | Texp_apply ({ exp_desc = Texp_ident (path, _, _); _ }, args) ->
+          let name = Path.name path in
+          if List.mem name d3_creators then
+            report "D3" e.exp_loc
+              (Printf.sprintf
+                 "'%s' at module toplevel is shared mutable state — a replay/determinism hazard; mint it inside a constructor"
+                 name)
+          else
+            List.iter (function _, Some a -> d3_expr a | _, None -> ()) args
+      | Texp_record { fields; _ } ->
+          if
+            Array.exists
+              (fun ((ld : Types.label_description), _) ->
+                ld.lbl_mut = Asttypes.Mutable)
+              fields
+          then
+            report "D3" e.exp_loc
+              "record with mutable fields at module toplevel — mint it inside a constructor"
+          else
+            Array.iter
+              (function
+                | _, Typedtree.Overridden (_, a) -> d3_expr a
+                | _, Typedtree.Kept _ -> ())
+              fields
+      | Texp_array _ ->
+          report "D3" e.exp_loc
+            "array literal at module toplevel is shared mutable state"
+      | Texp_let (_, vbs, body) ->
+          List.iter d3_binding vbs;
+          d3_expr body
+      | Texp_sequence (a, b) ->
+          d3_expr a;
+          d3_expr b
+      | Texp_ifthenelse (c, t, f) ->
+          d3_expr c;
+          d3_expr t;
+          Option.iter d3_expr f
+      | Texp_tuple es | Texp_construct (_, _, es) -> List.iter d3_expr es
+      | Texp_match (scrut, cases, _) ->
+          d3_expr scrut;
+          List.iter
+            (fun (c : Typedtree.computation Typedtree.case) -> d3_expr c.c_rhs)
+            cases
+      | Texp_open (_, body) -> d3_expr body
+      | _ -> ())
+
+(* ---------- driver ---------- *)
+
+let file_level_allows (s : Typedtree.structure) =
+  List.concat_map
+    (fun (it : Typedtree.structure_item) ->
+      match it.str_desc with
+      | Tstr_attribute a -> allows_of_attribute a
+      | _ -> [])
+    s.str_items
+
+let scan_cmt path =
+  let info =
+    (* Any read/unmarshal failure means an unusable .cmt, whatever the
+       exception; fail the run with a pointer to the file. *)
+    (try Cmt_format.read_cmt path
+     with _ ->
+       Printf.eprintf "pertlint: cannot read %s\n" path;
+       exit 2)
+    [@lint.allow "H1"]
+  in
+  match info.cmt_sourcefile with
+  | None -> ()
+  | Some src when string_suffix ~suffix:".ml-gen" src -> ()
+  | Some src -> (
+      match info.cmt_annots with
+      | Implementation str ->
+          incr files_scanned;
+          cur_source := src;
+          cur_in_lib := !assume_scope_lib || string_prefix ~prefix:"lib/" src;
+          file_allows := file_level_allows str;
+          allow_stack := [];
+          if in_lib () && not (Sys.file_exists (Filename.remove_extension path ^ ".cmti"))
+          then begin
+            let pos =
+              { Lexing.pos_fname = src; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 }
+            in
+            report "M1"
+              { Location.loc_start = pos; loc_end = pos; loc_ghost = false }
+              "lib/ module has no .mli; write one to pin its public surface"
+          end;
+          if in_lib () then d3_structure str;
+          iterator.structure iterator str
+      | _ -> ())
+
+(* Collect .cmt files under the given roots, skipping the deliberately-bad
+   lint fixtures (linted only when a fixture .cmt is passed explicitly). *)
+let rec collect_cmts acc path =
+  let base = Filename.basename path in
+  if base = "lint_fixtures" || base = ".git" then acc
+  else if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry -> collect_cmts acc (Filename.concat path entry))
+      acc (Sys.readdir path)
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+let print_stats () =
+  Printf.printf "\nrule  severity  count  description\n";
+  Printf.printf "----  --------  -----  -----------\n";
+  List.iter
+    (fun r ->
+      if List.mem r.id !enabled_rules then
+        Printf.printf "%-4s  %-8s  %5d  %s\n" r.id
+          (match r.severity with Err -> "error" | Warn -> "warning")
+          (Option.value ~default:0 (Hashtbl.find_opt counts r.id))
+          r.what)
+    all_rules;
+  Printf.printf "total: %d violation(s) across %d file(s)\n"
+    (Hashtbl.fold (fun _ n acc -> n + acc) counts 0)
+    !files_scanned
+
+let () =
+  let roots = ref [] in
+  let set_rules s =
+    let ids =
+      String.split_on_char ',' s |> List.map String.trim
+      |> List.filter (fun x -> x <> "")
+    in
+    List.iter
+      (fun id ->
+        if rule_by_id id = None then begin
+          Printf.eprintf "pertlint: unknown rule %S\n" id;
+          exit 2
+        end)
+      ids;
+    enabled_rules := ids
+  in
+  let spec =
+    [
+      ("--rules", Arg.String set_rules, "R1,R2 only check the listed rules");
+      ( "--assume-scope",
+        Arg.String
+          (fun s ->
+            if s = "lib" then assume_scope_lib := true
+            else begin
+              Printf.eprintf "pertlint: --assume-scope takes 'lib'\n";
+              exit 2
+            end),
+        "lib treat every file as if it lived under lib/ (fixture testing)" );
+      ("--stats", Arg.Set stats, " print a per-rule violation count table");
+      ("--quiet", Arg.Set quiet, " suppress per-violation diagnostics");
+    ]
+  in
+  let usage = "pertlint [options] [dir-or-cmt ...]  (default: scan .)" in
+  Arg.parse spec (fun p -> roots := p :: !roots) usage;
+  let roots = if !roots = [] then [ "." ] else List.rev !roots in
+  let cmts =
+    List.concat_map
+      (fun r ->
+        if not (Sys.file_exists r) then begin
+          Printf.eprintf "pertlint: no such path %s\n" r;
+          exit 2
+        end;
+        List.sort compare (collect_cmts [] r))
+      roots
+  in
+  if cmts = [] then begin
+    (* A scan that finds nothing is almost always a wrong root (e.g. the
+       source tree instead of _build/default) and would otherwise report
+       a misleading clean pass. *)
+    Printf.eprintf
+      "pertlint: no .cmt files under %s — build first, and point at the \
+       _build tree (e.g. _build/default/lib)\n"
+      (String.concat " " roots);
+    exit 2
+  end;
+  List.iter scan_cmt cmts;
+  if !stats then print_stats ();
+  exit (if !error_total > 0 then 1 else 0)
