@@ -45,7 +45,11 @@ let kernel_fig5 =
   fun () ->
     let acc = ref 0.0 in
     for i = 0 to 999 do
-      acc := !acc +. Pert_core.Response_curve.probability curve (float_of_int i *. 3e-5)
+      acc :=
+        !acc
+        +. Units.Prob.to_float
+             (Pert_core.Response_curve.probability curve
+                (Units.Time.s (float_of_int i *. 3e-5)))
     done;
     !acc
 
@@ -109,7 +113,8 @@ let kernel_table1 () =
       start_window = (0.0, 0.2);
     }
 
-let kernel_fig14 () = tiny_dumbbell (S.Pert_pi { target_delay = 0.003 })
+let kernel_fig14 () =
+  tiny_dumbbell (S.Pert_pi { target_delay = Units.Time.s 0.003 })
 
 let kernel_other_aqm () = tiny_dumbbell S.Pert_rem
 
@@ -148,7 +153,7 @@ let kernel_pert_ack =
     incr i;
     Pert_core.Pert_red.on_ack engine
       ~now:(0.001 *. float_of_int !i)
-      ~rtt:(0.05 +. (0.01 *. sin (float_of_int !i)))
+      ~rtt:(Units.Time.s (0.05 +. (0.01 *. sin (float_of_int !i))))
       ~u:0.999
 
 let kernel_red_enqueue =

@@ -10,9 +10,12 @@ let scheme_conv =
     | "sack-droptail" | "sack" -> Ok Experiments.Schemes.Sack_droptail
     | "sack-red-ecn" | "red" -> Ok Experiments.Schemes.Sack_red_ecn
     | "vegas" -> Ok Experiments.Schemes.Vegas
-    | "pert-pi" -> Ok (Experiments.Schemes.Pert_pi { target_delay = 0.003 })
+    | "pert-pi" ->
+        Ok (Experiments.Schemes.Pert_pi { target_delay = Units.Time.s 0.003 })
     | "sack-pi-ecn" | "pi" ->
-        Ok (Experiments.Schemes.Sack_pi_ecn { target_delay = 0.003 })
+        Ok
+          (Experiments.Schemes.Sack_pi_ecn
+             { target_delay = Units.Time.s 0.003 })
     | "pert-rem" -> Ok Experiments.Schemes.Pert_rem
     | "pert-avq" -> Ok Experiments.Schemes.Pert_avq
     | "sack-rem-ecn" | "rem" -> Ok Experiments.Schemes.Sack_rem_ecn
@@ -117,9 +120,13 @@ let run scheme bandwidth rtt flows reverse web duration warmup buffer seed owd
             ])
       trace_path
   in
-  Sim_engine.Sim.run ~until:config.Experiments.Dumbbell.warmup sim;
+  Sim_engine.Sim.run
+    ~until:(Units.Time.s config.Experiments.Dumbbell.warmup)
+    sim;
   Experiments.Dumbbell.reset built;
-  Sim_engine.Sim.run ~until:config.Experiments.Dumbbell.duration sim;
+  Sim_engine.Sim.run
+    ~until:(Units.Time.s config.Experiments.Dumbbell.duration)
+    sim;
   let r = Experiments.Dumbbell.measure built in
   (match (tracer, trace_path) with
   | Some t, Some path ->
@@ -133,13 +140,15 @@ let run scheme bandwidth rtt flows reverse web duration warmup buffer seed owd
   Printf.printf
     "avg_queue=%.1f pkts (%.3f of buffer)\ndrop_rate=%.3e\nutilization=%.3f\n\
      jain_index=%.3f\nearly_responses=%d\nloss_events=%d\n"
-    r.Experiments.Dumbbell.avg_queue_pkts r.Experiments.Dumbbell.avg_queue_norm
+    (Units.Pkts.to_float r.Experiments.Dumbbell.avg_queue_pkts)
+    r.Experiments.Dumbbell.avg_queue_norm
     r.Experiments.Dumbbell.drop_rate r.Experiments.Dumbbell.utilization
     r.Experiments.Dumbbell.jain r.Experiments.Dumbbell.early_responses
     r.Experiments.Dumbbell.loss_events;
   if per_flow then
     Array.iteri
-      (fun i g -> Printf.printf "flow%-3d %.3f Mbps\n" i (g /. 1e6))
+      (fun i g ->
+        Printf.printf "flow%-3d %.3f Mbps\n" i (Units.Rate.to_mbps g))
       r.Experiments.Dumbbell.per_flow_goodput
 
 let main =

@@ -26,17 +26,19 @@ let () =
              ~n:8)
       in
       Printf.printf "%-14s %-9s %8.1f %10.2e %7.3f %7.3f %7d\n"
-        (S.name scheme) where r.D.avg_queue_pkts r.D.drop_rate r.D.utilization
+        (S.name scheme) where
+        (Units.Pkts.to_float r.D.avg_queue_pkts)
+        r.D.drop_rate r.D.utilization
         r.D.jain r.D.early_responses)
     [
       (S.Sack_droptail, "none");
       (S.Sack_red_ecn, "router");
-      (S.Sack_pi_ecn { target_delay = 0.003 }, "router");
+      (S.Sack_pi_ecn { target_delay = Units.Time.s 0.003 }, "router");
       (S.Sack_rem_ecn, "router");
       (S.Sack_avq_ecn, "router");
       (S.Vegas, "end-host");
       (S.Pert, "end-host");
-      (S.Pert_pi { target_delay = 0.003 }, "end-host");
+      (S.Pert_pi { target_delay = Units.Time.s 0.003 }, "end-host");
       (S.Pert_rem, "end-host");
       (S.Pert_avq, "end-host");
     ];

@@ -22,9 +22,12 @@ let () =
       else float_of_int (4000 - i) /. 2000.0
     in
     let rtt = base +. (0.025 *. ramp) in
-    match R.on_ack engine ~now:t ~rtt ~u:(Sim_engine.Rng.float rng 1.0) with
+    match
+      R.on_ack engine ~now:t ~rtt:(Units.Time.s rtt)
+        ~u:(Sim_engine.Rng.float rng 1.0)
+    with
     | R.Hold -> ()
-    | R.Early_response -> responses := (t, R.probability engine) :: !responses
+    | R.Early_response -> responses := (t, Units.Prob.to_float (R.probability engine)) :: !responses
   done;
   Printf.printf "early responses: %d (decrease factor %.2f each)\n"
     (R.early_responses engine) (R.decrease_factor engine);

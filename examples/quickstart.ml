@@ -20,27 +20,28 @@ let run_one name make_cc =
   let fast () = Netsim.Droptail.create ~limit_pkts:10_000 in
   let bottleneck_queue = Netsim.Droptail.create ~limit_pkts:60 in
   ignore
-    (T.add_duplex topo ~a:src ~b:r1 ~bandwidth:100e6 ~delay:0.002
-       ~disc_ab:(fast ()) ~disc_ba:(fast ()));
+    (T.add_duplex topo ~a:src ~b:r1 ~bandwidth:(Units.Rate.bps 100e6)
+       ~delay:(Units.Time.s 0.002) ~disc_ab:(fast ()) ~disc_ba:(fast ()));
   let bottleneck =
-    T.add_link topo ~src:r1 ~dst:r2 ~bandwidth:10e6 ~delay:0.025
+    T.add_link topo ~src:r1 ~dst:r2 ~bandwidth:(Units.Rate.bps 10e6)
+      ~delay:(Units.Time.s 0.025)
       ~disc:bottleneck_queue
   in
   ignore
-    (T.add_link topo ~src:r2 ~dst:r1 ~bandwidth:10e6 ~delay:0.025
-       ~disc:(fast ()));
+    (T.add_link topo ~src:r2 ~dst:r1 ~bandwidth:(Units.Rate.bps 10e6)
+       ~delay:(Units.Time.s 0.025) ~disc:(fast ()));
   ignore
-    (T.add_duplex topo ~a:r2 ~b:sink ~bandwidth:100e6 ~delay:0.002
-       ~disc_ab:(fast ()) ~disc_ba:(fast ()));
+    (T.add_duplex topo ~a:r2 ~b:sink ~bandwidth:(Units.Rate.bps 100e6)
+       ~delay:(Units.Time.s 0.002) ~disc_ab:(fast ()) ~disc_ba:(fast ()));
   T.compute_routes topo;
   let flow = Flow.create topo ~src ~dst:sink ~cc:(make_cc sim) () in
-  Sim.run ~until:30.0 sim;
+  Sim.run ~until:(Units.Time.s 30.0) sim;
   Printf.printf
     "%-16s goodput=%5.2f Mbps  avg_queue=%5.1f pkts  drops=%3d  \
      early_responses=%d\n"
     name
-    (Flow.goodput_bps flow ~now:(Sim.now sim) /. 1e6)
-    (Link.avg_queue_pkts bottleneck)
+    (Units.Rate.to_mbps (Flow.goodput_bps flow ~now:(Sim.now sim)))
+    (Units.Pkts.to_float (Link.avg_queue_pkts bottleneck))
     (Link.drops bottleneck) (Flow.early_responses flow)
 
 let () =

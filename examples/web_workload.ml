@@ -25,7 +25,9 @@ let () =
       let r = D.run config in
       Printf.printf
         "web=%4d  avg_queue=%5.1f pkts  drop_rate=%.2e  util=%.3f  jain=%.3f\n"
-        web_sessions r.D.avg_queue_pkts r.D.drop_rate r.D.utilization r.D.jain)
+        web_sessions
+        (Units.Pkts.to_float r.D.avg_queue_pkts)
+        r.D.drop_rate r.D.utilization r.D.jain)
     [ 0; 25; 100; 250 ];
   print_endline
     "Queue stays small and drops stay (near) zero as the web load grows — \

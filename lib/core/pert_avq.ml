@@ -2,15 +2,23 @@ type decision = Hold | Early_response
 
 type params = {
   gamma : float;
-  v_thresh : float;
-  sample_interval : float;
+  v_thresh : Units.Time.t;
+  sample_interval : Units.Time.t;
 }
 
-let default_params = { gamma = 0.98; v_thresh = 0.010; sample_interval = 0.010 }
+let default_params =
+  {
+    gamma = 0.98;
+    v_thresh = Units.Time.s 0.010;
+    sample_interval = Units.Time.s 0.010;
+  }
 
 type t = {
   srtt : Srtt.t;
   p : params;
+  (* seconds, pre-extracted from [p] so the per-ACK path stays float *)
+  v_thresh_s : float;
+  sample_interval_s : float;
   decrease_factor : float;
   mutable v : float;
   mutable prev_tq : float;
@@ -27,13 +35,15 @@ let idle_eps = 0.0005
 let create ?(srtt_alpha = 0.99) ?(decrease_factor = 0.35) ~params () =
   if params.gamma <= 0.0 || params.gamma > 1.0 then
     invalid_arg "Pert_avq.create: gamma in (0,1]";
-  if params.sample_interval <= 0.0 then
+  if Units.Time.to_s params.sample_interval <= 0.0 then
     invalid_arg "Pert_avq.create: sample_interval must be positive";
   if decrease_factor <= 0.0 || decrease_factor >= 1.0 then
     invalid_arg "Pert_avq.create: decrease_factor in (0,1)";
   {
     srtt = Srtt.create ~alpha:srtt_alpha ();
     p = params;
+    v_thresh_s = Units.Time.to_s params.v_thresh;
+    sample_interval_s = Units.Time.to_s params.sample_interval;
     decrease_factor;
     v = 0.0;
     prev_tq = 0.0;
@@ -44,9 +54,9 @@ let create ?(srtt_alpha = 0.99) ?(decrease_factor = 0.35) ~params () =
   }
 
 let update t ~now =
-  let tq = Srtt.queueing_delay t.srtt in
+  let tq = Units.Time.to_s (Srtt.queueing_delay t.srtt) in
   let dt =
-    if Float.equal t.last_update neg_infinity then t.p.sample_interval
+    if Float.equal t.last_update neg_infinity then t.sample_interval_s
     else Float.max 0.0 (now -. t.last_update)
   in
   let busy = tq > idle_eps in
@@ -64,12 +74,12 @@ let on_ack t ~now ~rtt ~u:_ =
     update t ~now;
     t.next_update <-
       (if Float.equal t.next_update neg_infinity then
-         now +. t.p.sample_interval
-       else Float.max (t.next_update +. t.p.sample_interval) now)
+         now +. t.sample_interval_s
+       else Float.max (t.next_update +. t.sample_interval_s) now)
   end;
   if
-    t.v > t.p.v_thresh
-    && now -. t.last_response >= Srtt.value t.srtt
+    t.v > t.v_thresh_s
+    && now -. t.last_response >= Units.Time.to_s (Srtt.value t.srtt)
   then begin
     t.last_response <- now;
     t.early_responses <- t.early_responses + 1;

@@ -24,8 +24,8 @@ type decision = Hold | Early_response
 
 type params = {
   gamma : float;  (** target utilisation, e.g. 0.98 *)
-  v_thresh : float;  (** virtual buffer in seconds of delay, e.g. 10 ms *)
-  sample_interval : float;  (** s *)
+  v_thresh : Units.Time.t;  (** virtual buffer in delay units, e.g. 10 ms *)
+  sample_interval : Units.Time.t;
 }
 
 val default_params : params
@@ -36,7 +36,7 @@ type t
 val create :
   ?srtt_alpha:float -> ?decrease_factor:float -> params:params -> unit -> t
 
-val on_ack : t -> now:float -> rtt:float -> u:float -> decision
+val on_ack : t -> now:float -> rtt:Units.Time.t -> u:float -> decision
 (** [u] is accepted for interface uniformity; AVQ's marking is
     deterministic (threshold-crossing), so it is ignored. *)
 

@@ -19,6 +19,8 @@ type t = {
 
 let create ?(alpha = 0.99) ?(decrease_factor = 0.35) ~gains ~target_delay
     ~sample_interval () =
+  let target_delay = Units.Time.to_s target_delay in
+  let sample_interval = Units.Time.to_s sample_interval in
   if decrease_factor <= 0.0 || decrease_factor >= 1.0 then
     invalid_arg "Pert_pi.create: decrease_factor in (0,1)";
   if sample_interval <= 0.0 then
@@ -40,7 +42,7 @@ let create ?(alpha = 0.99) ?(decrease_factor = 0.35) ~gains ~target_delay
 let clamp01 x = if x >= 1.0 then 1.0 else if x >= 0.0 then x else 0.0
 
 let update_probability t =
-  let err = Srtt.queueing_delay t.srtt -. t.target_delay in
+  let err = Units.Time.to_s (Srtt.queueing_delay t.srtt) -. t.target_delay in
   t.p <- clamp01 (t.p +. (t.gains.gamma *. err) -. (t.gains.beta *. t.prev_err));
   t.prev_err <- err
 
@@ -52,14 +54,17 @@ let on_ack t ~now ~rtt ~u =
       (if Float.equal t.next_update neg_infinity then now +. t.sample_interval
        else Float.max (t.next_update +. t.sample_interval) now)
   end;
-  if now -. t.last_response >= Srtt.value t.srtt && u < t.p then begin
+  if
+    now -. t.last_response >= Units.Time.to_s (Srtt.value t.srtt)
+    && Units.Prob.sample (Units.Prob.v t.p) ~u
+  then begin
     t.last_response <- now;
     t.early_responses <- t.early_responses + 1;
     Early_response
   end
   else Hold
 
-let probability t = t.p
+let probability t = Units.Prob.v t.p
 let srtt t = t.srtt
 let decrease_factor t = t.decrease_factor
 let early_responses t = t.early_responses

@@ -24,13 +24,13 @@ type t
 
 val create :
   ?alpha:float -> ?decrease_factor:float -> gains:gains ->
-  target_delay:float -> sample_interval:float -> unit -> t
+  target_delay:Units.Time.t -> sample_interval:Units.Time.t -> unit -> t
 
-val on_ack : t -> now:float -> rtt:float -> u:float -> decision
+val on_ack : t -> now:float -> rtt:Units.Time.t -> u:float -> decision
 (** Feed one ACK. Probability updates happen lazily on the internal clock
     (every [sample_interval] seconds of [now]). *)
 
-val probability : t -> float
+val probability : t -> Units.Prob.t
 (** Current controller output, clamped to [\[0,1\]]. *)
 
 val srtt : t -> Srtt.t

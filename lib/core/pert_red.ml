@@ -23,12 +23,8 @@ let create ?(curve = Response_curve.default) ?(alpha = 0.99)
   }
 
 let probability t =
-  if Srtt.samples t.srtt = 0 then 0.0
-  else
-    (* The curve is within [0,1] by construction for finite inputs; the
-       clamp guarantees the contract even if the curve is ever extended. *)
-    Float.max 0.0
-      (Float.min 1.0 (Response_curve.probability t.curve (Srtt.queueing_delay t.srtt)))
+  if Srtt.samples t.srtt = 0 then Units.Prob.zero
+  else Response_curve.probability t.curve (Srtt.queueing_delay t.srtt)
 
 let on_ack t ~now ~rtt ~u =
   Srtt.observe t.srtt rtt;
@@ -36,9 +32,10 @@ let on_ack t ~now ~rtt ~u =
   (* One response per smoothed RTT at most: the reduction takes one RTT to
      show up in the signal, so responding faster overreacts. *)
   let clock_allows =
-    (not t.limit_per_rtt) || now -. t.last_response >= Srtt.value t.srtt
+    (not t.limit_per_rtt)
+    || now -. t.last_response >= Units.Time.to_s (Srtt.value t.srtt)
   in
-  if clock_allows && u < p then begin
+  if clock_allows && Units.Prob.sample p ~u then begin
     t.last_response <- now;
     t.early_responses <- t.early_responses + 1;
     Early_response

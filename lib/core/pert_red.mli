@@ -29,7 +29,7 @@ val create :
     [limit_per_rtt] (default [true]) enforces the at-most-one-response-
     per-RTT rule — disabling it exists only for the ablation study. *)
 
-val on_ack : t -> now:float -> rtt:float -> u:float -> decision
+val on_ack : t -> now:float -> rtt:Units.Time.t -> u:float -> decision
 (** [on_ack t ~now ~rtt ~u] processes one ACK carrying RTT sample [rtt] at
     time [now]; [u] is a uniform [\[0,1)] draw supplied by the caller (keeps
     the core free of RNG policy). *)
@@ -40,7 +40,7 @@ val decrease_factor : t -> float
 val srtt : t -> Srtt.t
 (** The underlying smoothed-RTT estimator (read-only use intended). *)
 
-val probability : t -> float
+val probability : t -> Units.Prob.t
 (** Response probability implied by the current smoothed signal; 0 before
     any sample. *)
 

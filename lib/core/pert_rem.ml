@@ -3,17 +3,26 @@ type decision = Hold | Early_response
 type params = {
   kappa : float;
   alpha : float;
-  tq_ref : float;
+  tq_ref : Units.Time.t;
   phi : float;
-  sample_interval : float;
+  sample_interval : Units.Time.t;
 }
 
 let default_params =
-  { kappa = 20.0; alpha = 0.3; tq_ref = 0.005; phi = 1.05; sample_interval = 0.010 }
+  {
+    kappa = 20.0;
+    alpha = 0.3;
+    tq_ref = Units.Time.s 0.005;
+    phi = 1.05;
+    sample_interval = Units.Time.s 0.010;
+  }
 
 type t = {
   srtt : Srtt.t;
   p : params;
+  (* seconds, pre-extracted from [p] so the per-ACK path stays float *)
+  tq_ref_s : float;
+  sample_interval_s : float;
   decrease_factor : float;
   mutable price : float;
   mutable prev_tq : float;
@@ -24,13 +33,15 @@ type t = {
 
 let create ?(srtt_alpha = 0.99) ?(decrease_factor = 0.35) ~params () =
   if params.phi <= 1.0 then invalid_arg "Pert_rem.create: phi must exceed 1";
-  if params.sample_interval <= 0.0 then
+  if Units.Time.to_s params.sample_interval <= 0.0 then
     invalid_arg "Pert_rem.create: sample_interval must be positive";
   if decrease_factor <= 0.0 || decrease_factor >= 1.0 then
     invalid_arg "Pert_rem.create: decrease_factor in (0,1)";
   {
     srtt = Srtt.create ~alpha:srtt_alpha ();
     p = params;
+    tq_ref_s = Units.Time.to_s params.tq_ref;
+    sample_interval_s = Units.Time.to_s params.sample_interval;
     decrease_factor;
     price = 0.0;
     prev_tq = 0.0;
@@ -39,16 +50,16 @@ let create ?(srtt_alpha = 0.99) ?(decrease_factor = 0.35) ~params () =
     early_responses = 0;
   }
 
-let probability t = 1.0 -. (t.p.phi ** -.t.price)
+let probability t = Units.Prob.v (1.0 -. (t.p.phi ** -.t.price))
 let price t = t.price
 
 let update_price t =
-  let tq = Srtt.queueing_delay t.srtt in
+  let tq = Units.Time.to_s (Srtt.queueing_delay t.srtt) in
   t.price <-
     Float.max 0.0
       (t.price
       +. (t.p.kappa
-         *. ((t.p.alpha *. (tq -. t.p.tq_ref)) +. (tq -. t.prev_tq))));
+         *. ((t.p.alpha *. (tq -. t.tq_ref_s)) +. (tq -. t.prev_tq))));
   t.prev_tq <- tq
 
 let on_ack t ~now ~rtt ~u =
@@ -57,10 +68,13 @@ let on_ack t ~now ~rtt ~u =
     update_price t;
     t.next_update <-
       (if Float.equal t.next_update neg_infinity then
-         now +. t.p.sample_interval
-       else Float.max (t.next_update +. t.p.sample_interval) now)
+         now +. t.sample_interval_s
+       else Float.max (t.next_update +. t.sample_interval_s) now)
   end;
-  if now -. t.last_response >= Srtt.value t.srtt && u < probability t then begin
+  if
+    now -. t.last_response >= Units.Time.to_s (Srtt.value t.srtt)
+    && Units.Prob.sample (probability t) ~u
+  then begin
     t.last_response <- now;
     t.early_responses <- t.early_responses + 1;
     Early_response

@@ -19,9 +19,9 @@ type decision = Hold | Early_response
 type params = {
   kappa : float;  (** price gain, 1/seconds-of-delay *)
   alpha : float;  (** weight of the standing-delay term *)
-  tq_ref : float;  (** target queueing delay, s *)
+  tq_ref : Units.Time.t;  (** target queueing delay *)
   phi : float;  (** marking base, > 1 *)
-  sample_interval : float;  (** s *)
+  sample_interval : Units.Time.t;
 }
 
 val default_params : params
@@ -33,8 +33,8 @@ type t
 val create :
   ?srtt_alpha:float -> ?decrease_factor:float -> params:params -> unit -> t
 
-val on_ack : t -> now:float -> rtt:float -> u:float -> decision
-val probability : t -> float
+val on_ack : t -> now:float -> rtt:Units.Time.t -> u:float -> decision
+val probability : t -> Units.Prob.t
 val price : t -> float
 val srtt : t -> Srtt.t
 val decrease_factor : t -> float

@@ -1,20 +1,29 @@
-type t = { t_min : float; t_max : float; p_max : float }
+module Time = Units.Time
+module Prob = Units.Prob
+
+type t = { t_min : Time.t; t_max : Time.t; p_max : Prob.t }
 
 let make ~t_min ~t_max ~p_max =
-  if not (0.0 < t_min && t_min < t_max) then
+  if not (0.0 < Time.to_s t_min && Time.compare t_min t_max < 0) then
     invalid_arg "Response_curve.make: need 0 < t_min < t_max";
-  if not (0.0 < p_max && p_max <= 1.0) then
+  if not (Prob.positive p_max) then
     invalid_arg "Response_curve.make: need 0 < p_max <= 1";
   { t_min; t_max; p_max }
 
-let default = { t_min = 0.005; t_max = 0.010; p_max = 0.05 }
+let default =
+  { t_min = Time.s 0.005; t_max = Time.s 0.010; p_max = Prob.v 0.05 }
 
 let probability t qd =
-  if qd < t.t_min then 0.0
-  else if qd < t.t_max then
-    t.p_max *. (qd -. t.t_min) /. (t.t_max -. t.t_min)
-  else if qd < 2.0 *. t.t_max then
-    t.p_max +. ((1.0 -. t.p_max) *. (qd -. t.t_max) /. t.t_max)
-  else 1.0
+  let qd = Time.to_s qd in
+  let t_min = Time.to_s t.t_min
+  and t_max = Time.to_s t.t_max
+  and p_max = Prob.to_float t.p_max in
+  Prob.v
+    (if qd < t_min then 0.0
+     else if qd < t_max then p_max *. (qd -. t_min) /. (t_max -. t_min)
+     else if qd < 2.0 *. t_max then
+       p_max +. ((1.0 -. p_max) *. (qd -. t_max) /. t_max)
+     else 1.0)
 
-let slope t = t.p_max /. (t.t_max -. t.t_min)
+let slope t =
+  Prob.to_float t.p_max /. (Time.to_s t.t_max -. Time.to_s t.t_min)

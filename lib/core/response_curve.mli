@@ -12,18 +12,23 @@
     [t_max = P + 10 ms] where [P] is the propagation delay, i.e. 5 ms and
     10 ms of queueing delay. *)
 
-type t = private { t_min : float; t_max : float; p_max : float }
+type t = private {
+  t_min : Units.Time.t;
+  t_max : Units.Time.t;
+  p_max : Units.Prob.t;
+}
 
-val make : t_min:float -> t_max:float -> p_max:float -> t
-(** Raises [Invalid_argument] unless [0 < t_min < t_max] and
-    [0 < p_max <= 1]. *)
+val make :
+  t_min:Units.Time.t -> t_max:Units.Time.t -> p_max:Units.Prob.t -> t
+(** Raises [Invalid_argument] unless [0 < t_min < t_max] and [p_max > 0]
+    ([p_max <= 1] holds by {!Units.Prob.t} construction). *)
 
 val default : t
 (** [t_min = 5 ms], [t_max = 10 ms], [p_max = 0.05] — the paper's values. *)
 
-val probability : t -> float -> float
-(** [probability t qd] is the response probability for queueing delay [qd]
-    (seconds). Total: negative inputs give 0. *)
+val probability : t -> Units.Time.t -> Units.Prob.t
+(** [probability t qd] is the response probability for queueing delay
+    [qd]. Total: negative inputs give 0. *)
 
 val slope : t -> float
 (** [p_max /. (t_max -. t_min)] — the loss-function gain [L_PERT] used by

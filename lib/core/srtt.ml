@@ -10,8 +10,9 @@ let create ?(alpha = 0.99) () =
   { alpha; srtt = 0.0; min_rtt = infinity; samples = 0 }
 
 let observe t sample =
+  let sample = Units.Time.to_s sample in
   (* A single NaN would poison the EWMA (and min_rtt) forever; reject it
-     loudly instead. *)
+     loudly instead (infinities are caught by the same finiteness test). *)
   if not (Float.is_finite sample) then
     invalid_arg "Srtt.observe: non-finite RTT";
   if sample <= 0.0 then invalid_arg "Srtt.observe: non-positive RTT";
@@ -22,12 +23,14 @@ let observe t sample =
 
 let value t =
   if t.samples = 0 then invalid_arg "Srtt.value: no samples";
-  t.srtt
+  Units.Time.s t.srtt
 
 let min_rtt t =
   if t.samples = 0 then invalid_arg "Srtt.min_rtt: no samples";
-  t.min_rtt
+  Units.Time.s t.min_rtt
 
-let queueing_delay t = Float.max 0.0 (value t -. min_rtt t)
+let queueing_delay t =
+  if t.samples = 0 then invalid_arg "Srtt.value: no samples";
+  Units.Time.s (Float.max 0.0 (t.srtt -. t.min_rtt))
 let samples t = t.samples
 let alpha t = t.alpha

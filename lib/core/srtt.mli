@@ -11,20 +11,20 @@ val create : ?alpha:float -> unit -> t
 (** [alpha] is the weight of the history term, default 0.99. Must be in
     [\[0, 1)]. *)
 
-val observe : t -> float -> unit
-(** Feed one instantaneous RTT sample (seconds). The first sample
-    initialises the average. Non-positive or non-finite samples raise
-    [Invalid_argument] (a NaN would otherwise poison the EWMA forever). *)
+val observe : t -> Units.Time.t -> unit
+(** Feed one instantaneous RTT sample. The first sample initialises the
+    average. Non-positive or non-finite samples raise [Invalid_argument]
+    (a NaN would otherwise poison the EWMA forever). *)
 
-val value : t -> float
+val value : t -> Units.Time.t
 (** Current smoothed RTT. Raises [Invalid_argument] before any sample. *)
 
-val min_rtt : t -> float
+val min_rtt : t -> Units.Time.t
 (** Smallest sample seen — the propagation-delay estimate [P]. Raises
     [Invalid_argument] before any sample. *)
 
-val queueing_delay : t -> float
-(** [value t -. min_rtt t], clamped at 0. *)
+val queueing_delay : t -> Units.Time.t
+(** [value t - min_rtt t], clamped at 0. *)
 
 val samples : t -> int
 (** Number of samples observed. *)

@@ -28,7 +28,8 @@ let tick t () =
       | None -> ())
     t.checks
 
-let create ?(interval = 0.1) ?(max_kept = 100) sim =
+let create ?(interval = Units.Time.s 0.1) ?(max_kept = 100) sim =
+  let interval = Units.Time.to_s interval in
   if interval <= 0.0 then invalid_arg "Audit.create: interval must be positive";
   let t =
     {
@@ -41,7 +42,9 @@ let create ?(interval = 0.1) ?(max_kept = 100) sim =
       last_tick = Sim.now sim;
     }
   in
-  Sim.every sim ~start:(Sim.now sim +. interval) interval (tick t);
+  Sim.every sim
+    ~start:(Units.Time.s (Sim.now sim +. interval))
+    (Units.Time.s interval) (tick t);
   t
 
 let add_check t ~subject check = t.checks <- (subject, check) :: t.checks

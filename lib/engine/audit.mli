@@ -15,9 +15,9 @@ type violation = { time : float; subject : string; message : string }
 
 type t
 
-val create : ?interval:float -> ?max_kept:int -> Sim.t -> t
+val create : ?interval:Units.Time.t -> ?max_kept:int -> Sim.t -> t
 (** [create ?interval ?max_kept sim] starts auditing [sim], running every
-    registered check every [interval] (default 0.1) simulated seconds and
+    registered check every [interval] (default 100 ms) of simulated time and
     keeping the first [max_kept] (default 100) violations verbatim (the
     total count is always exact). Checks can be registered after creation.
 

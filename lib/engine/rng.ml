@@ -9,7 +9,7 @@ let split t =
 let float t bound = Random.State.float t bound
 let int t bound = Random.State.int t bound
 let bool t = Random.State.bool t
-let bernoulli t p = Random.State.float t 1.0 < p
+let bernoulli t p = Units.Prob.sample p ~u:(Random.State.float t 1.0)
 let uniform t lo hi = lo +. Random.State.float t (hi -. lo)
 
 (* Inversion sampling; guard against u = 0 which would yield infinity. *)
@@ -32,4 +32,4 @@ let geometric t p =
   if p >= 1.0 then 1
   else
     let u = 1.0 -. Random.State.float t 1.0 in
-    1 + int_of_float (log u /. log (1.0 -. p))
+    1 + Units.Round.trunc (log u /. log (1.0 -. p))

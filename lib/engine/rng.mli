@@ -21,8 +21,11 @@ val int : t -> int -> int
 
 val bool : t -> bool
 
-val bernoulli : t -> float -> bool
-(** [bernoulli t p] is [true] with probability [p]. *)
+val bernoulli : t -> Units.Prob.t -> bool
+(** [bernoulli t p] is [true] with probability [p]. Taking a
+    {!Units.Prob.t} (never NaN, always in [0, 1]) rules out the classic
+    bug of comparing a draw against an unclamped float; lint rule U2
+    additionally bans inlining the comparison at call sites. *)
 
 val uniform : t -> float -> float -> float
 (** [uniform t lo hi] draws uniformly from [\[lo, hi)]. *)

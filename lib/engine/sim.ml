@@ -32,7 +32,11 @@ let fresh_id t =
   t.next_id <- id + 1;
   id
 
+(* The public scheduling API speaks [Units.Time.t]; the clock and heap
+   keys stay raw float seconds internally (hot path). *)
+
 let at t time f =
+  let time = Units.Time.to_s time in
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Sim.at: time %g is before now %g" time t.clock);
@@ -40,17 +44,21 @@ let at t time f =
   t.next_seq <- t.next_seq + 1
 
 let after t delay f =
+  let delay = Units.Time.to_s delay in
   if delay < 0.0 then invalid_arg "Sim.after: negative delay";
-  at t (t.clock +. delay) f
+  at t (Units.Time.of_s (t.clock +. delay)) f
 
 let every t ?start period f =
+  let period = Units.Time.to_s period in
   if period <= 0.0 then invalid_arg "Sim.every: period must be positive";
-  let first = match start with Some s -> s | None -> t.clock +. period in
+  let first =
+    match start with Some s -> Units.Time.to_s s | None -> t.clock +. period
+  in
   let rec tick () =
     f ();
-    if not t.stopped then after t period tick
+    if not t.stopped then after t (Units.Time.of_s period) tick
   in
-  at t first tick
+  at t (Units.Time.of_s first) tick
 
 let stop t = t.stopped <- true
 
@@ -63,6 +71,7 @@ let clear_watchdog t = t.watchdog <- None
 
 let run ?until t =
   t.stopped <- false;
+  let until = Option.map Units.Time.to_s until in
   let horizon = match until with Some u -> u | None -> infinity in
   let rec loop () =
     if not t.stopped then

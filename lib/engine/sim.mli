@@ -21,15 +21,15 @@ val fresh_id : t -> int
     process produce identical ids — a process-global counter would not
     replay. *)
 
-val at : t -> float -> (unit -> unit) -> unit
+val at : t -> Units.Time.t -> (unit -> unit) -> unit
 (** [at t time f] schedules [f] at absolute [time]. [time >= now t]. *)
 
-val after : t -> float -> (unit -> unit) -> unit
+val after : t -> Units.Time.t -> (unit -> unit) -> unit
 (** [after t delay f] schedules [f] at [now t +. delay]. [delay >= 0]. *)
 
-val every : t -> ?start:float -> float -> (unit -> unit) -> unit
+val every : t -> ?start:Units.Time.t -> Units.Time.t -> (unit -> unit) -> unit
 (** [every t ?start period f] runs [f] at [start] (default [now + period])
-    and then every [period] seconds until the simulation stops. *)
+    and then every [period] until the simulation stops. *)
 
 val stop : t -> unit
 (** Stop the event loop after the current event returns. *)
@@ -44,7 +44,7 @@ val set_watchdog :
 
 val clear_watchdog : t -> unit
 
-val run : ?until:float -> t -> unit
+val run : ?until:Units.Time.t -> t -> unit
 (** Execute events until the heap drains, [until] is reached (events
     scheduled strictly after [until] stay queued, the clock advances to
     [until]), or {!stop} is called. *)

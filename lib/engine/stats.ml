@@ -72,7 +72,7 @@ module Histogram = struct
 
   let add t x =
     let bins = Array.length t.counts in
-    let raw = int_of_float (float_of_int bins *. (x -. t.lo) /. (t.hi -. t.lo)) in
+    let raw = Units.Round.trunc (float_of_int bins *. (x -. t.lo) /. (t.hi -. t.lo)) in
     let i = if raw < 0 then 0 else if raw >= bins then bins - 1 else raw in
     t.counts.(i) <- t.counts.(i) + 1;
     t.total <- t.total + 1
@@ -104,6 +104,6 @@ let percentile xs p =
   if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p out of range";
   let sorted = Array.copy xs in
   Array.sort compare sorted;
-  let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
+  let rank = Units.Round.ceil (p *. float_of_int n) - 1 in
   let rank = if rank < 0 then 0 else if rank >= n then n - 1 else rank in
   sorted.(rank)

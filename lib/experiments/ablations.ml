@@ -27,7 +27,7 @@ let run_row label scale scheme extra_cells =
   let r = D.run { config with D.scheme } in
   label :: extra_cells
   @ [
-      Output.cell_f ~digits:1 r.D.avg_queue_pkts;
+      Output.cell_f ~digits:1 (Units.Pkts.to_float r.D.avg_queue_pkts);
       Output.cell_e r.D.drop_rate;
       Output.cell_f r.D.utilization;
       Output.cell_f r.D.jain;
@@ -69,9 +69,15 @@ let curve_shape scale =
   let variants =
     [
       ("paper 5-10ms p.05", Curve.default);
-      ("tight 2.5-5ms p.05", Curve.make ~t_min:0.0025 ~t_max:0.005 ~p_max:0.05);
-      ("loose 10-20ms p.05", Curve.make ~t_min:0.010 ~t_max:0.020 ~p_max:0.05);
-      ("hot 5-10ms p.20", Curve.make ~t_min:0.005 ~t_max:0.010 ~p_max:0.20);
+      ( "tight 2.5-5ms p.05",
+        Curve.make ~t_min:(Units.Time.s 0.0025) ~t_max:(Units.Time.s 0.005)
+          ~p_max:(Units.Prob.v 0.05) );
+      ( "loose 10-20ms p.05",
+        Curve.make ~t_min:(Units.Time.s 0.010) ~t_max:(Units.Time.s 0.020)
+          ~p_max:(Units.Prob.v 0.05) );
+      ( "hot 5-10ms p.20",
+        Curve.make ~t_min:(Units.Time.s 0.005) ~t_max:(Units.Time.s 0.010)
+          ~p_max:(Units.Prob.v 0.20) );
     ]
   in
   let rows =
@@ -115,7 +121,7 @@ let reverse_traffic scale =
               Output.cell_i reverse_flows;
               label;
               Output.cell_f r.D.utilization;
-              Output.cell_f ~digits:1 r.D.avg_queue_pkts;
+              Output.cell_f ~digits:1 (Units.Pkts.to_float r.D.avg_queue_pkts);
               Output.cell_e r.D.drop_rate;
               Output.cell_i r.D.early_responses;
             ])
@@ -141,7 +147,7 @@ let seed_sensitivity scale =
         List.iter
           (fun seed ->
             let r = D.run { config with D.scheme; seed } in
-            Sim_engine.Stats.Acc.add q r.D.avg_queue_pkts;
+            Sim_engine.Stats.Acc.add q (Units.Pkts.to_float r.D.avg_queue_pkts);
             Sim_engine.Stats.Acc.add u r.D.utilization;
             Sim_engine.Stats.Acc.add j r.D.jain)
           seeds;

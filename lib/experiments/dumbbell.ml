@@ -45,7 +45,9 @@ let uniform_flows config ~n =
   { config with flow_rtts = List.init n (fun _ -> config.rtt) }
 
 let bdp_pkts ~bandwidth ~rtt =
-  max 1 (int_of_float (bandwidth *. rtt /. (8.0 *. float_of_int Packet.data_size)))
+  max 1
+    (Units.Round.trunc
+       (bandwidth *. rtt /. (8.0 *. float_of_int Packet.data_size)))
 
 type built = {
   topo : T.t;
@@ -100,13 +102,15 @@ let build config =
   in
   let bneck_delay = min_rtt /. 6.0 in
   let bottleneck =
-    T.add_link topo ~src:r1 ~dst:r2 ~bandwidth:config.bandwidth
-      ~delay:bneck_delay
+    T.add_link topo ~src:r1 ~dst:r2
+      ~bandwidth:(Units.Rate.bps config.bandwidth)
+      ~delay:(Units.Time.s bneck_delay)
       ~disc:(Schemes.bottleneck_disc config.scheme ctx)
   in
   let reverse_bneck =
-    T.add_link topo ~src:r2 ~dst:r1 ~bandwidth:config.bandwidth
-      ~delay:bneck_delay
+    T.add_link topo ~src:r2 ~dst:r1
+      ~bandwidth:(Units.Rate.bps config.bandwidth)
+      ~delay:(Units.Time.s bneck_delay)
       ~disc:(Schemes.bottleneck_disc config.scheme ctx)
   in
   (* Impairments apply to the forward bottleneck: that is the wire the
@@ -121,8 +125,9 @@ let build config =
     let host = T.add_node topo in
     let disc () = Netsim.Droptail.create ~limit_pkts:access_buffer in
     ignore
-      (T.add_duplex topo ~a:host ~b:router ~bandwidth:(access_bw config)
-         ~delay:d ~disc_ab:(disc ()) ~disc_ba:(disc ()));
+      (T.add_duplex topo ~a:host ~b:router
+         ~bandwidth:(Units.Rate.bps (access_bw config))
+         ~delay:(Units.Time.s d) ~disc_ab:(disc ()) ~disc_ba:(disc ()));
     host
   in
   let cc_factory = Schemes.cc_factory config.scheme ctx in
@@ -130,7 +135,9 @@ let build config =
   let rng = Rng.split (Sim.rng sim) in
   let lo, hi = config.start_window in
   let mk_flow ~src ~dst =
-    let start = if hi > lo then Rng.uniform rng lo hi else lo in
+    let start =
+      Units.Time.s (if hi > lo then Rng.uniform rng lo hi else lo)
+    in
     Flow.create topo ~src ~dst ~cc:(cc_factory ()) ~ecn ~start
       ~delay_signal:config.delay_signal ()
   in
@@ -162,7 +169,7 @@ let build config =
   let audit =
     if not config.audit then None
     else begin
-      let a = Sim_engine.Audit.create ~interval:0.1 sim in
+      let a = Sim_engine.Audit.create ~interval:(Units.Time.s 0.1) sim in
       Sim_engine.Audit.enable_watchdog a;
       List.iter
         (fun l ->
@@ -198,12 +205,12 @@ let reset built =
   List.iter Flow.reset_stats built.reverse
 
 type result = {
-  avg_queue_pkts : float;
+  avg_queue_pkts : Units.Pkts.t;
   avg_queue_norm : float;
   drop_rate : float;
   utilization : float;
   jain : float;
-  per_flow_goodput : float array;
+  per_flow_goodput : Units.Rate.t array;
   buffer_pkts : int;
   marks : int;
   early_responses : int;
@@ -223,10 +230,11 @@ let measure built =
   let buffer = (Link.disc link).Netsim.Queue_disc.capacity_pkts in
   {
     avg_queue_pkts = Link.avg_queue_pkts link;
-    avg_queue_norm = Link.avg_queue_pkts link /. float_of_int buffer;
+    avg_queue_norm =
+      Units.Pkts.to_float (Link.avg_queue_pkts link) /. float_of_int buffer;
     drop_rate = Link.drop_rate link;
     utilization = Link.utilization link;
-    jain = Stats.jain_index goodputs;
+    jain = Stats.jain_index (Array.map Units.Rate.to_bps goodputs);
     per_flow_goodput = goodputs;
     buffer_pkts = buffer;
     marks = Link.marks link;
@@ -244,7 +252,7 @@ let measure built =
 let run config =
   let built = build config in
   let sim = T.sim built.topo in
-  Sim.run ~until:config.warmup sim;
+  Sim.run ~until:(Units.Time.s config.warmup) sim;
   reset built;
-  Sim.run ~until:config.duration sim;
+  Sim.run ~until:(Units.Time.s config.duration) sim;
   measure built

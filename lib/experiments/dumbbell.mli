@@ -46,12 +46,13 @@ val bdp_pkts : bandwidth:float -> rtt:float -> int
 (** Bandwidth-delay product in data packets. *)
 
 type result = {
-  avg_queue_pkts : float;
+  avg_queue_pkts : Units.Pkts.t;
   avg_queue_norm : float;  (** normalised by the buffer size *)
   drop_rate : float;
   utilization : float;
   jain : float;  (** over forward long-lived flows *)
-  per_flow_goodput : float array;  (** bits/s, forward long-lived flows *)
+  per_flow_goodput : Units.Rate.t array;
+      (** forward long-lived flows *)
   buffer_pkts : int;
   marks : int;
   early_responses : int;  (** summed over forward flows *)

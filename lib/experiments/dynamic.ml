@@ -50,7 +50,7 @@ let run config =
   ignore r2;
   let total_epochs = (2 * config.n_cohorts) - 1 in
   let horizon = float_of_int total_epochs *. config.epoch in
-  let nbins = int_of_float (ceil (horizon /. config.bin)) in
+  let nbins = Units.Round.ceil (horizon /. config.bin) in
   let times = Array.init nbins (fun i -> float_of_int (i + 1) *. config.bin) in
   let series = Array.make_matrix config.n_cohorts nbins 0.0 in
   (* Cohort 0 is the flows Dumbbell.build created; later cohorts attach
@@ -67,8 +67,8 @@ let run config =
               ignore
                 (Netsim.Topology.add_duplex built.Dumbbell.topo ~a:host
                    ~b:router
-                   ~bandwidth:(10.0 *. config.bandwidth)
-                   ~delay:(config.rtt /. 6.0)
+                   ~bandwidth:(Units.Rate.bps (10.0 *. config.bandwidth))
+                   ~delay:(Units.Time.s (config.rtt /. 6.0))
                    ~disc_ab:(disc ()) ~disc_ba:(disc ()));
               host
             in
@@ -78,7 +78,7 @@ let run config =
   Netsim.Topology.compute_routes built.Dumbbell.topo;
   (* Join events. *)
   for k = 1 to config.n_cohorts - 1 do
-    let join_at = float_of_int k *. config.epoch in
+    let join_at = Units.Time.s (float_of_int k *. config.epoch) in
     Sim.at sim join_at (fun () ->
         cohorts.(k) <-
           Array.map
@@ -91,13 +91,16 @@ let run config =
   done;
   (* Departure events: cohorts leave in arrival order. *)
   for k = 0 to config.n_cohorts - 2 do
-    let leave_at = float_of_int (config.n_cohorts + k) *. config.epoch in
+    let leave_at =
+      Units.Time.s (float_of_int (config.n_cohorts + k) *. config.epoch)
+    in
     Sim.at sim leave_at (fun () -> Array.iter Flow.stop cohorts.(k))
   done;
   (* Binned accounting via acked-packet deltas. *)
   let last_acked = Array.make config.n_cohorts 0 in
   let bin_idx = ref 0 in
-  Sim.every sim ~start:config.bin config.bin (fun () ->
+  Sim.every sim ~start:(Units.Time.s config.bin) (Units.Time.s config.bin)
+    (fun () ->
       if !bin_idx < nbins then begin
         for k = 0 to config.n_cohorts - 1 do
           let acked =
@@ -110,7 +113,7 @@ let run config =
         done;
         incr bin_idx
       end);
-  Sim.run ~until:horizon sim;
+  Sim.run ~until:(Units.Time.s horizon) sim;
   (times, series)
 
 let fig12 scale =
@@ -159,7 +162,7 @@ let run_cbr config ~cbr_share =
   let built = Dumbbell.build dumbbell_cfg in
   let sim = Netsim.Topology.sim built.Dumbbell.topo in
   let horizon = 3.0 *. config.epoch in
-  let nbins = int_of_float (ceil (horizon /. config.bin)) in
+  let nbins = Units.Round.ceil (horizon /. config.bin) in
   let times = Array.init nbins (fun i -> float_of_int (i + 1) *. config.bin) in
   let tcp_series = Array.make nbins 0.0 in
   let cbr_series = Array.make nbins 0.0 in
@@ -170,8 +173,8 @@ let run_cbr config ~cbr_share =
     let disc () = Netsim.Droptail.create ~limit_pkts:10_000 in
     ignore
       (Netsim.Topology.add_duplex built.Dumbbell.topo ~a:host ~b:router
-         ~bandwidth:(10.0 *. config.bandwidth)
-         ~delay:(config.rtt /. 6.0)
+         ~bandwidth:(Units.Rate.bps (10.0 *. config.bandwidth))
+         ~delay:(Units.Time.s (config.rtt /. 6.0))
          ~disc_ab:(disc ()) ~disc_ba:(disc ()));
     host
   in
@@ -179,14 +182,15 @@ let run_cbr config ~cbr_share =
   Netsim.Topology.compute_routes built.Dumbbell.topo;
   let cbr =
     Traffic.Cbr.start built.Dumbbell.topo ~src:cbr_src ~dst:cbr_dst
-      ~rate_bps:(cbr_share *. config.bandwidth)
-      ~start:config.epoch
-      ~stop:(2.0 *. config.epoch) ()
+      ~rate:(Units.Rate.bps (cbr_share *. config.bandwidth))
+      ~start:(Units.Time.s config.epoch)
+      ~stop:(Units.Time.s (2.0 *. config.epoch)) ()
   in
   let flows = Array.of_list built.Dumbbell.forward_flows in
   let last_tcp = ref 0 and last_cbr = ref 0 in
   let bin_idx = ref 0 in
-  Sim.every sim ~start:config.bin config.bin (fun () ->
+  Sim.every sim ~start:(Units.Time.s config.bin) (Units.Time.s config.bin)
+    (fun () ->
       if !bin_idx < nbins then begin
         let tcp = Array.fold_left (fun a f -> a + Flow.acked_pkts f) 0 flows in
         let got = Traffic.Cbr.received cbr in
@@ -199,7 +203,7 @@ let run_cbr config ~cbr_share =
         last_cbr := got;
         incr bin_idx
       end);
-  Sim.run ~until:horizon sim;
+  Sim.run ~until:(Units.Time.s horizon) sim;
   (times, tcp_series, cbr_series)
 
 let dynamic_cbr scale =

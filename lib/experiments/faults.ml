@@ -41,7 +41,7 @@ let base scale =
    timeout counts and the fault layer's own accounting. *)
 type run = {
   result : D.result;
-  goodput_bps : float;
+  goodput_bps : Units.Rate.t;
   timeouts : int;
   fstats : Fault.stats option;
 }
@@ -49,19 +49,23 @@ type run = {
 let run_config config =
   let built = D.build config in
   let sim = T.sim built.D.topo in
-  Sim.run ~until:config.D.warmup sim;
+  Sim.run ~until:(Units.Time.s config.D.warmup) sim;
   D.reset built;
-  Sim.run ~until:config.D.duration sim;
+  Sim.run ~until:(Units.Time.s config.D.duration) sim;
   let result = D.measure built in
   {
     result;
-    goodput_bps = Array.fold_left ( +. ) 0.0 result.D.per_flow_goodput;
+    goodput_bps =
+      Units.Rate.bps
+        (Array.fold_left
+           (fun a r -> a +. Units.Rate.to_bps r)
+           0.0 result.D.per_flow_goodput);
     timeouts =
       List.fold_left (fun a f -> a + Flow.timeouts f) 0 built.D.forward_flows;
     fstats = Option.map Fault.stats built.D.fault;
   }
 
-let mbps v = Output.cell_f ~digits:2 (v /. 1e6)
+let mbps v = Output.cell_f ~digits:2 (Units.Rate.to_mbps v)
 
 let fstat f get = match f.fstats with Some s -> get s | None -> 0
 
@@ -81,14 +85,19 @@ let lossy scale =
           (fun scheme ->
             let r =
               run_config
-                { config with D.scheme; fault = Some (Fault.lossy p) }
+                {
+                  config with
+                  D.scheme;
+                  fault = Some (Fault.lossy (Units.Prob.v p));
+                }
             in
             [
               Printf.sprintf "%.1f%%" (100.0 *. p);
               Schemes.name scheme;
               mbps r.goodput_bps;
               Output.cell_f r.result.D.utilization;
-              Output.cell_f ~digits:1 r.result.D.avg_queue_pkts;
+              Output.cell_f ~digits:1
+                (Units.Pkts.to_float r.result.D.avg_queue_pkts);
               Output.cell_e r.result.D.drop_rate;
               Output.cell_i (fstat r (fun s -> s.Fault.wire_drops));
               Output.cell_i r.result.D.loss_events;
@@ -125,7 +134,15 @@ let flapping scale =
   let mean_up = Float.max 2.0 (config.D.duration /. 12.0) in
   let mean_down = Scale.pick scale ~smoke:0.3 ~quick:0.4 ~default:0.5 ~full:1.0 in
   let spec =
-    { Fault.none with Fault.outages = Fault.Flapping { mean_up; mean_down } }
+    {
+      Fault.none with
+      Fault.outages =
+        Fault.Flapping
+          {
+            mean_up = Units.Time.s mean_up;
+            mean_down = Units.Time.s mean_down;
+          };
+    }
   in
   let rows =
     List.map
@@ -171,7 +188,9 @@ let bleached scale =
       (fun bleach ->
         List.map
           (fun scheme ->
-            let spec = { Fault.none with Fault.bleach_prob = bleach } in
+            let spec =
+              { Fault.none with Fault.bleach_prob = Units.Prob.v bleach }
+            in
             let r = run_config { config with D.scheme; fault = Some spec } in
             [
               Printf.sprintf "%.0f%%" (100.0 *. bleach);
@@ -180,7 +199,8 @@ let bleached scale =
               Output.cell_i (fstat r (fun s -> s.Fault.bleached));
               mbps r.goodput_bps;
               Output.cell_f r.result.D.utilization;
-              Output.cell_f ~digits:1 r.result.D.avg_queue_pkts;
+              Output.cell_f ~digits:1
+                (Units.Pkts.to_float r.result.D.avg_queue_pkts);
               Output.cell_e r.result.D.drop_rate;
               Output.cell_i r.result.D.audit_violations;
             ])

@@ -23,7 +23,7 @@ let trajectory_points ~r ~horizon ~n_points =
   let p = Pert_fluid.paper_params ~r () in
   let dt = 0.001 in
   let record_every =
-    max 1 (int_of_float (horizon /. dt) / max 1 (n_points - 1))
+    max 1 (Units.Round.trunc (horizon /. dt) / max 1 (n_points - 1))
   in
   let times, series = Pert_fluid.run p ~horizon ~dt ~record_every () in
   Array.mapi (fun i t -> (t, series.(0).(i))) times

@@ -2,8 +2,8 @@ module D = Dumbbell
 
 let schemes =
   [
-    Schemes.Pert_pi { target_delay = 0.003 };
-    Schemes.Sack_pi_ecn { target_delay = 0.003 };
+    Schemes.Pert_pi { target_delay = Units.Time.s 0.003 };
+    Schemes.Sack_pi_ecn { target_delay = Units.Time.s 0.003 };
   ]
 
 let sweep_schemes ~title schemes scale =
@@ -30,7 +30,7 @@ let sweep_schemes ~title schemes scale =
                   rtt;
                   duration;
                   warmup = duration /. 3.0;
-                  seed = 42 + int_of_float (rtt *. 1000.0);
+                  seed = 42 + Units.Round.trunc (rtt *. 1000.0);
                 }
                 ~n:nflows
             in
@@ -38,7 +38,7 @@ let sweep_schemes ~title schemes scale =
             [
               Output.cell_f ~digits:3 rtt;
               Schemes.name scheme;
-              Output.cell_f ~digits:1 r.D.avg_queue_pkts;
+              Output.cell_f ~digits:1 (Units.Pkts.to_float r.D.avg_queue_pkts);
               Output.cell_f r.D.avg_queue_norm;
               Output.cell_e r.D.drop_rate;
               Output.cell_f r.D.utilization;

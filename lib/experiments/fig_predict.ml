@@ -77,7 +77,7 @@ let collect_uncached scale case =
   Link.enable_drop_trace built.Dumbbell.bottleneck;
   Link.enable_queue_trace built.Dumbbell.bottleneck ();
   let sim = Netsim.Topology.sim built.Dumbbell.topo in
-  Sim.run ~until:config.Dumbbell.duration sim;
+  Sim.run ~until:(Units.Time.s config.Dumbbell.duration) sim;
   let times, rtts, cwnds = Flow.rtt_trace observed in
   let limit =
     float_of_int
@@ -86,7 +86,8 @@ let collect_uncached scale case =
   Trace.make ~times ~rtts ~cwnds
     ~flow_losses:(Flow.loss_times observed)
     ~queue_losses:(Link.drop_times built.Dumbbell.bottleneck)
-    ~queue_occupancy:(fun t -> Link.queue_at built.Dumbbell.bottleneck t /. limit)
+    ~queue_occupancy:(fun t ->
+      Link.queue_at built.Dumbbell.bottleneck (Units.Time.s t) /. limit)
     ()
 
 let collect scale case =

@@ -70,14 +70,16 @@ let run config =
       (fun i ->
         let fwd =
           T.add_link topo ~src:routers.(i) ~dst:routers.(i + 1)
-            ~bandwidth:config.link_bandwidth ~delay:config.link_delay
+            ~bandwidth:(Units.Rate.bps config.link_bandwidth)
+            ~delay:(Units.Time.s config.link_delay)
             ~disc:(Schemes.bottleneck_disc config.scheme ctx)
         in
         let _bwd =
           T.add_link topo
             ~src:routers.(i + 1)
-            ~dst:routers.(i) ~bandwidth:config.link_bandwidth
-            ~delay:config.link_delay
+            ~dst:routers.(i)
+            ~bandwidth:(Units.Rate.bps config.link_bandwidth)
+            ~delay:(Units.Time.s config.link_delay)
             ~disc:(Schemes.bottleneck_disc config.scheme ctx)
         in
         fwd)
@@ -91,8 +93,9 @@ let run config =
             let disc () = Netsim.Droptail.create ~limit_pkts:10_000 in
             ignore
               (T.add_duplex topo ~a:host ~b:router
-                 ~bandwidth:(10.0 *. config.link_bandwidth)
-                 ~delay:0.005 ~disc_ab:(disc ()) ~disc_ba:(disc ()));
+                 ~bandwidth:(Units.Rate.bps (10.0 *. config.link_bandwidth))
+                 ~delay:(Units.Time.s 0.005) ~disc_ab:(disc ())
+                 ~disc_ba:(disc ()));
             host))
       routers
   in
@@ -102,7 +105,7 @@ let run config =
   let rng = Rng.split (Sim.rng sim) in
   let mk_flow src dst =
     Flow.create topo ~src ~dst ~cc:(cc_factory ()) ~ecn
-      ~start:(Rng.uniform rng 0.0 5.0) ()
+      ~start:(Units.Time.s (Rng.uniform rng 0.0 5.0)) ()
   in
   (* Hop flows: cloud i -> cloud i+1, pairwise. *)
   let hop_flows =
@@ -117,23 +120,26 @@ let run config =
     Array.init config.cloud_size (fun j ->
         mk_flow clouds.(0).(j) clouds.(config.n_routers - 1).(j))
   in
-  Sim.run ~until:config.warmup sim;
+  Sim.run ~until:(Units.Time.s config.warmup) sim;
   Array.iter Link.reset_stats hop_links;
   Array.iter (Array.iter Flow.reset_stats) hop_flows;
   Array.iter Flow.reset_stats long_flows;
-  Sim.run ~until:config.duration sim;
+  Sim.run ~until:(Units.Time.s config.duration) sim;
   let now = Sim.now sim in
   let reports =
     Array.to_list
       (Array.mapi
          (fun i link ->
            let goodputs =
-             Array.map (fun f -> Flow.goodput_bps f ~now) hop_flows.(i)
+             Array.map
+               (fun f -> Units.Rate.to_bps (Flow.goodput_bps f ~now))
+               hop_flows.(i)
            in
            {
              hop = Printf.sprintf "R%d-R%d" (i + 1) (i + 2);
              avg_queue_norm =
-               Link.avg_queue_pkts link /. float_of_int limit_pkts;
+               Units.Pkts.to_float (Link.avg_queue_pkts link)
+               /. float_of_int limit_pkts;
              drop_rate = Link.drop_rate link;
              utilization = Link.utilization link;
              jain = Stats.jain_index goodputs;
@@ -141,7 +147,10 @@ let run config =
          hop_links)
   in
   let long_jain =
-    Stats.jain_index (Array.map (fun f -> Flow.goodput_bps f ~now) long_flows)
+    Stats.jain_index
+      (Array.map
+         (fun f -> Units.Rate.to_bps (Flow.goodput_bps f ~now))
+         long_flows)
   in
   (reports, long_jain)
 

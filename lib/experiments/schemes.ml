@@ -13,8 +13,8 @@ type t =
   | Sack_droptail
   | Sack_red_ecn
   | Vegas
-  | Pert_pi of { target_delay : float }
-  | Sack_pi_ecn of { target_delay : float }
+  | Pert_pi of { target_delay : Units.Time.t }
+  | Sack_pi_ecn of { target_delay : Units.Time.t }
   | Pert_rem
   | Pert_avq
   | Sack_rem_ecn
@@ -65,8 +65,8 @@ let router_pi_params ctx ~target_delay =
   {
     Netsim.Pi_queue.a = d.Pert_core.Pert_pi.gamma;
     b = d.Pert_core.Pert_pi.beta;
-    q_ref = target_delay *. ctx.capacity_pps;
-    sample_interval;
+    q_ref = Units.Time.to_s target_delay *. ctx.capacity_pps;
+    sample_interval = Units.Time.s sample_interval;
     ecn = true;
   }
 
@@ -125,4 +125,5 @@ let cc_factory t ctx () =
       in
       Tcpstack.Pert_pi_cc.create
         ~rng:(Rng.split (Sim.rng ctx.sim))
-        ~gains:d ~target_delay ~sample_interval ()
+        ~gains:d ~target_delay
+        ~sample_interval:(Units.Time.s sample_interval) ()

@@ -22,8 +22,8 @@ type t =
   | Sack_droptail
   | Sack_red_ecn
   | Vegas
-  | Pert_pi of { target_delay : float }
-  | Sack_pi_ecn of { target_delay : float }
+  | Pert_pi of { target_delay : Units.Time.t }
+  | Sack_pi_ecn of { target_delay : Units.Time.t }
   | Pert_rem  (** end-host REM emulation (paper's future-work direction) *)
   | Pert_avq  (** end-host AVQ emulation (paper's future-work direction) *)
   | Sack_rem_ecn  (** router REM with ECN *)

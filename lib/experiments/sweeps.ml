@@ -2,7 +2,7 @@ module D = Dumbbell
 
 let result_cells (r : D.result) =
   [
-    Output.cell_f ~digits:1 r.D.avg_queue_pkts;
+    Output.cell_f ~digits:1 (Units.Pkts.to_float r.D.avg_queue_pkts);
     Output.cell_f r.D.avg_queue_norm;
     Output.cell_e r.D.drop_rate;
     Output.cell_f r.D.utilization;
@@ -41,7 +41,9 @@ let fig5 =
         let qd = float_of_int i *. 0.001 in
         [
           Output.cell_f ~digits:3 qd;
-          Output.cell_f ~digits:4 (Pert_core.Response_curve.probability curve qd);
+          Output.cell_f ~digits:4
+            (Units.Prob.to_float
+               (Pert_core.Response_curve.probability curve (Units.Time.s qd)));
         ])
   in
   {
@@ -65,7 +67,7 @@ let fig6 scale =
     let bandwidth = mbps *. 1e6 in
     (* Enough flows to keep large pipes busy, few enough that small pipes
        are not squeezed to sub-packet windows. *)
-    let n = max 2 (min 64 (int_of_float (0.6 *. mbps))) in
+    let n = max 2 (min 64 (Units.Round.trunc (0.6 *. mbps))) in
     let cfg =
       {
         D.default with
@@ -73,7 +75,7 @@ let fig6 scale =
         bandwidth;
         duration;
         warmup = duration /. 3.0;
-        seed = 42 + int_of_float mbps;
+        seed = 42 + Units.Round.trunc mbps;
       }
     in
     D.uniform_flows cfg ~n
@@ -106,7 +108,7 @@ let fig7 scale =
         rtt;
         duration;
         warmup = duration /. 3.0;
-        seed = 42 + int_of_float (rtt *. 1000.0);
+        seed = 42 + Units.Round.trunc (rtt *. 1000.0);
       }
     in
     D.uniform_flows cfg ~n:nflows

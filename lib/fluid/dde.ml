@@ -30,7 +30,7 @@ let store_lookup st i tau =
   if tau <= st.t0 then st.initial i tau
   else begin
     let pos = (tau -. st.t0) /. st.dt in
-    let k = int_of_float pos in
+    let k = Units.Round.trunc pos in
     let k = if k >= st.steps - 1 then st.steps - 1 else k in
     if k >= st.steps - 1 then st.data.((st.steps - 1) * st.dim + i)
     else
@@ -52,7 +52,7 @@ let run ~stepper ~f ~init ?initial_history ~t0 ~t1 ~dt ?(record_every = 1) () =
   in
   let st = store_create ~dim ~t0 ~dt ~init ~initial in
   let hist i tau = store_lookup st i tau in
-  let nsteps = int_of_float (ceil ((t1 -. t0) /. dt)) in
+  let nsteps = Units.Round.ceil ((t1 -. t0) /. dt) in
   let nrec = (nsteps / record_every) + 1 in
   let times = Array.make nrec 0.0 in
   let series = Array.init dim (fun _ -> Array.make nrec 0.0) in

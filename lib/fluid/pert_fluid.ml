@@ -41,7 +41,7 @@ let equilibrium p =
 let is_stable_trajectory ?(tail_fraction = 0.25) ?(tolerance = 0.05) series =
   let n = Array.length series in
   if n < 4 then invalid_arg "Pert_fluid.is_stable_trajectory: too short";
-  let start = n - max 2 (int_of_float (tail_fraction *. float_of_int n)) in
+  let start = n - max 2 (Units.Round.trunc (tail_fraction *. float_of_int n)) in
   let lo = ref infinity and hi = ref neg_infinity and sum = ref 0.0 in
   for i = start to n - 1 do
     let v = series.(i) in

@@ -1,64 +1,59 @@
 module Sim = Sim_engine.Sim
 module Rng = Sim_engine.Rng
+module Time = Units.Time
+module Prob = Units.Prob
 
 type outages =
   | No_outages
-  | Scheduled of (float * float) list
-  | Flapping of { mean_up : float; mean_down : float }
+  | Scheduled of (Time.t * Time.t) list
+  | Flapping of { mean_up : Time.t; mean_down : Time.t }
 
 type spec = {
-  drop_prob : float;
-  corrupt_prob : float;
-  bleach_prob : float;
-  remark_prob : float;
-  dup_prob : float;
-  reorder_prob : float;
-  reorder_extra : float;
-  spike_prob : float;
-  spike_delay : float;
+  drop_prob : Prob.t;
+  corrupt_prob : Prob.t;
+  bleach_prob : Prob.t;
+  remark_prob : Prob.t;
+  dup_prob : Prob.t;
+  reorder_prob : Prob.t;
+  reorder_extra : Time.t;
+  spike_prob : Prob.t;
+  spike_delay : Time.t;
   outages : outages;
 }
 
 let none =
   {
-    drop_prob = 0.0;
-    corrupt_prob = 0.0;
-    bleach_prob = 0.0;
-    remark_prob = 0.0;
-    dup_prob = 0.0;
-    reorder_prob = 0.0;
-    reorder_extra = 0.0;
-    spike_prob = 0.0;
-    spike_delay = 0.0;
+    drop_prob = Prob.zero;
+    corrupt_prob = Prob.zero;
+    bleach_prob = Prob.zero;
+    remark_prob = Prob.zero;
+    dup_prob = Prob.zero;
+    reorder_prob = Prob.zero;
+    reorder_extra = Time.zero;
+    spike_prob = Prob.zero;
+    spike_delay = Time.zero;
     outages = No_outages;
   }
 
 let lossy p = { none with drop_prob = p }
 
+(* Probabilities are honest by construction ([Prob.t] is clamped and
+   NaN-free); only the durations still need validating. *)
 let validate spec =
-  let prob what p =
-    if not (Float.is_finite p) || p < 0.0 || p > 1.0 then
-      invalid_arg (Printf.sprintf "Fault: %s must be in [0,1]" what)
-  in
-  prob "drop_prob" spec.drop_prob;
-  prob "corrupt_prob" spec.corrupt_prob;
-  prob "bleach_prob" spec.bleach_prob;
-  prob "remark_prob" spec.remark_prob;
-  prob "dup_prob" spec.dup_prob;
-  prob "reorder_prob" spec.reorder_prob;
-  prob "spike_prob" spec.spike_prob;
-  if spec.reorder_extra < 0.0 then invalid_arg "Fault: negative reorder_extra";
-  if spec.spike_delay < 0.0 then invalid_arg "Fault: negative spike_delay";
+  if Time.to_s spec.reorder_extra < 0.0 then
+    invalid_arg "Fault: negative reorder_extra";
+  if Time.to_s spec.spike_delay < 0.0 then
+    invalid_arg "Fault: negative spike_delay";
   (match spec.outages with
   | No_outages -> ()
   | Scheduled windows ->
       List.iter
         (fun (down_at, up_at) ->
-          if down_at < 0.0 || up_at <= down_at then
+          if Time.to_s down_at < 0.0 || Time.compare up_at down_at <= 0 then
             invalid_arg "Fault: outage windows need 0 <= down_at < up_at")
         windows
   | Flapping { mean_up; mean_down } ->
-      if mean_up <= 0.0 || mean_down <= 0.0 then
+      if Time.to_s mean_up <= 0.0 || Time.to_s mean_down <= 0.0 then
         invalid_arg "Fault: flapping means must be positive")
 
 type stats = {
@@ -120,11 +115,15 @@ let schedule_outages t =
         windows
   | Flapping { mean_up; mean_down } ->
       let rec up_phase () =
-        Sim.after t.sim (Rng.exponential t.outage_rng mean_up) (fun () ->
+        Sim.after t.sim
+          (Time.s (Rng.exponential t.outage_rng (Time.to_s mean_up)))
+          (fun () ->
             go_down t;
             down_phase ())
       and down_phase () =
-        Sim.after t.sim (Rng.exponential t.outage_rng mean_down) (fun () ->
+        Sim.after t.sim
+          (Time.s (Rng.exponential t.outage_rng (Time.to_s mean_down)))
+          (fun () ->
             go_up t;
             up_phase ())
       in
@@ -138,7 +137,7 @@ let schedule_outages t =
    bit-identical. *)
 let impair t inner pkt =
   let s = t.spec in
-  let hit p = p > 0.0 && Rng.bernoulli t.pkt_rng p in
+  let hit p = Prob.positive p && Rng.bernoulli t.pkt_rng p in
   if hit s.drop_prob then t.wire_drops <- t.wire_drops + 1
   else if hit s.corrupt_prob then t.corrupt_drops <- t.corrupt_drops + 1
   else begin
@@ -155,15 +154,15 @@ let impair t inner pkt =
     let extra = ref 0.0 in
     if hit s.reorder_prob then begin
       t.reordered <- t.reordered + 1;
-      extra := !extra +. Rng.float t.pkt_rng s.reorder_extra
+      extra := !extra +. Rng.float t.pkt_rng (Time.to_s s.reorder_extra)
     end;
     if hit s.spike_prob then begin
       t.delayed <- t.delayed + 1;
-      extra := !extra +. s.spike_delay
+      extra := !extra +. Time.to_s s.spike_delay
     end;
     let dup = hit s.dup_prob in
     if dup then t.duplicated <- t.duplicated + 1;
-    if !extra > 0.0 then Sim.after t.sim !extra (fun () -> inner pkt)
+    if !extra > 0.0 then Sim.after t.sim (Time.s !extra) (fun () -> inner pkt)
     else inner pkt;
     (* The duplicate takes the direct path even when the original was
        delayed — that itself is a reordering, as on real networks. *)

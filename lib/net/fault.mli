@@ -16,21 +16,26 @@
 
 type outages =
   | No_outages
-  | Scheduled of (float * float) list
-      (** [(down_at, up_at)] absolute-time windows, seconds *)
-  | Flapping of { mean_up : float; mean_down : float }
+  | Scheduled of (Units.Time.t * Units.Time.t) list
+      (** [(down_at, up_at)] absolute-time windows *)
+  | Flapping of { mean_up : Units.Time.t; mean_down : Units.Time.t }
       (** memoryless up/down alternation with exponential holding times *)
 
 type spec = {
-  drop_prob : float;  (** non-congestive random loss on the wire *)
-  corrupt_prob : float;  (** bit corruption; packet dropped at receiver *)
-  bleach_prob : float;  (** probability a CE mark is cleared in flight *)
-  remark_prob : float;  (** probability an ECT packet is spuriously CE-marked *)
-  dup_prob : float;  (** packet duplication *)
-  reorder_prob : float;  (** chance of an extra uniform [0, reorder_extra) delay *)
-  reorder_extra : float;  (** seconds; > serialization time reorders packets *)
-  spike_prob : float;  (** chance of a fixed delay spike *)
-  spike_delay : float;  (** seconds added on a spike *)
+  drop_prob : Units.Prob.t;  (** non-congestive random loss on the wire *)
+  corrupt_prob : Units.Prob.t;
+      (** bit corruption; packet dropped at receiver *)
+  bleach_prob : Units.Prob.t;
+      (** probability a CE mark is cleared in flight *)
+  remark_prob : Units.Prob.t;
+      (** probability an ECT packet is spuriously CE-marked *)
+  dup_prob : Units.Prob.t;  (** packet duplication *)
+  reorder_prob : Units.Prob.t;
+      (** chance of an extra uniform [0, reorder_extra) delay *)
+  reorder_extra : Units.Time.t;
+      (** > serialization time reorders packets *)
+  spike_prob : Units.Prob.t;  (** chance of a fixed delay spike *)
+  spike_delay : Units.Time.t;  (** added on a spike *)
   outages : outages;
 }
 
@@ -38,14 +43,15 @@ val none : spec
 (** All impairments off — the identity spec to build others from with
     record update syntax: [{ Fault.none with drop_prob = 0.01 }]. *)
 
-val lossy : float -> spec
+val lossy : Units.Prob.t -> spec
 (** [lossy p] is [{ none with drop_prob = p }]. *)
 
 type t
 
 val attach : spec -> Link.t -> t
-(** Validate the spec (probabilities in [0,1], sane outage windows) and
-    decorate the link's delivery path via {!Link.interpose_deliver};
+(** Validate the spec (sane outage windows; probabilities are already
+    honest by [Units.Prob.t] construction) and decorate the link's
+    delivery path via {!Link.interpose_deliver};
     outages drive {!Link.set_up}. Multiple faults may be stacked on one
     link; each keeps its own counters and random streams. *)
 

@@ -1,15 +1,17 @@
 module Sim = Sim_engine.Sim
 module Stats = Sim_engine.Stats
 module Fvec = Sim_engine.Fvec
+module Time = Units.Time
+module Rate = Units.Rate
 
 type event = Enqueue | Dequeue | Receive | Drop
 
 type t = {
   sim : Sim.t;
   name : string;
-  bandwidth : float;
-  delay : float;
-  jitter : float;
+  bandwidth : Rate.t;
+  delay : Time.t;
+  jitter : Time.t;
   jitter_rng : Sim_engine.Rng.t;
   disc : Queue_disc.t;
   mutable deliver : Packet.t -> unit;
@@ -34,10 +36,11 @@ type t = {
   mutable queue_trace : (Fvec.t * Fvec.t) option;  (* times, lengths *)
 }
 
-let create ?(jitter = 0.0) sim ~name ~bandwidth ~delay ~disc =
-  if bandwidth <= 0.0 then invalid_arg "Link.create: bandwidth must be positive";
-  if delay < 0.0 then invalid_arg "Link.create: negative delay";
-  if jitter < 0.0 then invalid_arg "Link.create: negative jitter";
+let create ?(jitter = Time.zero) sim ~name ~bandwidth ~delay ~disc =
+  if Rate.to_bps bandwidth <= 0.0 then
+    invalid_arg "Link.create: bandwidth must be positive";
+  if Time.to_s delay < 0.0 then invalid_arg "Link.create: negative delay";
+  if Time.to_s jitter < 0.0 then invalid_arg "Link.create: negative jitter";
   {
     sim;
     name;
@@ -99,16 +102,17 @@ let rec start_transmission t =
         emit t Dequeue pkt;
         t.busy <- true;
         t.in_flight <- t.in_flight + 1;
-        let tx_time = float_of_int (8 * pkt.Packet.size) /. t.bandwidth in
+        let tx_time = Units.Size.tx_time (Units.Size.bytes pkt.Packet.size) t.bandwidth in
         Sim.after t.sim tx_time (fun () ->
             t.bytes_sent <- t.bytes_sent + pkt.Packet.size;
             (* Propagation proceeds in parallel with the next transmission;
                per-packet jitter may reorder deliveries. *)
             let extra =
-              if t.jitter > 0.0 then Sim_engine.Rng.float t.jitter_rng t.jitter
-              else 0.0
+              if Time.to_s t.jitter > 0.0 then
+                Time.s (Sim_engine.Rng.float t.jitter_rng (Time.to_s t.jitter))
+              else Time.zero
             in
-            Sim.after t.sim (t.delay +. extra) (fun () ->
+            Sim.after t.sim (Time.add t.delay extra) (fun () ->
                 emit t Receive pkt;
                 t.in_flight <- t.in_flight - 1;
                 t.delivered <- t.delivered + 1;
@@ -172,13 +176,14 @@ let conservation_error t =
           queued + %d in flight + %d delivered"
          t.life_arrivals t.life_drops queued t.in_flight t.delivered)
 
-let avg_queue_pkts t = Stats.Time_weighted.average t.qavg ~now:(Sim.now t.sim)
+let avg_queue_pkts t =
+  Units.Pkts.v (Stats.Time_weighted.average t.qavg ~now:(Sim.now t.sim))
 let max_queue_pkts t = t.qmax
 
 let utilization t =
   let span = Sim.now t.sim -. t.window_start in
   if span <= 0.0 then 0.0
-  else float_of_int (8 * t.bytes_sent) /. (t.bandwidth *. span)
+  else float_of_int (8 * t.bytes_sent) /. (Rate.to_bps t.bandwidth *. span)
 
 let drop_rate t =
   if t.arrivals = 0 then 0.0
@@ -201,17 +206,18 @@ let drop_times t =
   | Some v -> Fvec.to_array v
   | None -> invalid_arg "Link.drop_times: tracing not enabled"
 
-let enable_queue_trace t ?(interval = 0.01) () =
+let enable_queue_trace t ?(interval = Time.s 0.01) () =
   match t.queue_trace with
   | Some _ -> ()
   | None ->
       let times = Fvec.create () and lengths = Fvec.create () in
       t.queue_trace <- Some (times, lengths);
-      Sim.every t.sim ~start:(Sim.now t.sim) interval (fun () ->
+      Sim.every t.sim ~start:(Time.s (Sim.now t.sim)) interval (fun () ->
           Fvec.push times (Sim.now t.sim);
           Fvec.push lengths (float_of_int (queue_length t)))
 
 let queue_at t time =
+  let time = Time.to_s time in
   match t.queue_trace with
   | None -> invalid_arg "Link.queue_at: tracing not enabled"
   | Some (times, lengths) ->

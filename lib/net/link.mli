@@ -10,11 +10,11 @@
 type t
 
 val create :
-  ?jitter:float -> Sim_engine.Sim.t -> name:string -> bandwidth:float ->
-  delay:float -> disc:Queue_disc.t -> t
-(** [bandwidth] bits/s, [delay] seconds. [jitter] (default 0) adds an
-    independent uniform [\[0, jitter)] extra propagation delay per packet
-    — deliberately allowing reordering, for robustness experiments. *)
+  ?jitter:Units.Time.t -> Sim_engine.Sim.t -> name:string ->
+  bandwidth:Units.Rate.t -> delay:Units.Time.t -> disc:Queue_disc.t -> t
+(** [jitter] (default 0) adds an independent uniform [\[0, jitter)] extra
+    propagation delay per packet — deliberately allowing reordering, for
+    robustness experiments. *)
 
 val set_deliver : t -> (Packet.t -> unit) -> unit
 (** Install the receiver-side callback (set by {!Topology}). *)
@@ -42,8 +42,8 @@ val send : t -> Packet.t -> unit
 
 val name : t -> string
 val sim : t -> Sim_engine.Sim.t
-val bandwidth : t -> float
-val delay : t -> float
+val bandwidth : t -> Units.Rate.t
+val delay : t -> Units.Time.t
 val disc : t -> Queue_disc.t
 val queue_length : t -> int
 
@@ -81,9 +81,8 @@ val conservation_error : t -> string option
     diagnostic when accounting has drifted — the {!Sim_engine.Audit}
     check registered per link by the experiment harness. *)
 
-val avg_queue_pkts : t -> float
-(** Time-weighted average queue length (packets) since the last
-    {!reset_stats}. *)
+val avg_queue_pkts : t -> Units.Pkts.t
+(** Time-weighted average queue length since the last {!reset_stats}. *)
 
 val max_queue_pkts : t -> int
 (** Largest instantaneous queue length since the last {!reset_stats}. *)
@@ -102,11 +101,11 @@ val enable_drop_trace : t -> unit
 val drop_times : t -> float array
 (** Times of queue-level drops since tracing was enabled. *)
 
-val enable_queue_trace : t -> ?interval:float -> unit -> unit
+val enable_queue_trace : t -> ?interval:Units.Time.t -> unit -> unit
 (** Sample the instantaneous queue length every [interval] (default 10 ms)
-    simulated seconds. *)
+    of simulated time. *)
 
-val queue_at : t -> float -> float
+val queue_at : t -> Units.Time.t -> float
 (** [queue_at t time]: traced queue length (packets) at [time] (last sample
     at or before [time]); 0 before the first sample. Requires
     {!enable_queue_trace}. *)

@@ -2,7 +2,7 @@ type params = {
   a : float;
   b : float;
   q_ref : float;
-  sample_interval : float;
+  sample_interval : Units.Time.t;
   ecn : bool;
 }
 
@@ -21,7 +21,8 @@ let clamp01 x = if x < 0.0 then 0.0 else if x > 1.0 then 1.0 else x
 
 let create ~rng ~params ~limit_pkts =
   if limit_pkts <= 0 then invalid_arg "Pi_queue.create: limit must be positive";
-  if params.sample_interval <= 0.0 then
+  let sample_interval = Units.Time.to_s params.sample_interval in
+  if sample_interval <= 0.0 then
     invalid_arg "Pi_queue.create: sample_interval must be positive";
   let fifo = Queue_disc.Fifo.create () in
   let st = { p = params; prob = 0.0; prev_q = 0.0; next_update = 0.0 } in
@@ -36,13 +37,13 @@ let create ~rng ~params ~limit_pkts =
           +. (st.p.a *. (q -. st.p.q_ref))
           -. (st.p.b *. (st.prev_q -. st.p.q_ref)));
       st.prev_q <- q;
-      st.next_update <- st.next_update +. st.p.sample_interval
+      st.next_update <- st.next_update +. sample_interval
     done
   in
   let enqueue ~now pkt =
     update_prob now;
     if Queue_disc.Fifo.pkts fifo >= limit_pkts then Queue_disc.Reject
-    else if Sim_engine.Rng.bernoulli rng st.prob then
+    else if Sim_engine.Rng.bernoulli rng (Units.Prob.v st.prob) then
       if st.p.ecn && pkt.Packet.ecn_capable then begin
         Queue_disc.Fifo.push fifo pkt;
         Queue_disc.Accept_marked
@@ -65,5 +66,5 @@ let create ~rng ~params ~limit_pkts =
 
 let probability disc =
   match disc.Queue_disc.internals with
-  | Pi st -> st.prob
+  | Pi st -> Units.Prob.v st.prob
   | _ -> invalid_arg "Pi_queue: not a PI discipline"

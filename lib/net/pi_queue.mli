@@ -12,13 +12,13 @@ type params = {
   a : float;  (** gain on the current queue error, 1/packets *)
   b : float;  (** gain on the previous queue error, 1/packets *)
   q_ref : float;  (** target queue length, packets *)
-  sample_interval : float;  (** seconds between probability updates *)
+  sample_interval : Units.Time.t;  (** between probability updates *)
   ecn : bool;
 }
 
 val create :
   rng:Sim_engine.Rng.t -> params:params -> limit_pkts:int -> Queue_disc.t
 
-val probability : Queue_disc.t -> float
+val probability : Queue_disc.t -> Units.Prob.t
 (** Current controller output of a PI discipline created by {!create};
     raises [Invalid_argument] for other disciplines. *)

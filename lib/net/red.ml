@@ -1,15 +1,18 @@
+module Prob = Units.Prob
+
 type params = {
   wq : float;
   min_th : float;
   max_th : float;
-  max_p : float;
+  max_p : Prob.t;
   gentle : bool;
   adaptive : bool;
   ecn : bool;
 }
 
-let auto_params ?(target_delay = 0.005) ?(gentle = true) ?(adaptive = true)
-    ?(ecn = true) ~capacity_pps ~limit_pkts () =
+let auto_params ?(target_delay = Units.Time.s 0.005) ?(gentle = true)
+    ?(adaptive = true) ?(ecn = true) ~capacity_pps ~limit_pkts () =
+  let target_delay = Units.Time.to_s target_delay in
   let min_th = Float.max 5.0 (capacity_pps *. target_delay /. 2.0) in
   (* Keep the control band inside the physical buffer. *)
   let min_th = Float.min min_th (float_of_int limit_pkts /. 4.0) in
@@ -18,7 +21,7 @@ let auto_params ?(target_delay = 0.005) ?(gentle = true) ?(adaptive = true)
     wq = 1.0 -. exp (-1.0 /. Float.max 1.0 capacity_pps);
     min_th;
     max_th = 3.0 *. min_th;
-    max_p = 0.1;
+    max_p = Prob.v 0.1;
     gentle;
     adaptive;
     ecn;
@@ -44,10 +47,11 @@ let adapt st now =
     st.next_adapt <- now +. adapt_interval;
     let target_lo = st.p.min_th +. (0.4 *. (st.p.max_th -. st.p.min_th)) in
     let target_hi = st.p.min_th +. (0.6 *. (st.p.max_th -. st.p.min_th)) in
-    if st.avg > target_hi && st.p.max_p < 0.5 then
-      st.p <- { st.p with max_p = st.p.max_p +. Float.min 0.01 (st.p.max_p /. 4.0) }
-    else if st.avg < target_lo && st.p.max_p > 0.01 then
-      st.p <- { st.p with max_p = st.p.max_p *. 0.9 }
+    let mp = Prob.to_float st.p.max_p in
+    if st.avg > target_hi && mp < 0.5 then
+      st.p <- { st.p with max_p = Prob.v (mp +. Float.min 0.01 (mp /. 4.0)) }
+    else if st.avg < target_lo && mp > 0.01 then
+      st.p <- { st.p with max_p = Prob.v (mp *. 0.9) }
   end
 
 let create ~rng ~params ~capacity_pps ~limit_pkts =
@@ -101,7 +105,7 @@ let create ~rng ~params ~capacity_pps ~limit_pkts =
           let denom = 1.0 -. (float_of_int st.count *. pb) in
           if denom <= 0.0 then 1.0 else Float.min 1.0 (pb /. denom)
         in
-        if Sim_engine.Rng.bernoulli rng pa then begin
+        if Sim_engine.Rng.bernoulli rng (Prob.v pa) then begin
           st.count <- 0;
           mark_or_drop pkt
         end
@@ -116,10 +120,12 @@ let create ~rng ~params ~capacity_pps ~limit_pkts =
         Queue_disc.Accept
       end
       else if st.avg < p.max_th then
-        region_verdict (p.max_p *. (st.avg -. p.min_th) /. (p.max_th -. p.min_th))
-      else if p.gentle && st.avg < 2.0 *. p.max_th then
         region_verdict
-          (p.max_p +. ((1.0 -. p.max_p) *. (st.avg -. p.max_th) /. p.max_th))
+          (Prob.to_float p.max_p *. (st.avg -. p.min_th)
+          /. (p.max_th -. p.min_th))
+      else if p.gentle && st.avg < 2.0 *. p.max_th then
+        let mp = Prob.to_float p.max_p in
+        region_verdict (mp +. ((1.0 -. mp) *. (st.avg -. p.max_th) /. p.max_th))
       else begin
         st.count <- 0;
         Queue_disc.Reject

@@ -11,14 +11,14 @@ type params = {
   wq : float;  (** EWMA weight of the instantaneous queue *)
   min_th : float;  (** packets *)
   max_th : float;  (** packets *)
-  max_p : float;
+  max_p : Units.Prob.t;
   gentle : bool;
   adaptive : bool;
   ecn : bool;  (** mark ECN-capable packets instead of dropping *)
 }
 
 val auto_params :
-  ?target_delay:float -> ?gentle:bool -> ?adaptive:bool -> ?ecn:bool ->
+  ?target_delay:Units.Time.t -> ?gentle:bool -> ?adaptive:bool -> ?ecn:bool ->
   capacity_pps:float -> limit_pkts:int -> unit -> params
 (** Adaptive-RED automatic configuration: [wq = 1 - exp (-1 /. capacity)],
     [min_th = max 5 (capacity *. target_delay /. 2.)] clamped to the buffer,
@@ -34,5 +34,5 @@ val avg_queue : Queue_disc.t -> float
 (** Current averaged queue length of a RED discipline created by
     {!create}; raises [Invalid_argument] for other disciplines. *)
 
-val current_max_p : Queue_disc.t -> float
+val current_max_p : Queue_disc.t -> Units.Prob.t
 (** Current [max_p] (changes under adaptive mode). *)

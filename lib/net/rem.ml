@@ -3,7 +3,7 @@ type params = {
   alpha : float;
   b_ref : float;
   phi : float;
-  sample_interval : float;
+  sample_interval : Units.Time.t;
   ecn : bool;
 }
 
@@ -13,7 +13,7 @@ let default_params ~capacity_pps:_ =
     alpha = 0.1;
     b_ref = 20.0;
     phi = 1.001;
-    sample_interval = 0.010;
+    sample_interval = Units.Time.s 0.010;
     ecn = true;
   }
 
@@ -34,7 +34,8 @@ let probability st = 1.0 -. (st.p.phi ** -.st.price)
 let create ~rng ~params ~capacity_pps ~limit_pkts =
   if limit_pkts <= 0 then invalid_arg "Rem.create: limit must be positive";
   if params.phi <= 1.0 then invalid_arg "Rem.create: phi must exceed 1";
-  if params.sample_interval <= 0.0 then
+  let sample_interval = Units.Time.to_s params.sample_interval in
+  if sample_interval <= 0.0 then
     invalid_arg "Rem.create: sample_interval must be positive";
   let fifo = Queue_disc.Fifo.create () in
   let st =
@@ -49,24 +50,22 @@ let create ~rng ~params ~capacity_pps ~limit_pkts =
   let update_price now =
     while st.next_update <= now do
       let backlog = float_of_int (Queue_disc.Fifo.pkts fifo) in
-      let rate =
-        float_of_int st.arrivals_in_interval /. st.p.sample_interval
-      in
+      let rate = float_of_int st.arrivals_in_interval /. sample_interval in
       st.price <-
         Float.max 0.0
           (st.price
           +. (st.p.gamma
              *. ((st.p.alpha *. (backlog -. st.p.b_ref))
-                +. ((rate -. st.capacity_pps) *. st.p.sample_interval))));
+                +. ((rate -. st.capacity_pps) *. sample_interval))));
       st.arrivals_in_interval <- 0;
-      st.next_update <- st.next_update +. st.p.sample_interval
+      st.next_update <- st.next_update +. sample_interval
     done
   in
   let enqueue ~now pkt =
     update_price now;
     st.arrivals_in_interval <- st.arrivals_in_interval + 1;
     if Queue_disc.Fifo.pkts fifo >= limit_pkts then Queue_disc.Reject
-    else if Sim_engine.Rng.bernoulli rng (probability st) then
+    else if Sim_engine.Rng.bernoulli rng (Units.Prob.v (probability st)) then
       if st.p.ecn && pkt.Packet.ecn_capable then begin
         Queue_disc.Fifo.push fifo pkt;
         Queue_disc.Accept_marked
@@ -93,4 +92,4 @@ let state_of disc =
   | _ -> invalid_arg "Rem: not a REM discipline"
 
 let price disc = (state_of disc).price
-let mark_probability disc = probability (state_of disc)
+let mark_probability disc = Units.Prob.v (probability (state_of disc))

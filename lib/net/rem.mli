@@ -15,7 +15,7 @@ type params = {
   alpha : float;  (** backlog weight, e.g. 0.1 *)
   b_ref : float;  (** target backlog, packets *)
   phi : float;  (** marking base, > 1, e.g. 1.001 *)
-  sample_interval : float;  (** seconds *)
+  sample_interval : Units.Time.t;
   ecn : bool;
 }
 
@@ -32,4 +32,4 @@ val price : Queue_disc.t -> float
 (** Current price of a REM discipline created by {!create}; raises
     [Invalid_argument] otherwise. *)
 
-val mark_probability : Queue_disc.t -> float
+val mark_probability : Queue_disc.t -> Units.Prob.t

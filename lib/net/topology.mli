@@ -9,13 +9,13 @@ val sim : t -> Sim_engine.Sim.t
 val add_node : t -> Node.t
 
 val add_link :
-  ?jitter:float -> t -> src:Node.t -> dst:Node.t -> bandwidth:float ->
-  delay:float -> disc:Queue_disc.t -> Link.t
+  ?jitter:Units.Time.t -> t -> src:Node.t -> dst:Node.t ->
+  bandwidth:Units.Rate.t -> delay:Units.Time.t -> disc:Queue_disc.t -> Link.t
 (** Unidirectional [src -> dst] link; its delivery callback is wired to
     [dst]'s {!Node.receive}. [jitter] as in {!Link.create}. *)
 
 val add_duplex :
-  t -> a:Node.t -> b:Node.t -> bandwidth:float -> delay:float ->
+  t -> a:Node.t -> b:Node.t -> bandwidth:Units.Rate.t -> delay:Units.Time.t ->
   disc_ab:Queue_disc.t -> disc_ba:Queue_disc.t -> Link.t * Link.t
 (** Two unidirectional links with separate queue disciplines. *)
 

@@ -100,9 +100,9 @@ let cim ?(short = 5) ?(long = 50) ?(margin = 0.05) () =
       if i >= short then sum_short := !sum_short -. trace.Trace.rtts.(i - short);
       if i >= long then sum_long := !sum_long -. trace.Trace.rtts.(i - long);
       if i >= long - 1 then begin
-        let ma_s = !sum_short /. float_of_int short in
-        let ma_l = !sum_long /. float_of_int long in
-        out.(i) <- ma_s > ma_l *. (1.0 +. margin)
+        let ma_short = !sum_short /. float_of_int short in
+        let ma_long = !sum_long /. float_of_int long in
+        out.(i) <- ma_short > ma_long *. (1.0 +. margin)
       end
     done;
     out

@@ -55,8 +55,8 @@ type t = {
 
 type report = {
   duration : float;
-  flows : (string * float) list;
-  links : (string * float * float * int) list;
+  flows : (string * Units.Rate.t) list;
+  links : (string * float * Units.Pkts.t * int) list;
 }
 
 (* --- parsing ------------------------------------------------------------ *)
@@ -279,7 +279,7 @@ let make_disc sim kind qlen ~bw =
           rtt = 0.1; nflows = 10 }
       in
       Experiments.Schemes.bottleneck_disc
-        (Experiments.Schemes.Sack_pi_ecn { target_delay = 0.003 })
+        (Experiments.Schemes.Sack_pi_ecn { target_delay = Units.Time.s 0.003 })
         ctx
   | Rem ->
       Netsim.Rem.create
@@ -306,8 +306,9 @@ let make_cc sim kind =
         Pert_core.Pert_pi.gains_of_pi ~k:g.Fluid.Stability.k
           ~m:g.Fluid.Stability.m ~delta:0.01
       in
-      Tcpstack.Pert_pi_cc.create ~rng:(rng ()) ~gains ~target_delay:0.003
-        ~sample_interval:0.01 ()
+      Tcpstack.Pert_pi_cc.create ~rng:(rng ())
+        ~gains ~target_delay:(Units.Time.s 0.003)
+        ~sample_interval:(Units.Time.s 0.01) ()
   | Pert_rem -> Tcpstack.Pert_rem_cc.create ~rng:(rng ()) ()
   | Pert_avq -> Tcpstack.Pert_avq_cc.create ~rng:(rng ()) ()
 
@@ -321,8 +322,9 @@ let run t =
     List.map
       (fun l ->
         let link =
-          T.add_link topo ~src:(node l.l_src) ~dst:(node l.l_dst) ~bandwidth:l.bw
-            ~delay:l.delay
+          T.add_link topo ~src:(node l.l_src) ~dst:(node l.l_dst)
+            ~bandwidth:(Units.Rate.bps l.bw)
+            ~delay:(Units.Time.s l.delay)
             ~disc:(make_disc sim l.queue l.qlen ~bw:l.bw)
         in
         (Printf.sprintf "%s->%s" l.l_src l.l_dst, link))
@@ -335,7 +337,7 @@ let run t =
         let flow =
           Tcpstack.Flow.create topo ~src:(node f.f_src) ~dst:(node f.f_dst)
             ~cc:(make_cc sim f.cc) ~ecn:f.ecn ?total_pkts:f.total
-            ~start:f.f_start
+            ~start:(Units.Time.s f.f_start)
             ~delay_signal:(if f.owd then `Owd else `Rtt)
             ~delayed_acks:f.delack ()
         in
@@ -353,9 +355,11 @@ let run t =
     (fun c ->
       ignore
         (Traffic.Cbr.start topo ~src:(node c.c_src) ~dst:(node c.c_dst)
-           ~rate_bps:c.rate ~start:c.c_start ?stop:c.c_stop ()))
+           ~rate:(Units.Rate.bps c.rate)
+           ~start:(Units.Time.s c.c_start)
+           ?stop:(Option.map Units.Time.s c.c_stop) ()))
     t.cbrs;
-  Sim.run ~until:t.horizon sim;
+  Sim.run ~until:(Units.Time.s t.horizon) sim;
   {
     duration = t.horizon;
     flows =
@@ -379,10 +383,10 @@ let pp_report fmt r =
   Format.fprintf fmt "simulated %.1f s@." r.duration;
   List.iter
     (fun (label, goodput) ->
-      Format.fprintf fmt "%-24s %8.3f Mbps@." label (goodput /. 1e6))
+      Format.fprintf fmt "%-24s %8.3f Mbps@." label (Units.Rate.to_mbps goodput))
     r.flows;
   List.iter
     (fun (name, util, q, drops) ->
       Format.fprintf fmt "%-24s util=%.3f avg_queue=%.1f drops=%d@." name util
-        q drops)
+        (Units.Pkts.to_float q) drops)
     r.links

@@ -40,10 +40,10 @@ type t
 
 type report = {
   duration : float;
-  flows : (string * float) list;
-      (** per-flow label and goodput in bits/s, in declaration order *)
-  links : (string * float * float * int) list;
-      (** link name, utilisation, average queue (packets), drops *)
+  flows : (string * Units.Rate.t) list;
+      (** per-flow label and goodput, in declaration order *)
+  links : (string * float * Units.Pkts.t * int) list;
+      (** link name, utilisation, average queue, drops *)
 }
 
 val parse : string -> (t, string) result

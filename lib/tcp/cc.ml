@@ -14,8 +14,9 @@ type engine += No_engine
 
 type t = {
   name : string;
-  on_ack : Window.t -> newly_acked:int -> rtt:float option -> now:float -> unit;
-  early : Window.t -> rtt:float option -> now:float -> early_action;
+  on_ack :
+    Window.t -> newly_acked:int -> rtt:Units.Time.t option -> now:float -> unit;
+  early : Window.t -> rtt:Units.Time.t option -> now:float -> early_action;
   on_loss : now:float -> unit;
   ecn_beta : float;
   engine : engine;

@@ -37,11 +37,12 @@ type engine += No_engine  (** for controllers with nothing to expose *)
 
 type t = {
   name : string;
-  on_ack : Window.t -> newly_acked:int -> rtt:float option -> now:float -> unit;
+  on_ack :
+    Window.t -> newly_acked:int -> rtt:Units.Time.t option -> now:float -> unit;
       (** Window increase on a cumulative ACK for [newly_acked] packets
           outside loss recovery. [rtt] is this ACK's sample if one was
           taken. Default AIMD behaviour lives in {!val-reno_increase}. *)
-  early : Window.t -> rtt:float option -> now:float -> early_action;
+  early : Window.t -> rtt:Units.Time.t option -> now:float -> early_action;
       (** Early-response hook, consulted on every ACK (also inside
           recovery; the sender ignores [Reduce] while recovering). The
           [rtt] argument is the sender's configured {e delay signal}: the
@@ -58,7 +59,7 @@ type t = {
 }
 
 val reno_increase :
-  Window.t -> newly_acked:int -> rtt:float option -> now:float -> unit
+  Window.t -> newly_acked:int -> rtt:Units.Time.t option -> now:float -> unit
 (** Slow start: [cwnd += newly_acked]; congestion avoidance:
     [cwnd += newly_acked /. cwnd] (one packet per RTT). *)
 

@@ -99,8 +99,9 @@ let acked_pkts t = t.acked_pkts
 
 let goodput_bps t ~now =
   let span = now -. t.window_start in
-  if span <= 0.0 then 0.0
-  else float_of_int (t.acked_pkts * 8 * Packet.mss) /. span
+  Units.Rate.bps
+    (if span <= 0.0 then 0.0
+     else float_of_int (t.acked_pkts * 8 * Packet.mss) /. span)
 
 let reset_stats t =
   t.acked_pkts <- 0;
@@ -190,7 +191,7 @@ and cancel_timer t = t.timer_gen <- t.timer_gen + 1
 
 and try_send t =
   if not t.stopped then begin
-    let budget = int_of_float (effective_cwnd t) in
+    let budget = Units.Round.trunc (effective_cwnd t) in
     let had_outstanding = outstanding t > 0 in
     let progress = ref true in
     while !progress && t.pipe < budget do
@@ -304,7 +305,7 @@ let check_completion t =
   | _ -> ()
 
 let srtt_estimate t =
-  match Rto.srtt t.rto with Some s -> s | None -> 0.1
+  match Rto.srtt t.rto with Some s -> Units.Time.to_s s | None -> 0.1
 
 let handle_early_action t action ~now =
   match action with
@@ -317,8 +318,10 @@ let handle_early_action t action ~now =
 
 let on_ack t ~ack ~sack ~ecn_echo ~ts_echo ~ack_sent_at =
   let now = Sim.now t.sim in
-  let rtt = now -. ts_echo in
-  let rtt = if rtt > 0.0 then Some rtt else None in
+  let rtt =
+    let sample = now -. ts_echo in
+    if sample > 0.0 then Some (Units.Time.s sample) else None
+  in
   (* The controller's delay signal: the RTT itself, or the forward
      one-way delay (data send -> receiver ACK timestamp), which is blind
      to reverse-path queueing. PERT only uses signal minus its observed
@@ -329,7 +332,7 @@ let on_ack t ~ack ~sack ~ecn_echo ~ts_echo ~ack_sent_at =
     | `Rtt -> rtt
     | `Owd ->
         let owd = ack_sent_at -. ts_echo in
-        if owd > 0.0 then Some owd else None
+        if owd > 0.0 then Some (Units.Time.s owd) else None
   in
   (match rtt with
   | Some sample ->
@@ -337,7 +340,7 @@ let on_ack t ~ack ~sack ~ecn_echo ~ts_echo ~ack_sent_at =
       (match t.rtt_trace with
       | Some (times, samples, cwnds) ->
           Fvec.push times now;
-          Fvec.push samples sample;
+          Fvec.push samples (Units.Time.to_s sample);
           Fvec.push cwnds t.window.Cc.Window.cwnd
       | None -> ())
   | None -> ());
@@ -449,7 +452,7 @@ let on_data t pkt seq =
     else begin
       t.delack_gen <- t.delack_gen + 1;
       let gen = t.delack_gen in
-      Sim.after t.sim 0.1 (fun () ->
+      Sim.after t.sim (Units.Time.s 0.1) (fun () ->
           if gen = t.delack_gen && t.pending_acks > 0 then begin
             t.pending_acks <- 0;
             send_ack t pkt
@@ -522,7 +525,9 @@ let create topo ~src ~dst ~cc ?(ecn = false) ?total_pkts ?start
       match pkt.Packet.payload with
       | Packet.Data { seq } -> on_data t pkt seq
       | Packet.Ack _ -> ());
-  let start_time = match start with Some s -> s | None -> Sim.now sim in
+  let start_time =
+    match start with Some s -> s | None -> Units.Time.s (Sim.now sim)
+  in
   Sim.at sim start_time (fun () -> try_send t);
   t
 
@@ -557,6 +562,6 @@ let audit_check t =
       (Printf.sprintf "snd_next %d behind snd_una %d (%s)" t.snd_next
          t.snd_una (debug_state t))
   else
-    match Rto.srtt t.rto with
+    match Option.map Units.Time.to_s (Rto.srtt t.rto) with
     | Some s when (not (finite s)) || s <= 0.0 -> bad "srtt" s
     | _ -> None

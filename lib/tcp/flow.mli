@@ -22,7 +22,7 @@ val create :
   cc:Cc.t ->
   ?ecn:bool ->
   ?total_pkts:int ->
-  ?start:float ->
+  ?start:Units.Time.t ->
   ?initial_cwnd:float ->
   ?max_cwnd:float ->
   ?delay_signal:delay_signal ->
@@ -49,7 +49,7 @@ val acked_pkts : t -> int
 (** Cumulatively acknowledged packets since the last {!reset_stats} —
     the goodput numerator. *)
 
-val goodput_bps : t -> now:float -> float
+val goodput_bps : t -> now:float -> Units.Rate.t
 (** Goodput (payload bits/s) since the last {!reset_stats}. *)
 
 val reset_stats : t -> unit
@@ -82,7 +82,7 @@ val stop : t -> unit
     (used for departing flows). A stopped flow never fires another
     timeout. *)
 
-val rto_value : t -> float
+val rto_value : t -> Units.Time.t
 (** Current retransmission timeout, including any exponential backoff
     (capped at the {!Rto} maximum, 60 s by default). *)
 

@@ -5,8 +5,8 @@
 val create :
   rng:Sim_engine.Rng.t ->
   gains:Pert_core.Pert_pi.gains ->
-  target_delay:float ->
-  sample_interval:float ->
+  target_delay:Units.Time.t ->
+  sample_interval:Units.Time.t ->
   ?alpha:float ->
   ?decrease_factor:float ->
   unit ->

@@ -8,7 +8,11 @@ type t = {
   mutable has_sample : bool;
 }
 
-let create ?(min_rto = 0.2) ?(max_rto = 60.0) ?(initial = 1.0) () =
+let create ?(min_rto = Units.Time.s 0.2) ?(max_rto = Units.Time.s 60.0)
+    ?(initial = Units.Time.s 1.0) () =
+  let min_rto = Units.Time.to_s min_rto in
+  let max_rto = Units.Time.to_s max_rto in
+  let initial = Units.Time.to_s initial in
   {
     min_rto;
     max_rto;
@@ -22,6 +26,7 @@ let create ?(min_rto = 0.2) ?(max_rto = 60.0) ?(initial = 1.0) () =
 let clamp t x = Float.min t.max_rto (Float.max t.min_rto x)
 
 let observe t sample =
+  let sample = Units.Time.to_s sample in
   if not (Float.is_finite sample) then
     invalid_arg "Rto.observe: non-finite sample";
   if sample <= 0.0 then invalid_arg "Rto.observe: non-positive sample";
@@ -37,6 +42,6 @@ let observe t sample =
   t.backoff_mult <- 1.0;
   t.rto <- clamp t (t.srtt +. (4.0 *. t.rttvar))
 
-let value t = Float.min t.max_rto (t.rto *. t.backoff_mult)
+let value t = Units.Time.s (Float.min t.max_rto (t.rto *. t.backoff_mult))
 let backoff t = t.backoff_mult <- Float.min 64.0 (t.backoff_mult *. 2.0)
-let srtt t = if t.has_sample then Some t.srtt else None
+let srtt t = if t.has_sample then Some (Units.Time.s t.srtt) else None

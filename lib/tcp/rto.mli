@@ -4,18 +4,20 @@
 
 type t
 
-val create : ?min_rto:float -> ?max_rto:float -> ?initial:float -> unit -> t
+val create :
+  ?min_rto:Units.Time.t -> ?max_rto:Units.Time.t -> ?initial:Units.Time.t ->
+  unit -> t
 (** Defaults: [min_rto = 0.2] s, [max_rto = 60] s, [initial = 1] s. *)
 
-val observe : t -> float -> unit
-(** Feed an RTT sample (seconds); resets any backoff. Non-positive or
-    non-finite samples raise [Invalid_argument]. *)
+val observe : t -> Units.Time.t -> unit
+(** Feed an RTT sample; resets any backoff. Non-positive or non-finite
+    samples raise [Invalid_argument]. *)
 
-val value : t -> float
+val value : t -> Units.Time.t
 (** Current timeout, including backoff. *)
 
 val backoff : t -> unit
 (** Double the timeout (applied on expiry), up to [max_rto]. *)
 
-val srtt : t -> float option
+val srtt : t -> Units.Time.t option
 (** Smoothed RTT, if any sample has been observed. *)

@@ -45,6 +45,7 @@ let create ?(alpha = 1.0) ?(beta = 3.0) ?(gamma = 1.0) () =
   let on_ack (w : Cc.Window.t) ~newly_acked ~rtt ~now =
     (match rtt with
     | Some sample ->
+        let sample = Units.Time.to_s sample in
         if sample < st.base_rtt then st.base_rtt <- sample;
         st.epoch_sum <- st.epoch_sum +. sample;
         st.epoch_samples <- st.epoch_samples + 1

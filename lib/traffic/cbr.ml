@@ -19,8 +19,8 @@ type t = {
   mutable halted : bool;
 }
 
-let start topo ~src ~dst ~rate_bps ?start ?(stop = infinity) () =
-  if rate_bps <= 0.0 then invalid_arg "Cbr.start: rate must be positive";
+let start topo ~src ~dst ~rate ?start ?stop () =
+  if Units.Rate.to_bps rate <= 0.0 then invalid_arg "Cbr.start: rate must be positive";
   let sim = Netsim.Topology.sim topo in
   let id = fresh_cbr_id sim in
   let t =
@@ -30,8 +30,8 @@ let start topo ~src ~dst ~rate_bps ?start ?(stop = infinity) () =
       dst;
       id;
       factory = Packet.factory ();
-      interval = float_of_int (8 * Packet.data_size) /. rate_bps;
-      stop;
+      interval = float_of_int (8 * Packet.data_size) /. Units.Rate.to_bps rate;
+      stop = (match stop with Some s -> Units.Time.to_s s | None -> infinity);
       sent = 0;
       received = 0;
       halted = false;
@@ -46,10 +46,12 @@ let start topo ~src ~dst ~rate_bps ?start ?(stop = infinity) () =
       in
       t.sent <- t.sent + 1;
       Node.receive src pkt;
-      Sim.after sim t.interval emit
+      Sim.after sim (Units.Time.s t.interval) emit
     end
   in
-  let start_time = match start with Some s -> s | None -> Sim.now sim in
+  let start_time =
+    match start with Some s -> s | None -> Units.Time.s (Sim.now sim)
+  in
   Sim.at sim start_time emit;
   t
 

@@ -5,8 +5,8 @@ type t
 
 val start :
   Netsim.Topology.t -> src:Netsim.Node.t -> dst:Netsim.Node.t ->
-  rate_bps:float -> ?start:float -> ?stop:float -> unit -> t
-(** Emit [Packet.data_size]-byte packets at [rate_bps] from [start]
+  rate:Units.Rate.t -> ?start:Units.Time.t -> ?stop:Units.Time.t -> unit -> t
+(** Emit [Packet.data_size]-byte packets at [rate] from [start]
     (default now) until [stop] (default: forever). *)
 
 val sent : t -> int

@@ -8,6 +8,8 @@ let spawn topo ~pairs ~cc_factory ?(ecn = false) ?(start_window = (0.0, 0.0))
   let lo, hi = start_window in
   List.map
     (fun (src, dst) ->
-      let start = if hi > lo then Rng.uniform rng lo hi else lo in
+      let start =
+        Units.Time.s (if hi > lo then Rng.uniform rng lo hi else lo)
+      in
       Tcpstack.Flow.create topo ~src ~dst ~cc:(cc_factory ()) ~ecn ~start ())
     pairs

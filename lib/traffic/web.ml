@@ -30,13 +30,16 @@ let object_size rng p =
       ~scale:(float_of_int p.size_min_pkts)
       ~cap:(float_of_int p.size_cap_pkts)
   in
-  max p.size_min_pkts (int_of_float raw)
+  max p.size_min_pkts (Units.Round.trunc raw)
 
 let start_sessions topo ~n ~src_pool ~dst_pool ~cc_factory ?(ecn = false)
-    ?(params = default_params) ?(until = infinity) () =
+    ?(params = default_params) ?until () =
   if Array.length src_pool = 0 || Array.length dst_pool = 0 then
     invalid_arg "Web.start_sessions: empty node pool";
   let sim = Netsim.Topology.sim topo in
+  let until =
+    match until with Some u -> Units.Time.to_s u | None -> infinity
+  in
   let stats = { objects_completed = 0; pkts_completed = 0 } in
   let session rng =
     (* Fetch [remaining] objects of the current page sequentially, then
@@ -50,7 +53,8 @@ let start_sessions topo ~n ~src_pool ~dst_pool ~cc_factory ?(ecn = false)
       let delay =
         Rng.bounded_pareto rng ~shape ~scale ~cap:(50.0 *. params.think_mean)
       in
-      Sim.after sim delay (fun () -> if Sim.now sim < until then page ())
+      Sim.after sim (Units.Time.s delay) (fun () ->
+          if Sim.now sim < until then page ())
     and page () =
       let objects = Rng.geometric rng (1.0 /. params.objects_per_page) in
       let src = src_pool.(Rng.int rng (Array.length src_pool)) in

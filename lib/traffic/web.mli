@@ -32,7 +32,7 @@ val start_sessions :
   cc_factory:(unit -> Tcpstack.Cc.t) ->
   ?ecn:bool ->
   ?params:params ->
-  ?until:float ->
+  ?until:Units.Time.t ->
   unit ->
   stats
 (** Launch [n] independent sessions; each picks a uniform (src, dst) pair

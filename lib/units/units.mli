@@ -1,0 +1,165 @@
+(** Zero-cost dimensional types for the simulator's unit-sensitive
+    arithmetic.
+
+    PERT's behaviour hinges on conversions that are easy to get silently
+    wrong: srtt thresholds quoted in milliseconds against an engine clock
+    in seconds, link rates in bits per second divided into per-packet
+    serialization times, probabilities that must stay inside [0, 1].
+    Each dimension below wraps a bare [float] (or [int]) in a [private]
+    type, exposes only the arithmetic that is dimensionally legal, and
+    compiles to the identical machine operations — the wrappers are
+    erased, so hot paths pay nothing.
+
+    Conventions: [Time.t] is seconds, [Rate.t] is bits per second,
+    [Size.t] is bytes, [Pkts.t] is a (possibly fractional) packet count,
+    [Prob.t] is a probability in [0, 1]. [private] representations allow
+    read-only coercion [(x :> float)] for formatted output; constructing
+    a value always goes through the smart constructors.
+
+    Lint rules U1–U3/N3 (see README "Static analysis") enforce adoption:
+    unit-suffixed names may not flow through lib/ APIs as raw floats, and
+    truncation of unit-bearing values must go through {!Round}. *)
+
+(** Durations and instants, in seconds. *)
+module Time : sig
+  type t = private float
+
+  val zero : t
+
+  val s : float -> t
+  (** [s x] is [x] seconds (identity on the representation). Rejects NaN. *)
+
+  val of_s : float -> t
+  val to_s : t -> float
+
+  val ms : float -> t
+  (** [ms x] is [x] milliseconds, i.e. [x *. 1e-3] seconds. *)
+
+  val of_ms : float -> t
+  val to_ms : t -> float
+
+  val us : float -> t
+  (** [us x] is [x] microseconds, i.e. [x *. 1e-6] seconds. *)
+
+  val of_us : float -> t
+  val to_us : t -> float
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  (** [sub a b] may be negative; durations are signed. *)
+
+  val scale : float -> t -> t
+  val ratio : t -> t -> float
+  (** [ratio a b] is the dimensionless quotient [a /. b]. *)
+
+  val min : t -> t -> t
+  val max : t -> t -> t
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val is_finite : t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Link rates, in bits per second. *)
+module Rate : sig
+  type t = private float
+
+  val bps : float -> t
+  val of_bps : float -> t
+  val to_bps : t -> float
+
+  val mbps : float -> t
+  (** [mbps x] is [x *. 1e6] bits/s. *)
+
+  val of_mbps : float -> t
+  val to_mbps : t -> float
+
+  val scale : float -> t -> t
+  val ratio : t -> t -> float
+
+  val to_pps : t -> pkt_bytes:int -> float
+  (** [to_pps r ~pkt_bytes] is the packet rate [r /. (8 * pkt_bytes)] —
+      packets per second at a fixed packet size. *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Data sizes, in bytes (packets are a separate dimension: {!Pkts}). *)
+module Size : sig
+  type t = private int
+
+  val bytes : int -> t
+  val to_bytes : t -> int
+  val add : t -> t -> t
+
+  val bits : t -> float
+  (** [bits s] is [8 * s] as a float. *)
+
+  val tx_time : t -> Rate.t -> Time.t
+  (** Serialization delay: [8 * bytes /. rate] seconds — the
+      [Size / Rate -> Time] dimension rule. *)
+end
+
+(** Packet counts — averages and thresholds may be fractional, so the
+    representation is a float, kept distinct from byte counts. *)
+module Pkts : sig
+  type t = private float
+
+  val v : float -> t
+  (** Rejects NaN; negative counts are clamped to 0. *)
+
+  val of_int : int -> t
+  val to_float : t -> float
+  val add : t -> t -> t
+  val scale : float -> t -> t
+  val ratio : t -> t -> float
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Probabilities, guaranteed inside [0, 1] and never NaN. *)
+module Prob : sig
+  type t = private float
+
+  val v : float -> t
+  (** Smart constructor: clamps to [0, 1]; raises [Invalid_argument] on
+      NaN — a NaN probability silently disables every comparison made
+      with it, so it must not be constructible. *)
+
+  val zero : t
+  val one : t
+  val to_float : t -> float
+  val is_zero : t -> bool
+  val positive : t -> bool
+
+  val complement : t -> t
+  (** [complement p] is [1 - p]. *)
+
+  val scale : float -> t -> t
+  (** [scale k p] is [v (k *. p)] — re-clamped. *)
+
+  val sample : t -> u:float -> bool
+  (** [sample p ~u] decides a Bernoulli trial from a uniform [0, 1) draw
+      [u]: [u < p]. Keeping the comparison here (rather than at call
+      sites) is what lint rule U2 enforces. *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+(** The only sanctioned float-to-int conversions (lint rule N3 bans bare
+    [int_of_float]/[truncate]/[Float.to_int] elsewhere in lib/): each
+    call site names its rounding direction explicitly. *)
+module Round : sig
+  val trunc : float -> int
+  (** Toward zero — the semantics of bare [int_of_float], made explicit. *)
+
+  val floor : float -> int
+  val ceil : float -> int
+
+  val nearest : float -> int
+  (** Half away from zero. *)
+end

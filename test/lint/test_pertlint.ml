@@ -51,6 +51,10 @@ let bad_fixtures =
     ("N2", "N2_bad", "n2_bad.ml", 4);
     ("H1", "H1_bad", "h1_bad.ml", 4);
     ("M1", "M1_bad", "m1_bad.ml", 1);
+    ("U1", "U1_bad", "u1_bad.ml", 4);
+    ("U2", "U2_bad", "u2_bad.ml", 4);
+    ("U3", "U3_bad", "u3_bad.ml", 8);
+    ("N3", "N3_bad", "n3_bad.ml", 4);
   ]
 
 let rule_fires (rule, modname, src, line) () =
@@ -105,6 +109,27 @@ let stats_table () =
   check_bool "stats prints a total line" true
     (List.exists (fun l -> contains_sub l "total: 0 violation(s)") lines)
 
+let json_format () =
+  let code, lines =
+    run_pertlint
+      [ "--format"; "json"; "--rules"; "N1"; "--assume-scope"; "lib";
+        fixture_cmt "N1_bad" ]
+  in
+  check_int "json exit code" 1 code;
+  let joined = String.concat "" lines in
+  check_bool "json rule field" true (contains_sub joined "\"rule\": \"N1\"");
+  check_bool "json line field" true (contains_sub joined "\"line\": 4");
+  check_bool "json severity field" true
+    (contains_sub joined "\"severity\": \"error\"");
+  (* A clean scan must still print a valid (empty) JSON array. *)
+  let code, lines =
+    run_pertlint
+      [ "--format"; "json"; "--assume-scope"; "lib"; fixture_cmt "Allow_ok" ]
+  in
+  check_int "clean json exit code" 0 code;
+  check_bool "clean scan prints []" true
+    (List.exists (fun l -> String.trim l = "[]") lines)
+
 let unknown_rule_rejected () =
   let code, _ = run_pertlint [ "--rules"; "BOGUS"; fixture_cmt "Allow_ok" ] in
   check_int "unknown rule exit code" 2 code
@@ -131,6 +156,7 @@ let () =
         [
           ("[@lint.allow] suppresses every rule", `Quick, allow_suppresses);
           ("--stats prints the summary table", `Quick, stats_table);
+          ("--format=json emits a findings array", `Quick, json_format);
           ("unknown --rules id is rejected", `Quick, unknown_rule_rejected);
         ] );
     ]

@@ -14,3 +14,10 @@ let[@lint.allow "D3"] counter = ref 0
 let is_unset (x : float) = (x = 0.0) [@lint.allow "N1"]
 let coerce (n : int) : bool = (Obj.magic n [@lint.allow "N2"])
 let safe_div a b = (try a / b with _ -> 0) [@lint.allow "H1"]
+
+(* The unit-flow rules follow the same pattern. *)
+module Rng = struct let float _state bound = bound *. 0.5 end
+
+let[@lint.allow "U1"] delay_s = 0.25
+let bernoulli state p = (Rng.float state 1.0 < p) [@lint.allow "U2"]
+let ticks = (int_of_float delay_s) [@lint.allow "U3 N3"]

@@ -1,0 +1,7 @@
+(* Fixture for pertlint rule N3: raw float->int truncation in (assumed)
+   lib scope, outside Units.Round. The violation must stay on line 4 —
+   test/lint asserts it. *)
+let chunk x = truncate x
+
+(* Not a violation: integer arithmetic involves no rounding decision. *)
+let half n = n / 2

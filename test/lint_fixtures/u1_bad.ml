@@ -1,0 +1,10 @@
+(* Fixture for pertlint rule U1: a unit-suffixed name bound as a raw
+   float in (assumed) lib scope. The violation must stay on line 4 —
+   test/lint asserts it. *)
+let delay_s = 0.005
+
+(* Not a violation: a unit-ish suffix on a non-float is fine. *)
+let count_pkts : int = 3
+
+(* Not a violation: no unit suffix. *)
+let alpha = 0.99

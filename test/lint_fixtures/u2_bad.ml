@@ -1,0 +1,7 @@
+(* Fixture for pertlint rule U2: an inline probability decision made by
+   comparing a raw Rng draw against a bare float. Violation on line 4. *)
+module Rng = struct let float _state bound = bound *. 0.5 end
+let decide state p = Rng.float state 1.0 < p
+
+(* Not a violation: ordering two plain floats is not a Bernoulli trial. *)
+let ordered (a : float) (b : float) = a < b

@@ -1,0 +1,11 @@
+(* Fixture for pertlint rule U3: bare truncation of a unit-suffixed
+   value. The violation must stay on line 8 — test/lint asserts it.
+   U1 (the raw-float binding) and N3 (any lib/ truncation) also fire on
+   this file by design; they are file-allowed so the fixture isolates
+   U3. *)
+[@@@lint.allow "U1 N3"]
+
+let ticks timeout_ms = int_of_float timeout_ms
+
+(* Not a violation (for U3): the operand carries no unit suffix. *)
+let whole x = int_of_float x

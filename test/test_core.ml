@@ -5,21 +5,24 @@ open Pert_core
 let check_float = Alcotest.(check (float 1e-9))
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
+let ts = Units.Time.s
+let tf = Units.Time.to_s
+let pf = Units.Prob.to_float
 
 (* --- Response_curve -------------------------------------------------------- *)
 
 let curve_anchor_points () =
   let c = Response_curve.default in
-  check_float "zero below t_min" 0.0 (Response_curve.probability c 0.004);
-  check_float "zero at 0" 0.0 (Response_curve.probability c 0.0);
-  check_float "zero for negative" 0.0 (Response_curve.probability c (-1.0));
-  check_float "p_max at t_max" 0.05 (Response_curve.probability c 0.010);
+  check_float "zero below t_min" 0.0 (pf (Response_curve.probability c (ts 0.004)));
+  check_float "zero at 0" 0.0 (pf (Response_curve.probability c (ts 0.0)));
+  check_float "zero for negative" 0.0 (pf (Response_curve.probability c (ts (-1.0))));
+  check_float "p_max at t_max" 0.05 (pf (Response_curve.probability c (ts 0.010)));
   check_float "midpoint of first segment" 0.025
-    (Response_curve.probability c 0.0075);
+    (pf (Response_curve.probability c (ts 0.0075)));
   check_float "midpoint of gentle segment" 0.525
-    (Response_curve.probability c 0.015);
-  check_float "one at 2*t_max" 1.0 (Response_curve.probability c 0.020);
-  check_float "one beyond" 1.0 (Response_curve.probability c 0.5)
+    (pf (Response_curve.probability c (ts 0.015)));
+  check_float "one at 2*t_max" 1.0 (pf (Response_curve.probability c (ts 0.020)));
+  check_float "one beyond" 1.0 (pf (Response_curve.probability c (ts 0.5)))
 
 let curve_slope () =
   check_float "slope = p_max/(t_max-t_min)" 10.0
@@ -28,10 +31,18 @@ let curve_slope () =
 let curve_validation () =
   Alcotest.check_raises "t_min >= t_max"
     (Invalid_argument "Response_curve.make: need 0 < t_min < t_max") (fun () ->
-      ignore (Response_curve.make ~t_min:0.01 ~t_max:0.01 ~p_max:0.1));
-  Alcotest.check_raises "p_max > 1"
+      ignore
+        (Response_curve.make ~t_min:(ts 0.01) ~t_max:(ts 0.01)
+           ~p_max:(Units.Prob.v 0.1)));
+  Alcotest.check_raises "p_max = 0"
     (Invalid_argument "Response_curve.make: need 0 < p_max <= 1") (fun () ->
-      ignore (Response_curve.make ~t_min:0.005 ~t_max:0.01 ~p_max:1.5))
+      ignore
+        (Response_curve.make ~t_min:(ts 0.005) ~t_max:(ts 0.01)
+           ~p_max:Units.Prob.zero));
+  (* out-of-range p_max is unrepresentable: [Prob.v] clamps, NaN raises *)
+  Alcotest.check_raises "NaN p_max"
+    (Invalid_argument "Units.Prob.v: NaN") (fun () ->
+      ignore (Units.Prob.v Float.nan))
 
 let curve_qcheck_monotone =
   QCheck.Test.make ~name:"response curve is nondecreasing" ~count:500
@@ -39,13 +50,14 @@ let curve_qcheck_monotone =
     (fun (a, b) ->
       let lo = Float.min a b and hi = Float.max a b in
       let c = Response_curve.default in
-      Response_curve.probability c lo <= Response_curve.probability c hi +. 1e-12)
+      pf (Response_curve.probability c (ts lo))
+      <= pf (Response_curve.probability c (ts hi)) +. 1e-12)
 
 let curve_qcheck_bounded =
   QCheck.Test.make ~name:"response curve within [0,1]" ~count:500
     QCheck.(float_range (-1.0) 10.0)
     (fun qd ->
-      let p = Response_curve.probability Response_curve.default qd in
+      let p = pf (Response_curve.probability Response_curve.default (ts qd)) in
       p >= 0.0 && p <= 1.0)
 
 (* --- Srtt ------------------------------------------------------------------- *)
@@ -55,28 +67,30 @@ let srtt_first_sample () =
   check_int "no samples" 0 (Srtt.samples s);
   Alcotest.check_raises "value before sample"
     (Invalid_argument "Srtt.value: no samples") (fun () -> ignore (Srtt.value s));
-  Srtt.observe s 0.1;
-  check_float "first sample initialises" 0.1 (Srtt.value s);
-  check_float "min tracks" 0.1 (Srtt.min_rtt s)
+  Srtt.observe s (ts 0.1);
+  check_float "first sample initialises" 0.1 (tf (Srtt.value s));
+  check_float "min tracks" 0.1 (tf (Srtt.min_rtt s))
 
 let srtt_ewma_recurrence () =
   let s = Srtt.create ~alpha:0.9 () in
-  Srtt.observe s 0.1;
-  Srtt.observe s 0.2;
-  check_float "one step" ((0.9 *. 0.1) +. (0.1 *. 0.2)) (Srtt.value s);
-  Srtt.observe s 0.05;
-  check_float "min updates" 0.05 (Srtt.min_rtt s);
-  check_bool "queueing delay positive" true (Srtt.queueing_delay s > 0.0)
+  Srtt.observe s (ts 0.1);
+  Srtt.observe s (ts 0.2);
+  check_float "one step" ((0.9 *. 0.1) +. (0.1 *. 0.2)) (tf (Srtt.value s));
+  Srtt.observe s (ts 0.05);
+  check_float "min updates" 0.05 (tf (Srtt.min_rtt s));
+  check_bool "queueing delay positive" true (tf (Srtt.queueing_delay s) > 0.0)
 
 let srtt_convergence () =
   let s = Srtt.create ~alpha:0.99 () in
-  Srtt.observe s 0.2;
+  Srtt.observe s (ts 0.2);
   for _ = 1 to 2000 do
-    Srtt.observe s 0.1
+    Srtt.observe s (ts 0.1)
   done;
-  Alcotest.(check (float 1e-3)) "converges to steady input" 0.1 (Srtt.value s);
+  Alcotest.(check (float 1e-3)) "converges to steady input" 0.1
+    (tf (Srtt.value s));
   check_float "queueing delay ~ 0 at base"
-    (Srtt.value s -. 0.1) (Srtt.queueing_delay s)
+    (tf (Srtt.value s) -. 0.1)
+    (tf (Srtt.queueing_delay s))
 
 let srtt_validation () =
   Alcotest.check_raises "bad alpha"
@@ -85,18 +99,18 @@ let srtt_validation () =
   let s = Srtt.create () in
   Alcotest.check_raises "non-positive sample"
     (Invalid_argument "Srtt.observe: non-positive RTT") (fun () ->
-      Srtt.observe s 0.0)
+      Srtt.observe s (ts 0.0))
 
 let srtt_rejects_non_finite () =
   (* A NaN or infinite sample silently poisons the EWMA (and every
      probability derived from it) forever — it must be rejected loudly. *)
   let s = Srtt.create () in
   Alcotest.check_raises "nan"
-    (Invalid_argument "Srtt.observe: non-finite RTT") (fun () ->
-      Srtt.observe s Float.nan);
+    (Invalid_argument "Units.Time.s: NaN") (fun () ->
+      Srtt.observe s (ts Float.nan));
   Alcotest.check_raises "infinity"
     (Invalid_argument "Srtt.observe: non-finite RTT") (fun () ->
-      Srtt.observe s Float.infinity);
+      Srtt.observe s (ts Float.infinity));
   check_int "rejected samples are not counted" 0 (Srtt.samples s)
 
 (* --- Pert_red ----------------------------------------------------------------- *)
@@ -106,24 +120,24 @@ let pert_red_probability_boundaries () =
      queueing delay (sample - min) is fully controlled. Default curve:
      t_min 5 ms, t_max 10 ms, p_max 0.05, saturating at 2*t_max. *)
   let e = Pert_red.create ~alpha:0.0 () in
-  check_float "0 with no samples" 0.0 (Pert_red.probability e);
+  check_float "0 with no samples" 0.0 (pf (Pert_red.probability e));
   let s = Pert_red.srtt e in
-  Srtt.observe s 0.1;
-  check_float "0 at base RTT" 0.0 (Pert_red.probability e);
-  Srtt.observe s 0.105;
-  check_float "0 at the t_min knee" 0.0 (Pert_red.probability e);
-  Srtt.observe s 0.11;
-  check_float "p_max at the t_max knee" 0.05 (Pert_red.probability e);
-  Srtt.observe s 0.12;
-  check_float "1 at 2*t_max" 1.0 (Pert_red.probability e);
-  Srtt.observe s 5.0;
-  check_float "clamped to 1 far beyond the curve" 1.0 (Pert_red.probability e)
+  Srtt.observe s (ts 0.1);
+  check_float "0 at base RTT" 0.0 (pf (Pert_red.probability e));
+  Srtt.observe s (ts 0.105);
+  check_float "0 at the t_min knee" 0.0 (pf (Pert_red.probability e));
+  Srtt.observe s (ts 0.11);
+  check_float "p_max at the t_max knee" 0.05 (pf (Pert_red.probability e));
+  Srtt.observe s (ts 0.12);
+  check_float "1 at 2*t_max" 1.0 (pf (Pert_red.probability e));
+  Srtt.observe s (ts 5.0);
+  check_float "clamped to 1 far beyond the curve" 1.0 (pf (Pert_red.probability e))
 
 let pert_red_quiet_below_threshold () =
   let e = Pert_red.create () in
   (* Constant RTT: queueing delay 0, must never respond even with u = 0. *)
   for i = 0 to 999 do
-    match Pert_red.on_ack e ~now:(0.01 *. float_of_int i) ~rtt:0.05 ~u:0.0 with
+    match Pert_red.on_ack e ~now:(0.01 *. float_of_int i) ~rtt:(ts 0.05) ~u:0.0 with
     | Pert_red.Hold -> ()
     | Pert_red.Early_response -> Alcotest.fail "responded below t_min"
   done;
@@ -131,32 +145,32 @@ let pert_red_quiet_below_threshold () =
 
 let pert_red_responds_when_congested () =
   let e = Pert_red.create () in
-  Pert_red.on_ack e ~now:0.0 ~rtt:0.05 ~u:1.0 |> ignore;
+  Pert_red.on_ack e ~now:0.0 ~rtt:(ts 0.05) ~u:1.0 |> ignore;
   (* Push the smoothed signal deep into the p=1 region. *)
   let responded = ref 0 in
   for i = 1 to 3000 do
     match
-      Pert_red.on_ack e ~now:(0.001 *. float_of_int i) ~rtt:0.120 ~u:0.99
+      Pert_red.on_ack e ~now:(0.001 *. float_of_int i) ~rtt:(ts 0.120) ~u:0.99
     with
     | Pert_red.Early_response -> incr responded
     | Pert_red.Hold -> ()
   done;
   check_bool "responded at least once" true (!responded > 0);
-  check_bool "probability saturated" true (Pert_red.probability e > 0.9);
+  check_bool "probability saturated" true (pf (Pert_red.probability e) > 0.9);
   check_int "counter matches" !responded (Pert_red.early_responses e)
 
 let pert_red_once_per_rtt () =
   let e = Pert_red.create () in
-  Pert_red.on_ack e ~now:0.0 ~rtt:0.05 ~u:1.0 |> ignore;
+  Pert_red.on_ack e ~now:0.0 ~rtt:(ts 0.05) ~u:1.0 |> ignore;
   (* Saturate the signal first. *)
   for i = 1 to 2000 do
-    Pert_red.on_ack e ~now:(0.0001 *. float_of_int i) ~rtt:0.2 ~u:1.0 |> ignore
+    Pert_red.on_ack e ~now:(0.0001 *. float_of_int i) ~rtt:(ts 0.2) ~u:1.0 |> ignore
   done;
   let t0 = 0.2 in
   let responses = ref [] in
   for i = 0 to 999 do
     let now = t0 +. (0.001 *. float_of_int i) in
-    match Pert_red.on_ack e ~now ~rtt:0.2 ~u:0.0 with
+    match Pert_red.on_ack e ~now ~rtt:(ts 0.2) ~u:0.0 with
     | Pert_red.Early_response -> responses := now :: !responses
     | Pert_red.Hold -> ()
   done;
@@ -171,15 +185,15 @@ let pert_red_once_per_rtt () =
 
 let pert_red_note_loss_resets_clock () =
   let e = Pert_red.create () in
-  Pert_red.on_ack e ~now:0.0 ~rtt:0.05 ~u:1.0 |> ignore;
+  Pert_red.on_ack e ~now:0.0 ~rtt:(ts 0.05) ~u:1.0 |> ignore;
   for i = 1 to 2000 do
-    Pert_red.on_ack e ~now:(0.0001 *. float_of_int i) ~rtt:0.5 ~u:1.0 |> ignore
+    Pert_red.on_ack e ~now:(0.0001 *. float_of_int i) ~rtt:(ts 0.5) ~u:1.0 |> ignore
   done;
   Pert_red.note_loss e ~now:1.0;
-  (match Pert_red.on_ack e ~now:1.01 ~rtt:0.5 ~u:0.0 with
+  (match Pert_red.on_ack e ~now:1.01 ~rtt:(ts 0.5) ~u:0.0 with
   | Pert_red.Hold -> ()
   | Pert_red.Early_response -> Alcotest.fail "responded within an RTT of a loss");
-  match Pert_red.on_ack e ~now:2.0 ~rtt:0.5 ~u:0.0 with
+  match Pert_red.on_ack e ~now:2.0 ~rtt:(ts 0.5) ~u:0.0 with
   | Pert_red.Early_response -> ()
   | Pert_red.Hold -> Alcotest.fail "should respond after the loss clock expires"
 
@@ -189,10 +203,10 @@ let pert_red_response_rate_matches_p () =
      response rate over 40k ACKs must match to within 20%. *)
   let e = Pert_red.create ~limit_per_rtt:false () in
   let rng = Sim_engine.Rng.create 77 in
-  Pert_red.on_ack e ~now:0.0 ~rtt:0.05 ~u:1.0 |> ignore;
+  Pert_red.on_ack e ~now:0.0 ~rtt:(ts 0.05) ~u:1.0 |> ignore;
   (* settle the smoothed signal at base + 7.5 ms *)
   for i = 1 to 2000 do
-    Pert_red.on_ack e ~now:(0.0001 *. float_of_int i) ~rtt:0.0575 ~u:1.0
+    Pert_red.on_ack e ~now:(0.0001 *. float_of_int i) ~rtt:(ts 0.0575) ~u:1.0
     |> ignore
   done;
   let n = 40_000 and hits = ref 0 in
@@ -200,7 +214,7 @@ let pert_red_response_rate_matches_p () =
     match
       Pert_red.on_ack e
         ~now:(0.3 +. (0.0001 *. float_of_int i))
-        ~rtt:0.0575
+        ~rtt:(ts 0.0575)
         ~u:(Sim_engine.Rng.float rng 1.0)
     with
     | Pert_red.Early_response -> incr hits
@@ -213,13 +227,13 @@ let pert_red_response_rate_matches_p () =
 let pert_red_unlimited_mode () =
   (* With the limiter off and p saturated, every ACK responds. *)
   let e = Pert_red.create ~limit_per_rtt:false () in
-  Pert_red.on_ack e ~now:0.0 ~rtt:0.05 ~u:1.0 |> ignore;
+  Pert_red.on_ack e ~now:0.0 ~rtt:(ts 0.05) ~u:1.0 |> ignore;
   for i = 1 to 2000 do
-    Pert_red.on_ack e ~now:(0.0001 *. float_of_int i) ~rtt:0.5 ~u:1.0 |> ignore
+    Pert_red.on_ack e ~now:(0.0001 *. float_of_int i) ~rtt:(ts 0.5) ~u:1.0 |> ignore
   done;
   let before = Pert_red.early_responses e in
   for i = 0 to 9 do
-    Pert_red.on_ack e ~now:(0.3 +. (0.001 *. float_of_int i)) ~rtt:0.5 ~u:0.0
+    Pert_red.on_ack e ~now:(0.3 +. (0.001 *. float_of_int i)) ~rtt:(ts 0.5) ~u:0.0
     |> ignore
   done;
   check_int "ten ACKs, ten responses" (before + 10) (Pert_red.early_responses e)
@@ -230,34 +244,34 @@ let pert_red_validation () =
       ignore (Pert_red.create ~decrease_factor:1.0 ()));
   let e = Pert_red.create ~decrease_factor:0.35 () in
   check_float "decrease factor" 0.35 (Pert_red.decrease_factor e);
-  check_float "probability before samples" 0.0 (Pert_red.probability e)
+  check_float "probability before samples" 0.0 (pf (Pert_red.probability e))
 
 (* --- Pert_rem ----------------------------------------------------------------- *)
 
 let pert_rem_price_dynamics () =
   let e = Pert_rem.create ~params:Pert_rem.default_params () in
-  Pert_rem.on_ack e ~now:0.0 ~rtt:0.05 ~u:1.0 |> ignore;
+  Pert_rem.on_ack e ~now:0.0 ~rtt:(ts 0.05) ~u:1.0 |> ignore;
   check_float "zero price at base rtt" 0.0 (Pert_rem.price e);
   (* sustained queueing delay far above target: price integrates up *)
   for i = 1 to 3000 do
-    Pert_rem.on_ack e ~now:(0.001 *. float_of_int i) ~rtt:0.15 ~u:1.0 |> ignore
+    Pert_rem.on_ack e ~now:(0.001 *. float_of_int i) ~rtt:(ts 0.15) ~u:1.0 |> ignore
   done;
   let high = Pert_rem.price e in
   check_bool "price grew" true (high > 0.0);
-  check_bool "probability grew" true (Pert_rem.probability e > 0.1);
+  check_bool "probability grew" true (pf (Pert_rem.probability e) > 0.1);
   (* back to base: price unwinds *)
   for i = 3001 to 9000 do
-    Pert_rem.on_ack e ~now:(0.001 *. float_of_int i) ~rtt:0.05 ~u:1.0 |> ignore
+    Pert_rem.on_ack e ~now:(0.001 *. float_of_int i) ~rtt:(ts 0.05) ~u:1.0 |> ignore
   done;
   check_bool "price fell" true (Pert_rem.price e < high)
 
 let pert_rem_responds () =
   let e = Pert_rem.create ~params:Pert_rem.default_params () in
-  Pert_rem.on_ack e ~now:0.0 ~rtt:0.05 ~u:1.0 |> ignore;
+  Pert_rem.on_ack e ~now:0.0 ~rtt:(ts 0.05) ~u:1.0 |> ignore;
   let responded = ref 0 in
   for i = 1 to 5000 do
     match
-      Pert_rem.on_ack e ~now:(0.001 *. float_of_int i) ~rtt:0.2 ~u:0.5
+      Pert_rem.on_ack e ~now:(0.001 *. float_of_int i) ~rtt:(ts 0.2) ~u:0.5
     with
     | Pert_rem.Early_response -> incr responded
     | Pert_rem.Hold -> ()
@@ -277,23 +291,23 @@ let pert_rem_validation () =
 
 let pert_avq_virtual_queue_dynamics () =
   let e = Pert_avq.create ~params:Pert_avq.default_params () in
-  Pert_avq.on_ack e ~now:0.0 ~rtt:0.05 ~u:0.0 |> ignore;
+  Pert_avq.on_ack e ~now:0.0 ~rtt:(ts 0.05) ~u:0.0 |> ignore;
   check_float "idle start" 0.0 (Pert_avq.virtual_backlog e);
   (* sustained queueing-delay growth: V accumulates *)
   for i = 1 to 500 do
     let rtt = 0.05 +. (0.0001 *. float_of_int i) in
-    Pert_avq.on_ack e ~now:(0.002 *. float_of_int i) ~rtt ~u:0.0 |> ignore
+    Pert_avq.on_ack e ~now:(0.002 *. float_of_int i) ~rtt:(ts rtt) ~u:0.0 |> ignore
   done;
   check_bool "virtual backlog grew or a response drained it" true
     (Pert_avq.virtual_backlog e > 0.0 || Pert_avq.early_responses e > 0)
 
 let pert_avq_responds_and_resets () =
   let e = Pert_avq.create ~params:Pert_avq.default_params () in
-  Pert_avq.on_ack e ~now:0.0 ~rtt:0.05 ~u:0.0 |> ignore;
+  Pert_avq.on_ack e ~now:0.0 ~rtt:(ts 0.05) ~u:0.0 |> ignore;
   let responded = ref 0 in
   for i = 1 to 20000 do
     let rtt = 0.05 +. Float.min 0.05 (0.00001 *. float_of_int i) in
-    match Pert_avq.on_ack e ~now:(0.001 *. float_of_int i) ~rtt ~u:0.0 with
+    match Pert_avq.on_ack e ~now:(0.001 *. float_of_int i) ~rtt:(ts rtt) ~u:0.0 with
     | Pert_avq.Early_response -> incr responded
     | Pert_avq.Hold -> ()
   done;
@@ -303,7 +317,7 @@ let pert_avq_responds_and_resets () =
 let pert_avq_quiet_at_base () =
   let e = Pert_avq.create ~params:Pert_avq.default_params () in
   for i = 0 to 2000 do
-    match Pert_avq.on_ack e ~now:(0.001 *. float_of_int i) ~rtt:0.05 ~u:0.0 with
+    match Pert_avq.on_ack e ~now:(0.001 *. float_of_int i) ~rtt:(ts 0.05) ~u:0.0 with
     | Pert_avq.Early_response -> Alcotest.fail "responded with empty queue"
     | Pert_avq.Hold -> ()
   done;
@@ -328,41 +342,41 @@ let pi_gains_formula () =
 let pi_probability_tracks_error () =
   let gains = { Pert_pi.gamma = 0.2; beta = 0.1 } in
   let e =
-    Pert_pi.create ~gains ~target_delay:0.003 ~sample_interval:0.01 ()
+    Pert_pi.create ~gains ~target_delay:(ts 0.003) ~sample_interval:(ts 0.01) ()
   in
-  Pert_pi.on_ack e ~now:0.0 ~rtt:0.05 ~u:1.0 |> ignore;
+  Pert_pi.on_ack e ~now:0.0 ~rtt:(ts 0.05) ~u:1.0 |> ignore;
   (* Hold the queueing delay well above target: p must climb. *)
   for i = 1 to 500 do
-    Pert_pi.on_ack e ~now:(0.01 *. float_of_int i) ~rtt:0.2 ~u:1.0 |> ignore
+    Pert_pi.on_ack e ~now:(0.01 *. float_of_int i) ~rtt:(ts 0.2) ~u:1.0 |> ignore
   done;
-  check_bool "probability grew" true (Pert_pi.probability e > 0.1);
+  check_bool "probability grew" true (pf (Pert_pi.probability e) > 0.1);
   (* Drop back to base RTT: integral unwinds, p falls. *)
-  let p_high = Pert_pi.probability e in
+  let p_high = pf (Pert_pi.probability e) in
   for i = 501 to 1500 do
-    Pert_pi.on_ack e ~now:(0.01 *. float_of_int i) ~rtt:0.05 ~u:1.0 |> ignore
+    Pert_pi.on_ack e ~now:(0.01 *. float_of_int i) ~rtt:(ts 0.05) ~u:1.0 |> ignore
   done;
-  check_bool "probability fell" true (Pert_pi.probability e < p_high)
+  check_bool "probability fell" true (pf (Pert_pi.probability e) < p_high)
 
 let pi_probability_clamped () =
   let gains = { Pert_pi.gamma = 100.0; beta = 0.0 } in
-  let e = Pert_pi.create ~gains ~target_delay:0.003 ~sample_interval:0.001 () in
-  Pert_pi.on_ack e ~now:0.0 ~rtt:0.05 ~u:1.0 |> ignore;
+  let e = Pert_pi.create ~gains ~target_delay:(ts 0.003) ~sample_interval:(ts 0.001) () in
+  Pert_pi.on_ack e ~now:0.0 ~rtt:(ts 0.05) ~u:1.0 |> ignore;
   for i = 1 to 100 do
-    Pert_pi.on_ack e ~now:(0.001 *. float_of_int i) ~rtt:1.0 ~u:1.0 |> ignore
+    Pert_pi.on_ack e ~now:(0.001 *. float_of_int i) ~rtt:(ts 1.0) ~u:1.0 |> ignore
   done;
-  check_bool "clamped at 1" true (Pert_pi.probability e <= 1.0);
-  let e2 = Pert_pi.create ~gains ~target_delay:0.5 ~sample_interval:0.001 () in
+  check_bool "clamped at 1" true (pf (Pert_pi.probability e) <= 1.0);
+  let e2 = Pert_pi.create ~gains ~target_delay:(ts 0.5) ~sample_interval:(ts 0.001) () in
   for i = 0 to 100 do
-    Pert_pi.on_ack e2 ~now:(0.001 *. float_of_int i) ~rtt:0.05 ~u:1.0 |> ignore
+    Pert_pi.on_ack e2 ~now:(0.001 *. float_of_int i) ~rtt:(ts 0.05) ~u:1.0 |> ignore
   done;
-  check_float "clamped at 0" 0.0 (Pert_pi.probability e2)
+  check_float "clamped at 0" 0.0 (pf (Pert_pi.probability e2))
 
 let pi_validation () =
   let gains = { Pert_pi.gamma = 0.1; beta = 0.05 } in
   Alcotest.check_raises "bad sample interval"
     (Invalid_argument "Pert_pi.create: sample_interval must be positive")
     (fun () ->
-      ignore (Pert_pi.create ~gains ~target_delay:0.003 ~sample_interval:0.0 ()))
+      ignore (Pert_pi.create ~gains ~target_delay:(ts 0.003) ~sample_interval:(ts 0.0) ()))
 
 let qsuite =
   List.map QCheck_alcotest.to_alcotest

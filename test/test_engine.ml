@@ -6,6 +6,7 @@ let check_float = Alcotest.(check (float 1e-9))
 let check_float_eps eps = Alcotest.(check (float eps))
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
+let ts = Units.Time.s
 
 (* --- Heap ---------------------------------------------------------------- *)
 
@@ -82,9 +83,9 @@ let heap_qcheck_sorted =
 let sim_event_order () =
   let sim = Sim.create () in
   let log = ref [] in
-  Sim.at sim 2.0 (fun () -> log := (2, Sim.now sim) :: !log);
-  Sim.at sim 1.0 (fun () -> log := (1, Sim.now sim) :: !log);
-  Sim.after sim 3.0 (fun () -> log := (3, Sim.now sim) :: !log);
+  Sim.at sim (ts 2.0) (fun () -> log := (2, Sim.now sim) :: !log);
+  Sim.at sim (ts 1.0) (fun () -> log := (1, Sim.now sim) :: !log);
+  Sim.after sim (ts 3.0) (fun () -> log := (3, Sim.now sim) :: !log);
   Sim.run sim;
   let order = List.rev_map fst !log in
   Alcotest.(check (list int)) "order" [ 1; 2; 3 ] order;
@@ -93,11 +94,11 @@ let sim_event_order () =
 let sim_until_semantics () =
   let sim = Sim.create () in
   let fired = ref false in
-  Sim.at sim 5.0 (fun () -> fired := true);
-  Sim.run ~until:2.0 sim;
+  Sim.at sim (ts 5.0) (fun () -> fired := true);
+  Sim.run ~until:(ts 2.0) sim;
   check_bool "future event not fired" false !fired;
   check_float "clock advanced to horizon" 2.0 (Sim.now sim);
-  Sim.run ~until:10.0 sim;
+  Sim.run ~until:(ts 10.0) sim;
   check_bool "event fires on later run" true !fired
 
 let sim_nested_scheduling () =
@@ -106,10 +107,10 @@ let sim_nested_scheduling () =
   let rec tick n =
     if n > 0 then begin
       incr hits;
-      Sim.after sim 1.0 (fun () -> tick (n - 1))
+      Sim.after sim (ts 1.0) (fun () -> tick (n - 1))
     end
   in
-  Sim.at sim 0.0 (fun () -> tick 5);
+  Sim.at sim (ts 0.0) (fun () -> tick 5);
   Sim.run sim;
   check_int "nested events all ran" 5 !hits;
   (* the 5th tick at t=4 schedules a no-op tick at t=5 *)
@@ -118,35 +119,35 @@ let sim_nested_scheduling () =
 let sim_every_and_stop () =
   let sim = Sim.create () in
   let ticks = ref 0 in
-  Sim.every sim 1.0 (fun () ->
+  Sim.every sim (ts 1.0) (fun () ->
       incr ticks;
       if !ticks = 4 then Sim.stop sim);
-  Sim.run ~until:100.0 sim;
+  Sim.run ~until:(ts 100.0) sim;
   check_int "stopped after 4 ticks" 4 !ticks
 
 let sim_every_start () =
   let sim = Sim.create () in
   let times = ref [] in
-  Sim.every sim ~start:0.5 2.0 (fun () -> times := Sim.now sim :: !times);
-  Sim.run ~until:5.0 sim;
+  Sim.every sim ~start:(ts 0.5) (ts 2.0) (fun () -> times := Sim.now sim :: !times);
+  Sim.run ~until:(ts 5.0) sim;
   Alcotest.(check (list (float 1e-9)))
     "tick times" [ 0.5; 2.5; 4.5 ] (List.rev !times)
 
 let sim_rejects_past () =
   let sim = Sim.create () in
-  Sim.at sim 1.0 (fun () ->
+  Sim.at sim (ts 1.0) (fun () ->
       Alcotest.check_raises "scheduling into the past"
         (Invalid_argument "Sim.at: time 0.5 is before now 1") (fun () ->
-          Sim.at sim 0.5 ignore));
+          Sim.at sim (ts 0.5) ignore));
   Sim.run sim;
   Alcotest.check_raises "negative delay"
     (Invalid_argument "Sim.after: negative delay") (fun () ->
-      Sim.after sim (-1.0) ignore)
+      Sim.after sim (ts (-1.0)) ignore)
 
 let sim_counts_events () =
   let sim = Sim.create () in
   for i = 1 to 7 do
-    Sim.at sim (float_of_int i) ignore
+    Sim.at sim (ts (float_of_int i)) ignore
   done;
   Sim.run sim;
   check_int "events executed" 7 (Sim.events_executed sim)
@@ -219,7 +220,7 @@ let rng_bernoulli_rate () =
   let rng = Rng.create 8 in
   let hits = ref 0 in
   for _ = 1 to 100_000 do
-    if Rng.bernoulli rng 0.3 then incr hits
+    if Rng.bernoulli rng (Units.Prob.v 0.3) then incr hits
   done;
   check_float_eps 0.01 "bernoulli rate" 0.3 (float_of_int !hits /. 100_000.0)
 
@@ -333,10 +334,10 @@ let heap_reuse_after_clear () =
 let sim_stop_is_resumable () =
   let sim = Sim.create () in
   let ran = ref 0 in
-  Sim.at sim 1.0 (fun () ->
+  Sim.at sim (ts 1.0) (fun () ->
       incr ran;
       Sim.stop sim);
-  Sim.at sim 2.0 (fun () -> incr ran);
+  Sim.at sim (ts 2.0) (fun () -> incr ran);
   Sim.run sim;
   check_int "stopped after first" 1 !ran;
   Sim.run sim;
@@ -389,9 +390,9 @@ let fvec_clear_and_iter () =
 
 let audit_clean_run () =
   let sim = Sim.create () in
-  let a = Audit.create ~interval:0.05 sim in
+  let a = Audit.create ~interval:(ts 0.05) sim in
   Audit.add_check a ~subject:"always-ok" (fun ~now:_ -> None);
-  Sim.run ~until:1.0 sim;
+  Sim.run ~until:(ts 1.0) sim;
   check_bool "ok" true (Audit.ok a);
   check_int "no violations" 0 (Audit.violation_count a);
   Alcotest.(check string)
@@ -399,10 +400,10 @@ let audit_clean_run () =
 
 let audit_records_failing_check () =
   let sim = Sim.create () in
-  let a = Audit.create ~interval:0.1 ~max_kept:3 sim in
+  let a = Audit.create ~interval:(ts 0.1) ~max_kept:3 sim in
   Audit.add_check a ~subject:"queue" (fun ~now ->
       if now > 0.55 then Some "count drifted" else None);
-  Sim.run ~until:1.0 sim;
+  Sim.run ~until:(ts 1.0) sim;
   check_bool "not ok" false (Audit.ok a);
   (* ticks at 0.6..1.0 all fail; only the first [max_kept] are kept
      verbatim but the total stays exact *)
@@ -440,17 +441,17 @@ let sim_watchdog_semantics () =
   let n = ref 0 in
   let rec spin () =
     incr n;
-    if !n < 25 then Sim.after sim 0.0 spin
+    if !n < 25 then Sim.after sim (ts 0.0) spin
   in
-  Sim.at sim 1.0 spin;
-  Sim.at sim 2.0 ignore;
+  Sim.at sim (ts 1.0) spin;
+  Sim.at sim (ts 2.0) ignore;
   Sim.run sim;
   check_int "one trip per stuck instant" 1 !trips;
   check_int "all events still ran" 25 !n;
   (* once cleared, the same burst goes unreported *)
   Sim.clear_watchdog sim;
   n := 0;
-  Sim.at sim 3.0 spin;
+  Sim.at sim (ts 3.0) spin;
   Sim.run sim;
   check_int "no trip after clear" 1 !trips
 
@@ -461,10 +462,10 @@ let audit_watchdog_stops_livelock () =
   let spins = ref 0 in
   let rec spin () =
     incr spins;
-    Sim.after sim 0.0 spin
+    Sim.after sim (ts 0.0) spin
   in
-  Sim.at sim 0.25 spin;
-  Sim.run ~until:10.0 sim;
+  Sim.at sim (ts 0.25) spin;
+  Sim.run ~until:(ts 10.0) sim;
   check_bool "trip recorded as violation" false (Audit.ok a);
   (match Audit.violations a with
   | { Audit.subject = "sim"; message; _ } :: _ ->

@@ -17,7 +17,7 @@ let schemes_names_and_ecn () =
   check_bool "red uses ecn" true (Schemes.uses_ecn Schemes.Sack_red_ecn);
   check_bool "pert endpoint-only" false (Schemes.uses_ecn Schemes.Pert);
   check_bool "pi router uses ecn" true
-    (Schemes.uses_ecn (Schemes.Sack_pi_ecn { target_delay = 0.003 }))
+    (Schemes.uses_ecn (Schemes.Sack_pi_ecn { target_delay = Units.Time.s 0.003 }))
 
 let schemes_disc_kinds () =
   let sim = Sim_engine.Sim.create () in
@@ -28,8 +28,8 @@ let schemes_disc_kinds () =
   check_bool "pert gets droptail" true (dt.Netsim.Queue_disc.name = "droptail");
   let red = Schemes.bottleneck_disc Schemes.Sack_red_ecn ctx in
   check_bool "red disc introspectable" true (Netsim.Red.avg_queue red >= 0.0);
-  let pi = Schemes.bottleneck_disc (Schemes.Sack_pi_ecn { target_delay = 0.003 }) ctx in
-  check_bool "pi disc introspectable" true (Netsim.Pi_queue.probability pi >= 0.0)
+  let pi = Schemes.bottleneck_disc (Schemes.Sack_pi_ecn { target_delay = Units.Time.s 0.003 }) ctx in
+  check_bool "pi disc introspectable" true (Units.Prob.to_float (Netsim.Pi_queue.probability pi) >= 0.0)
 
 (* --- Dumbbell ------------------------------------------------------------------ *)
 
@@ -61,7 +61,8 @@ let measured_rtt_matches_config () =
   let built = Dumbbell.build cfg in
   let flow = List.hd built.Dumbbell.forward_flows in
   Tcpstack.Flow.enable_rtt_trace flow;
-  Sim_engine.Sim.run ~until:2.0 (Netsim.Topology.sim built.Dumbbell.topo);
+  Sim_engine.Sim.run ~until:(Units.Time.s 2.0)
+    (Netsim.Topology.sim built.Dumbbell.topo);
   let _, rtts, _ = Tcpstack.Flow.rtt_trace flow in
   let min_rtt = Array.fold_left min infinity rtts in
   (* propagation plus a little serialisation *)
@@ -76,7 +77,8 @@ let dumbbell_result_consistency () =
   in
   let r = Dumbbell.run cfg in
   check_float_eps 1e-9 "norm = pkts / buffer"
-    (r.Dumbbell.avg_queue_pkts /. float_of_int r.Dumbbell.buffer_pkts)
+    (Units.Pkts.to_float r.Dumbbell.avg_queue_pkts
+    /. float_of_int r.Dumbbell.buffer_pkts)
     r.Dumbbell.avg_queue_norm;
   check_int "per-flow vector sized" 4 (Array.length r.Dumbbell.per_flow_goodput);
   check_bool "utilization sane" true
@@ -95,7 +97,8 @@ let headline_qualitative_result () =
   in
   let pert = run Schemes.Pert and dt = run Schemes.Sack_droptail in
   check_bool "queue much smaller" true
-    (pert.Dumbbell.avg_queue_pkts < dt.Dumbbell.avg_queue_pkts /. 2.0);
+    (Units.Pkts.to_float pert.Dumbbell.avg_queue_pkts
+    < Units.Pkts.to_float dt.Dumbbell.avg_queue_pkts /. 2.0);
   check_bool "drops lower" true (pert.Dumbbell.drop_rate <= dt.Dumbbell.drop_rate);
   check_bool "pert used early response" true (pert.Dumbbell.early_responses > 0);
   check_bool "utilisation comparable" true
@@ -282,7 +285,10 @@ let tuned_scheme_matches_default () =
   in
   (* identical code path modulo RNG stream: same qualitative regime *)
   check_bool "similar queue" true
-    (Float.abs (a.Dumbbell.avg_queue_pkts -. b.Dumbbell.avg_queue_pkts) < 8.0);
+    (Float.abs
+       (Units.Pkts.to_float a.Dumbbell.avg_queue_pkts
+       -. Units.Pkts.to_float b.Dumbbell.avg_queue_pkts)
+     < 8.0);
   check_bool "both respond early" true
     (a.Dumbbell.early_responses > 0 && b.Dumbbell.early_responses > 0)
 

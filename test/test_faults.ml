@@ -13,6 +13,8 @@ module D = Experiments.Dumbbell
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
+let ts = Units.Time.s
+let pv = Units.Prob.v
 
 (* --- spec validation ---------------------------------------------------------- *)
 
@@ -21,7 +23,7 @@ let mini_link ?(seed = 3) () =
   let topo = T.create sim in
   let a = T.add_node topo and b = T.add_node topo in
   let link =
-    T.add_link topo ~src:a ~dst:b ~bandwidth:10e6 ~delay:0.01
+    T.add_link topo ~src:a ~dst:b ~bandwidth:(Units.Rate.bps 10e6) ~delay:(ts 0.01)
       ~disc:(Netsim.Droptail.create ~limit_pkts:100)
   in
   (sim, link)
@@ -32,18 +34,22 @@ let spec_validation () =
     Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
         ignore (Fault.attach spec link))
   in
-  reject "Fault: drop_prob must be in [0,1]" (Fault.lossy 1.5);
-  reject "Fault: drop_prob must be in [0,1]" (Fault.lossy Float.nan);
-  reject "Fault: corrupt_prob must be in [0,1]"
-    { Fault.none with Fault.corrupt_prob = -0.1 };
+  (* out-of-range and NaN probabilities are unrepresentable now: the
+     [Units.Prob.v] smart constructor clamps the former and rejects the
+     latter before a spec can even be built *)
+  Alcotest.check_raises "NaN probability rejected at construction"
+    (Invalid_argument "Units.Prob.v: NaN") (fun () ->
+      ignore (Fault.lossy (pv Float.nan)));
+  check_bool "overrange probability clamps to 1" true
+    (Float.equal (Units.Prob.to_float (pv 1.5)) 1.0);
   reject "Fault: negative reorder_extra"
-    { Fault.none with Fault.reorder_extra = -1.0 };
+    { Fault.none with Fault.reorder_extra = ts (-1.0) };
   reject "Fault: outage windows need 0 <= down_at < up_at"
-    { Fault.none with Fault.outages = Fault.Scheduled [ (2.0, 1.0) ] };
+    { Fault.none with Fault.outages = Fault.Scheduled [ (ts 2.0, ts 1.0) ] };
   reject "Fault: flapping means must be positive"
     {
       Fault.none with
-      Fault.outages = Fault.Flapping { mean_up = 0.0; mean_down = 1.0 };
+      Fault.outages = Fault.Flapping { mean_up = ts 0.0; mean_down = ts 1.0 };
     };
   (* the identity spec attaches cleanly and impairs nothing *)
   let f = Fault.attach Fault.none link in
@@ -55,15 +61,15 @@ let scheduled_outage_accounting () =
     Fault.attach
       {
         Fault.none with
-        Fault.outages = Fault.Scheduled [ (1.0, 1.5); (3.0, 4.0) ];
+        Fault.outages = Fault.Scheduled [ (ts 1.0, ts 1.5); (ts 3.0, ts 4.0) ];
       }
       link
   in
-  Sim.run ~until:1.2 sim;
+  Sim.run ~until:(ts 1.2) sim;
   check_bool "down inside the window" false (Link.is_up link);
-  Sim.run ~until:2.0 sim;
+  Sim.run ~until:(ts 2.0) sim;
   check_bool "back up between windows" true (Link.is_up link);
-  Sim.run ~until:5.0 sim;
+  Sim.run ~until:(ts 5.0) sim;
   let s = Fault.stats f in
   check_int "two down + two up transitions" 4 s.Fault.transitions;
   Alcotest.(check (float 1e-9)) "downtime is the window total" 1.5
@@ -87,9 +93,9 @@ let small_config ?fault ?(scheme = Experiments.Schemes.Pert) () =
 let run config =
   let built = D.build config in
   let sim = T.sim built.D.topo in
-  Sim.run ~until:config.D.warmup sim;
+  Sim.run ~until:(ts config.D.warmup) sim;
   D.reset built;
-  Sim.run ~until:config.D.duration sim;
+  Sim.run ~until:(ts config.D.duration) sim;
   (built, D.measure built)
 
 let check_links_conserve built =
@@ -105,11 +111,11 @@ let deterministic_replay () =
      schedule, goodputs — must replay bit-for-bit. *)
   let spec =
     {
-      (Fault.lossy 0.02) with
-      Fault.reorder_prob = 0.05;
-      reorder_extra = 2e-3;
-      dup_prob = 0.01;
-      outages = Fault.Flapping { mean_up = 3.0; mean_down = 0.2 };
+      (Fault.lossy (pv 0.02)) with
+      Fault.reorder_prob = pv 0.05;
+      reorder_extra = ts 2e-3;
+      dup_prob = pv 0.01;
+      outages = Fault.Flapping { mean_up = ts 3.0; mean_down = ts 0.2 };
     }
   in
   let once () =
@@ -135,10 +141,10 @@ let conservation_under_impairment () =
      none may break per-link conservation or any flow invariant. *)
   let spec =
     {
-      (Fault.lossy 0.05) with
-      Fault.corrupt_prob = 0.01;
-      dup_prob = 0.02;
-      outages = Fault.Scheduled [ (4.0, 5.0); (7.0, 7.5) ];
+      (Fault.lossy (pv 0.05)) with
+      Fault.corrupt_prob = pv 0.01;
+      dup_prob = pv 0.02;
+      outages = Fault.Scheduled [ (ts 4.0, ts 5.0); (ts 7.0, ts 7.5) ];
     }
   in
   let built, r = run (small_config ~fault:spec ()) in
@@ -159,21 +165,21 @@ let sack_tolerates_mild_reordering () =
   let src = T.add_node topo and dst = T.add_node topo in
   let disc () = Netsim.Droptail.create ~limit_pkts:1000 in
   let fwd =
-    T.add_link topo ~src ~dst ~bandwidth:10e6 ~delay:0.01 ~disc:(disc ())
+    T.add_link topo ~src ~dst ~bandwidth:(Units.Rate.bps 10e6) ~delay:(ts 0.01) ~disc:(disc ())
   in
   ignore
-    (T.add_link topo ~src:dst ~dst:src ~bandwidth:10e6 ~delay:0.01
+    (T.add_link topo ~src:dst ~dst:src ~bandwidth:(Units.Rate.bps 10e6) ~delay:(ts 0.01)
        ~disc:(disc ()));
   T.compute_routes topo;
   let f =
     Fault.attach
-      { Fault.none with Fault.reorder_prob = 0.05; reorder_extra = 2e-3 }
+      { Fault.none with Fault.reorder_prob = pv 0.05; reorder_extra = ts 2e-3 }
       fwd
   in
   let flow =
     Flow.create topo ~src ~dst ~cc:(Tcpstack.Cc.newreno ()) ~total_pkts:400 ()
   in
-  Sim.run ~until:60.0 sim;
+  Sim.run ~until:(ts 60.0) sim;
   check_bool "completed" true (Flow.completed flow);
   check_int "all data acked exactly once" 400 (Flow.acked_pkts flow);
   check_bool "packets really were delayed out of order" true
@@ -188,10 +194,12 @@ let pert_holds_goodput_under_wire_loss () =
      non-congestive loss polluting both signals, PERT's aggregate goodput
      must not fall below plain SACK's. *)
   let goodput scheme =
-    let built, r = run (small_config ~fault:(Fault.lossy 0.01) ~scheme ()) in
+    let built, r = run (small_config ~fault:(Fault.lossy (pv 0.01)) ~scheme ()) in
     check_int "no audit violations" 0 r.D.audit_violations;
     ignore built;
-    Array.fold_left ( +. ) 0.0 r.D.per_flow_goodput
+    Array.fold_left
+      (fun acc g -> acc +. Units.Rate.to_bps g)
+      0.0 r.D.per_flow_goodput
   in
   let pert = goodput Experiments.Schemes.Pert in
   let sack = goodput Experiments.Schemes.Sack_droptail in

@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "pert"
     [
+      ("units", Test_units.suite);
       ("engine", Test_engine.suite);
       ("core", Test_core.suite);
       ("net", Test_net.suite);

@@ -8,6 +8,8 @@ module Rng = Sim_engine.Rng
 let check_float = Alcotest.(check (float 1e-9))
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
+let ts = Units.Time.s
+let tf = Units.Time.to_s
 
 let mk_data ?(ecn = false) ?(seq = 0) factory =
   Packet.data factory ~flow:0 ~src:0 ~dst:1 ~seq ~ecn ~now:0.0 ()
@@ -65,7 +67,7 @@ let red_fixture ?(ecn = true) ?(limit = 100) () =
       Red.wq = 0.5 (* fast-moving average to make tests direct *);
       min_th = 5.0;
       max_th = 15.0;
-      max_p = 0.1;
+      max_p = Units.Prob.v 0.1;
       gentle = true;
       adaptive = false;
       ecn;
@@ -146,13 +148,13 @@ let red_adaptive_moves_max_p () =
   in
   let q = Red.create ~rng:(Rng.create 4) ~params ~capacity_pps:1000.0 ~limit_pkts:100 in
   let f = Packet.factory () in
-  let initial = Red.current_max_p q in
+  let initial = Units.Prob.to_float (Red.current_max_p q) in
   (* Keep the average pinned high across several adaptation intervals. *)
   for i = 0 to 200 do
     ignore (q.Queue_disc.enqueue ~now:(0.1 *. float_of_int i) (mk_data ~ecn:true ~seq:i f))
   done;
   check_bool "max_p increased under persistent congestion" true
-    (Red.current_max_p q > initial)
+    (Units.Prob.to_float (Red.current_max_p q) > initial)
 
 let red_wrong_disc () =
   let q = Droptail.create ~limit_pkts:5 in
@@ -165,7 +167,7 @@ let red_count_correction_bounds_gaps () =
      probability pa = pb / (1 - count*pb) guarantees a mark at least every
      ceil(1/pb) arrivals — the de-clustering property RED is built on. *)
   let params =
-    { Red.wq = 0.05; min_th = 2.0; max_th = 12.0; max_p = 0.5;
+    { Red.wq = 0.05; min_th = 2.0; max_th = 12.0; max_p = Units.Prob.v 0.5;
       gentle = false; adaptive = false; ecn = true }
   in
   let q = Red.create ~rng:(Rng.create 11) ~params ~capacity_pps:1000.0 ~limit_pkts:100 in
@@ -205,7 +207,7 @@ let red_count_correction_bounds_gaps () =
 
 let pi_fixture () =
   let params =
-    { Pi_queue.a = 0.01; b = 0.005; q_ref = 5.0; sample_interval = 0.01; ecn = true }
+    { Pi_queue.a = 0.01; b = 0.005; q_ref = 5.0; sample_interval = ts 0.01; ecn = true }
   in
   Pi_queue.create ~rng:(Rng.create 5) ~params ~limit_pkts:100
 
@@ -217,7 +219,7 @@ let pi_probability_rises_and_falls () =
     ignore (q.Queue_disc.enqueue ~now:0.0 (mk_data ~ecn:true ~seq:i f))
   done;
   ignore (q.Queue_disc.enqueue ~now:1.0 (mk_data ~ecn:true ~seq:20 f));
-  let p_high = Pi_queue.probability q in
+  let p_high = Units.Prob.to_float (Pi_queue.probability q) in
   check_bool "p grew above 0" true (p_high > 0.0);
   (* Drain to zero and wait: probability should decay back down. *)
   let rec drain () =
@@ -225,7 +227,7 @@ let pi_probability_rises_and_falls () =
   in
   drain ();
   ignore (q.Queue_disc.enqueue ~now:5.0 (mk_data ~ecn:true ~seq:21 f));
-  check_bool "p decayed" true (Pi_queue.probability q < p_high)
+  check_bool "p decayed" true (Units.Prob.to_float (Pi_queue.probability q) < p_high)
 
 let pi_marks_ecn () =
   let q = pi_fixture () in
@@ -254,7 +256,7 @@ let pi_marks_ecn () =
 let rem_fixture () =
   let params =
     { Netsim.Rem.gamma = 0.01; alpha = 0.5; b_ref = 5.0; phi = 1.01;
-      sample_interval = 0.01; ecn = true }
+      sample_interval = ts 0.01; ecn = true }
   in
   Rem.create ~rng:(Rng.create 7) ~params ~capacity_pps:100.0 ~limit_pkts:200
 
@@ -270,7 +272,8 @@ let rem_price_tracks_backlog () =
   let high = Rem.price q in
   check_bool "price grew" true (high > 0.0);
   check_bool "marking probability in (0,1)" true
-    (Rem.mark_probability q > 0.0 && Rem.mark_probability q < 1.0);
+    (Units.Prob.to_float (Rem.mark_probability q) > 0.0
+    && Units.Prob.to_float (Rem.mark_probability q) < 1.0);
   (* drain below the target: price must fall back toward zero *)
   let rec drain () =
     match q.Queue_disc.dequeue ~now:2.0 with Some _ -> drain () | None -> ()
@@ -341,7 +344,7 @@ let avq_adapts_capacity () =
 
 (* --- Link --------------------------------------------------------------------- *)
 
-let link_fixture ?(bandwidth = 1e6) ?(delay = 0.01) ?(limit = 50) sim =
+let link_fixture ?(bandwidth = Units.Rate.bps 1e6) ?(delay = ts 0.01) ?(limit = 50) sim =
   Link.create sim ~name:"l" ~bandwidth ~delay
     ~disc:(Droptail.create ~limit_pkts:limit)
 
@@ -351,7 +354,7 @@ let link_timing_exact () =
   let arrival = ref 0.0 in
   Link.set_deliver link (fun _ -> arrival := Sim.now sim);
   let f = Packet.factory () in
-  Sim.at sim 0.0 (fun () -> Link.send link (mk_data f));
+  Sim.at sim (ts 0.0) (fun () -> Link.send link (mk_data f));
   Sim.run sim;
   (* 1040 bytes at 1 Mbps = 8.32 ms serialisation + 10 ms propagation. *)
   check_float "delivery time" (0.00832 +. 0.01) !arrival
@@ -362,7 +365,7 @@ let link_serialises_back_to_back () =
   let arrivals = ref [] in
   Link.set_deliver link (fun p -> arrivals := (Packet.seq_exn p, Sim.now sim) :: !arrivals);
   let f = Packet.factory () in
-  Sim.at sim 0.0 (fun () ->
+  Sim.at sim (ts 0.0) (fun () ->
       Link.send link (mk_data ~seq:0 f);
       Link.send link (mk_data ~seq:1 f));
   Sim.run sim;
@@ -376,7 +379,7 @@ let link_max_queue_watermark () =
   let link = link_fixture sim in
   Link.set_deliver link ignore;
   let f = Packet.factory () in
-  Sim.at sim 0.0 (fun () ->
+  Sim.at sim (ts 0.0) (fun () ->
       for i = 0 to 9 do
         Link.send link (mk_data ~seq:i f)
       done);
@@ -391,7 +394,7 @@ let link_counters_and_reset () =
   let link = link_fixture ~limit:2 sim in
   Link.set_deliver link ignore;
   let f = Packet.factory () in
-  Sim.at sim 0.0 (fun () ->
+  Sim.at sim (ts 0.0) (fun () ->
       for i = 0 to 4 do
         Link.send link (mk_data ~seq:i f)
       done);
@@ -411,7 +414,7 @@ let link_drop_trace () =
   Link.set_deliver link ignore;
   Link.enable_drop_trace link;
   let f = Packet.factory () in
-  Sim.at sim 0.5 (fun () ->
+  Sim.at sim (ts 0.5) (fun () ->
       for i = 0 to 3 do
         Link.send link (mk_data ~seq:i f)
       done);
@@ -424,26 +427,27 @@ let link_queue_trace_lookup () =
   let sim = Sim.create () in
   let link = link_fixture sim in
   Link.set_deliver link ignore;
-  Link.enable_queue_trace link ~interval:0.1 ();
+  Link.enable_queue_trace link ~interval:(ts 0.1) ();
   let f = Packet.factory () in
-  Sim.at sim 0.45 (fun () ->
+  Sim.at sim (ts 0.45) (fun () ->
       for i = 0 to 9 do
         Link.send link (mk_data ~seq:i f)
       done);
-  Sim.run ~until:1.0 sim;
-  check_float "queue before burst" 0.0 (Link.queue_at link 0.2);
-  check_bool "queue after burst" true (Link.queue_at link 0.55 > 0.0)
+  Sim.run ~until:(ts 1.0) sim;
+  check_float "queue before burst" 0.0 (Link.queue_at link (ts 0.2));
+  check_bool "queue after burst" true (Link.queue_at link (ts 0.55) > 0.0)
 
 let link_jitter_reorders () =
   let sim = Sim.create ~seed:9 () in
   let link =
-    Link.create ~jitter:0.02 sim ~name:"j" ~bandwidth:1e8 ~delay:0.001
+    Link.create ~jitter:(ts 0.02) sim ~name:"j" ~bandwidth:(Units.Rate.bps 1e8)
+      ~delay:(ts 0.001)
       ~disc:(Droptail.create ~limit_pkts:100)
   in
   let order = ref [] in
   Link.set_deliver link (fun p -> order := Packet.seq_exn p :: !order);
   let f = Packet.factory () in
-  Sim.at sim 0.0 (fun () ->
+  Sim.at sim (ts 0.0) (fun () ->
       for i = 0 to 49 do
         Link.send link (mk_data ~seq:i f)
       done);
@@ -460,7 +464,7 @@ let link_jitter_reorders () =
 let rem_default_params_sane () =
   let p = Rem.default_params ~capacity_pps:1000.0 in
   check_bool "phi > 1" true (p.Rem.phi > 1.0);
-  check_bool "positive interval" true (p.Rem.sample_interval > 0.0)
+  check_bool "positive interval" true (tf p.Rem.sample_interval > 0.0)
 
 (* --- Node / Topology ------------------------------------------------------------ *)
 
@@ -471,7 +475,7 @@ let topology_routing_chain () =
   let disc () = Droptail.create ~limit_pkts:100 in
   for i = 0 to 2 do
     ignore
-      (Topology.add_duplex topo ~a:n.(i) ~b:n.(i + 1) ~bandwidth:1e7 ~delay:0.001
+      (Topology.add_duplex topo ~a:n.(i) ~b:n.(i + 1) ~bandwidth:(Units.Rate.bps 1e7) ~delay:(ts 0.001)
          ~disc_ab:(disc ()) ~disc_ba:(disc ()))
   done;
   Topology.compute_routes topo;
@@ -482,7 +486,7 @@ let topology_routing_chain () =
   Node.attach_agent n.(3) ~flow:7 (fun p -> got := Some (Packet.seq_exn p));
   let f = Packet.factory () in
   let pkt = Packet.data f ~flow:7 ~src:0 ~dst:3 ~seq:42 ~ecn:false ~now:0.0 () in
-  Sim.at sim 0.0 (fun () -> Topology.inject topo n.(0) pkt);
+  Sim.at sim (ts 0.0) (fun () -> Topology.inject topo n.(0) pkt);
   Sim.run sim;
   Alcotest.(check (option int)) "delivered across 3 hops" (Some 42) !got
 
@@ -494,9 +498,9 @@ let topology_shortest_path () =
   and b = Topology.add_node topo
   and c = Topology.add_node topo in
   let disc () = Droptail.create ~limit_pkts:10 in
-  let direct = Topology.add_link topo ~src:a ~dst:c ~bandwidth:1e6 ~delay:0.001 ~disc:(disc ()) in
-  ignore (Topology.add_link topo ~src:a ~dst:b ~bandwidth:1e6 ~delay:0.001 ~disc:(disc ()));
-  ignore (Topology.add_link topo ~src:b ~dst:c ~bandwidth:1e6 ~delay:0.001 ~disc:(disc ()));
+  let direct = Topology.add_link topo ~src:a ~dst:c ~bandwidth:(Units.Rate.bps 1e6) ~delay:(ts 0.001) ~disc:(disc ()) in
+  ignore (Topology.add_link topo ~src:a ~dst:b ~bandwidth:(Units.Rate.bps 1e6) ~delay:(ts 0.001) ~disc:(disc ()));
+  ignore (Topology.add_link topo ~src:b ~dst:c ~bandwidth:(Units.Rate.bps 1e6) ~delay:(ts 0.001) ~disc:(disc ()));
   Topology.compute_routes topo;
   (match Node.route_to a (Node.id c) with
   | Some l -> Alcotest.(check string) "direct link chosen" (Link.name direct) (Link.name l)
@@ -508,7 +512,7 @@ let node_agent_demux () =
   let topo = Topology.create sim in
   let a = Topology.add_node topo and b = Topology.add_node topo in
   ignore
-    (Topology.add_duplex topo ~a ~b ~bandwidth:1e7 ~delay:0.001
+    (Topology.add_duplex topo ~a ~b ~bandwidth:(Units.Rate.bps 1e7) ~delay:(ts 0.001)
        ~disc_ab:(Droptail.create ~limit_pkts:10)
        ~disc_ba:(Droptail.create ~limit_pkts:10));
   Topology.compute_routes topo;
@@ -516,7 +520,7 @@ let node_agent_demux () =
   Node.attach_agent b ~flow:1 (fun _ -> incr hits_1);
   Node.attach_agent b ~flow:2 (fun _ -> incr hits_2);
   let f = Packet.factory () in
-  Sim.at sim 0.0 (fun () ->
+  Sim.at sim (ts 0.0) (fun () ->
       Node.receive a (Packet.data f ~flow:1 ~src:0 ~dst:1 ~seq:0 ~ecn:false ~now:0.0 ());
       Node.receive a (Packet.data f ~flow:2 ~src:0 ~dst:1 ~seq:0 ~ecn:false ~now:0.0 ());
       Node.receive a (Packet.data f ~flow:3 ~src:0 ~dst:1 ~seq:0 ~ecn:false ~now:0.0 ()));
@@ -524,7 +528,7 @@ let node_agent_demux () =
   check_int "flow 1" 1 !hits_1;
   check_int "flow 2" 1 !hits_2;
   Node.detach_agent b ~flow:1;
-  Sim.at sim (Sim.now sim +. 0.001) (fun () ->
+  Sim.at sim (ts (Sim.now sim +. 0.001)) (fun () ->
       Node.receive a (Packet.data f ~flow:1 ~src:0 ~dst:1 ~seq:1 ~ecn:false ~now:0.0 ()));
   Sim.run sim;
   check_int "detached agent silent" 1 !hits_1
@@ -537,7 +541,7 @@ let tracer_records_lifecycle () =
   Link.set_deliver link ignore;
   let tracer = Tracer.create sim ~links:[ link ] in
   let f = Packet.factory () in
-  Sim.at sim 0.0 (fun () ->
+  Sim.at sim (ts 0.0) (fun () ->
       for i = 0 to 4 do
         Link.send link (mk_data ~seq:i f)
       done);
@@ -570,7 +574,7 @@ let tracer_marks_flags () =
   let f = Packet.factory () in
   let pkt = mk_data ~seq:0 f in
   pkt.Packet.retransmit <- true;
-  Sim.at sim 0.0 (fun () -> Link.send link pkt);
+  Sim.at sim (ts 0.0) (fun () -> Link.send link pkt);
   Sim.run sim;
   check_bool "retransmit flag traced" true
     (let trace = Tracer.to_string tracer in

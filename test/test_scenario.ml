@@ -34,7 +34,7 @@ let runs_and_reports () =
       | (label1, goodput1) :: _ ->
           check_bool "labelled" true
             (String.length label1 > 0 && label1.[0] = 'f');
-          check_bool "pert flow used the pipe" true (goodput1 > 3e6)
+          check_bool "pert flow used the pipe" true (Units.Rate.to_bps goodput1 > 3e6)
       | [] -> Alcotest.fail "no flows");
       (* the bottleneck link (r->b) is well utilised *)
       let _, util, _, _ =
@@ -59,7 +59,7 @@ run 10
       (* 100 MSS over 10 s of report window *)
       Alcotest.(check (float 1e3)) "goodput of finished transfer"
         (100.0 *. 8000.0 /. 10.0)
-        goodput
+        (Units.Rate.to_bps goodput)
 
 let all_queue_kinds_accepted () =
   List.iter
@@ -81,7 +81,8 @@ run 5
       | Error e -> Alcotest.fail (kind ^ ": " ^ e)
       | Ok report ->
           let _, goodput = List.hd report.Scenario.flows in
-          check_bool (kind ^ " carries traffic") true (goodput > 1e5))
+          check_bool (kind ^ " carries traffic") true
+            (Units.Rate.to_bps goodput > 1e5))
     [ "droptail"; "red"; "pi"; "rem"; "avq" ]
 
 let all_cc_kinds_accepted () =
@@ -102,7 +103,8 @@ run 5
       | Error e -> Alcotest.fail (cc ^ ": " ^ e)
       | Ok report ->
           let _, goodput = List.hd report.Scenario.flows in
-          check_bool (cc ^ " carries traffic") true (goodput > 1e6))
+          check_bool (cc ^ " carries traffic") true
+            (Units.Rate.to_bps goodput > 1e6))
     [ "newreno"; "vegas"; "pert"; "pert-pi"; "pert-rem"; "pert-avq" ]
 
 let web_and_cbr_directives () =

@@ -12,70 +12,72 @@ open Tcpstack
 let check_float_eps eps = Alcotest.(check (float eps))
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
+let ts = Units.Time.s
+let tf = Units.Time.to_s
 
 (* --- Rto ------------------------------------------------------------------- *)
 
 let rto_initial_and_first_sample () =
   let r = Rto.create () in
-  check_float_eps 1e-9 "initial" 1.0 (Rto.value r);
-  Alcotest.(check (option (float 0.0))) "no srtt yet" None (Rto.srtt r);
-  Rto.observe r 0.1;
+  check_float_eps 1e-9 "initial" 1.0 (tf (Rto.value r));
+  Alcotest.(check (option (float 0.0))) "no srtt yet" None (Option.map tf (Rto.srtt r));
+  Rto.observe r (ts 0.1);
   (* srtt = 0.1, rttvar = 0.05, rto = 0.1 + 4*0.05 = 0.3 *)
-  check_float_eps 1e-9 "after first sample" 0.3 (Rto.value r);
-  Alcotest.(check (option (float 1e-9))) "srtt" (Some 0.1) (Rto.srtt r)
+  check_float_eps 1e-9 "after first sample" 0.3 (tf (Rto.value r));
+  Alcotest.(check (option (float 1e-9))) "srtt" (Some 0.1) (Option.map tf (Rto.srtt r))
 
 let rto_min_clamp () =
   let r = Rto.create () in
   for _ = 1 to 50 do
-    Rto.observe r 0.001
+    Rto.observe r (ts 0.001)
   done;
-  check_float_eps 1e-9 "clamped at min" 0.2 (Rto.value r)
+  check_float_eps 1e-9 "clamped at min" 0.2 (tf (Rto.value r))
 
 let rto_backoff_and_reset () =
   let r = Rto.create () in
-  Rto.observe r 0.1;
-  let base = Rto.value r in
+  Rto.observe r (ts 0.1);
+  let base = tf (Rto.value r) in
   Rto.backoff r;
-  check_float_eps 1e-9 "doubled" (2.0 *. base) (Rto.value r);
+  check_float_eps 1e-9 "doubled" (2.0 *. base) (tf (Rto.value r));
   Rto.backoff r;
-  check_float_eps 1e-9 "doubled again" (4.0 *. base) (Rto.value r);
-  Rto.observe r 0.1;
+  check_float_eps 1e-9 "doubled again" (4.0 *. base) (tf (Rto.value r));
+  Rto.observe r (ts 0.1);
   (* a fresh sample resets the multiplier; rttvar has decayed (no error):
      rto = srtt + 4 * 0.75 * rttvar = 0.1 + 0.15 *)
-  check_float_eps 1e-9 "sample resets backoff" 0.25 (Rto.value r)
+  check_float_eps 1e-9 "sample resets backoff" 0.25 (tf (Rto.value r))
 
 let rto_validation () =
   let r = Rto.create () in
   Alcotest.check_raises "bad sample"
     (Invalid_argument "Rto.observe: non-positive sample") (fun () ->
-      Rto.observe r 0.0)
+      Rto.observe r (ts 0.0))
 
 let rto_rejects_non_finite () =
   let r = Rto.create () in
   Alcotest.check_raises "nan"
-    (Invalid_argument "Rto.observe: non-finite sample") (fun () ->
-      Rto.observe r Float.nan);
+    (Invalid_argument "Units.Time.s: NaN") (fun () ->
+      Rto.observe r (ts Float.nan));
   Alcotest.check_raises "infinity"
     (Invalid_argument "Rto.observe: non-finite sample") (fun () ->
-      Rto.observe r Float.infinity)
+      Rto.observe r (ts Float.infinity))
 
 let rto_backoff_caps_at_max () =
   let r = Rto.create () in
   (* srtt 2, rttvar 1 -> rto 6 s; doubling must saturate at max_rto (60 s)
      and never overflow past it *)
-  Rto.observe r 2.0;
+  Rto.observe r (ts 2.0);
   for _ = 1 to 30 do
     Rto.backoff r
   done;
-  check_float_eps 1e-9 "capped at max_rto" 60.0 (Rto.value r);
-  Rto.observe r 2.0;
-  check_bool "fresh sample resets the backoff" true (Rto.value r < 10.0);
-  let r2 = Rto.create ~max_rto:2.0 () in
-  Rto.observe r2 0.5;
+  check_float_eps 1e-9 "capped at max_rto" 60.0 (tf (Rto.value r));
+  Rto.observe r (ts 2.0);
+  check_bool "fresh sample resets the backoff" true (tf (Rto.value r) < 10.0);
+  let r2 = Rto.create ~max_rto:(ts 2.0) () in
+  Rto.observe r2 (ts 0.5);
   for _ = 1 to 10 do
     Rto.backoff r2
   done;
-  check_float_eps 1e-9 "custom cap respected" 2.0 (Rto.value r2)
+  check_float_eps 1e-9 "custom cap respected" 2.0 (tf (Rto.value r2))
 
 (* --- congestion-control unit tests (drive the Cc.t record directly) ---------- *)
 
@@ -99,7 +101,7 @@ let drive_vegas ~rtt_fn ~epochs =
   let now = ref 0.0 in
   for i = 0 to epochs * 10 do
     now := 0.01 *. float_of_int i;
-    cc.Cc.on_ack w ~newly_acked:1 ~rtt:(Some (rtt_fn i)) ~now:!now
+    cc.Cc.on_ack w ~newly_acked:1 ~rtt:(Some (ts (rtt_fn i))) ~now:!now
   done;
   w.Cc.Window.cwnd
 
@@ -144,14 +146,14 @@ let fixture ?(disc = fun () -> Netsim.Droptail.create ~limit_pkts:100) ?(seed = 
   and dst = T.add_node topo in
   let fast () = Netsim.Droptail.create ~limit_pkts:10_000 in
   ignore
-    (T.add_duplex topo ~a:src ~b:r1 ~bandwidth:100e6 ~delay:0.001
+    (T.add_duplex topo ~a:src ~b:r1 ~bandwidth:(Units.Rate.bps 100e6) ~delay:(ts 0.001)
        ~disc_ab:(fast ()) ~disc_ba:(fast ()));
   let bottleneck =
-    T.add_link topo ~src:r1 ~dst:r2 ~bandwidth:10e6 ~delay:0.01 ~disc:(disc ())
+    T.add_link topo ~src:r1 ~dst:r2 ~bandwidth:(Units.Rate.bps 10e6) ~delay:(ts 0.01) ~disc:(disc ())
   in
-  ignore (T.add_link topo ~src:r2 ~dst:r1 ~bandwidth:10e6 ~delay:0.01 ~disc:(fast ()));
+  ignore (T.add_link topo ~src:r2 ~dst:r1 ~bandwidth:(Units.Rate.bps 10e6) ~delay:(ts 0.01) ~disc:(fast ()));
   ignore
-    (T.add_duplex topo ~a:r2 ~b:dst ~bandwidth:100e6 ~delay:0.001
+    (T.add_duplex topo ~a:r2 ~b:dst ~bandwidth:(Units.Rate.bps 100e6) ~delay:(ts 0.001)
        ~disc_ab:(fast ()) ~disc_ba:(fast ()));
   T.compute_routes topo;
   { sim; topo; src; dst; bottleneck }
@@ -188,7 +190,7 @@ let transfer_completes () =
       ~on_complete:(fun _ -> done_at := Some (Sim.now fx.sim))
       ()
   in
-  Sim.run ~until:30.0 fx.sim;
+  Sim.run ~until:(ts 30.0) fx.sim;
   check_bool "completed" true (Flow.completed flow);
   check_bool "completion time recorded" true (!done_at <> None);
   check_int "exactly 500 acked" 500 (Flow.acked_pkts flow);
@@ -202,7 +204,7 @@ let slow_start_doubles () =
   in
   (* After ~3 RTTs (RTT ~ 24 ms) of slow start from cwnd=2 the window
      must have grown substantially and exponentially. *)
-  Sim.run ~until:0.1 fx.sim;
+  Sim.run ~until:(ts 0.1) fx.sim;
   check_bool "cwnd grew exponentially" true (Flow.cwnd flow >= 12.0);
   Flow.stop flow
 
@@ -211,8 +213,8 @@ let ack_clocked_utilisation () =
   let flow =
     Flow.create fx.topo ~src:fx.src ~dst:fx.dst ~cc:(Cc.newreno ()) ()
   in
-  Sim.run ~until:20.0 fx.sim;
-  let goodput = Flow.goodput_bps flow ~now:(Sim.now fx.sim) in
+  Sim.run ~until:(ts 20.0) fx.sim;
+  let goodput = Units.Rate.to_bps (Flow.goodput_bps flow ~now:(Sim.now fx.sim)) in
   check_bool "long flow fills most of a 10 Mbps pipe" true (goodput > 8e6)
 
 (* --- loss recovery ----------------------------------------------------------------- *)
@@ -223,7 +225,7 @@ let fast_retransmit_single_loss () =
     Flow.create fx.topo ~src:fx.src ~dst:fx.dst ~cc:(Cc.newreno ())
       ~total_pkts:200 ()
   in
-  Sim.run ~until:20.0 fx.sim;
+  Sim.run ~until:(ts 20.0) fx.sim;
   check_bool "completed" true (Flow.completed flow);
   check_int "one retransmission" 1 (Flow.retransmissions flow);
   check_int "recovered without timeout" 0 (Flow.timeouts flow);
@@ -237,7 +239,7 @@ let sack_burst_loss_recovery () =
     Flow.create fx.topo ~src:fx.src ~dst:fx.dst ~cc:(Cc.newreno ())
       ~total_pkts:300 ()
   in
-  Sim.run ~until:20.0 fx.sim;
+  Sim.run ~until:(ts 20.0) fx.sim;
   check_bool "completed" true (Flow.completed flow);
   check_int "exactly the five holes retransmitted" 5 (Flow.retransmissions flow);
   check_int "no timeout" 0 (Flow.timeouts flow)
@@ -248,9 +250,9 @@ let window_halves_on_loss () =
     Flow.create fx.topo ~src:fx.src ~dst:fx.dst ~cc:(Cc.newreno ()) ()
   in
   let before = ref 0.0 in
-  Sim.every fx.sim 0.001 (fun () ->
+  Sim.every fx.sim (ts 0.001) (fun () ->
       if Flow.loss_events flow = 0 then before := Flow.cwnd flow);
-  Sim.run ~until:3.0 fx.sim;
+  Sim.run ~until:(ts 3.0) fx.sim;
   check_bool "saw loss" true (Flow.loss_events flow >= 1);
   check_bool "ssthresh near half of pre-loss cwnd" true
     (Flow.ssthresh flow <= (!before /. 2.0) +. 2.0);
@@ -265,7 +267,7 @@ let timeout_on_blackout () =
     Flow.create fx.topo ~src:fx.src ~dst:fx.dst ~cc:(Cc.newreno ())
       ~total_pkts:150 ()
   in
-  Sim.run ~until:60.0 fx.sim;
+  Sim.run ~until:(ts 60.0) fx.sim;
   check_bool "completed despite blackout" true (Flow.completed flow);
   check_bool "used a timeout" true (Flow.timeouts flow >= 1)
 
@@ -279,21 +281,21 @@ let blackout_backoff_and_recovery () =
   let flow =
     Flow.create fx.topo ~src:fx.src ~dst:fx.dst ~cc:(Cc.newreno ()) ()
   in
-  Sim.run ~until:0.5 fx.sim;
+  Sim.run ~until:(ts 0.5) fx.sim;
   let acked_before = Flow.acked_pkts flow in
   check_bool "warm before the outage" true (acked_before > 0);
   Link.set_up fx.bottleneck false;
-  Sim.run ~until:20.5 fx.sim;
+  Sim.run ~until:(ts 20.5) fx.sim;
   let during = Flow.timeouts flow in
   check_bool "exponential backoff: a few timeouts, not ~100" true
     (during >= 3 && during <= 10);
-  check_bool "rto grew under backoff" true (Flow.rto_value flow > 2.0);
+  check_bool "rto grew under backoff" true (tf (Flow.rto_value flow) > 2.0);
   Link.set_up fx.bottleneck true;
-  Sim.run ~until:45.0 fx.sim;
+  Sim.run ~until:(ts 45.0) fx.sim;
   check_bool "transfer resumed after recovery" true
     (Flow.acked_pkts flow > acked_before + 100);
   check_bool "backoff reset by the first post-recovery ACK" true
-    (Flow.rto_value flow < 1.0);
+    (tf (Flow.rto_value flow) < 1.0);
   Flow.stop flow
 
 let stop_cancels_pending_rto () =
@@ -303,12 +305,12 @@ let stop_cancels_pending_rto () =
   let flow =
     Flow.create fx.topo ~src:fx.src ~dst:fx.dst ~cc:(Cc.newreno ()) ()
   in
-  Sim.run ~until:0.5 fx.sim;
+  Sim.run ~until:(ts 0.5) fx.sim;
   Link.set_up fx.bottleneck false;
-  Sim.run ~until:0.6 fx.sim;
+  Sim.run ~until:(ts 0.6) fx.sim;
   Flow.stop flow;
   let at_stop = Flow.timeouts flow in
-  Sim.run ~until:30.0 fx.sim;
+  Sim.run ~until:(ts 30.0) fx.sim;
   check_int "no timeout fires after stop" at_stop (Flow.timeouts flow)
 
 let receiver_reordering () =
@@ -319,7 +321,7 @@ let receiver_reordering () =
     Flow.create fx.topo ~src:fx.src ~dst:fx.dst ~cc:(Cc.newreno ())
       ~total_pkts:120 ()
   in
-  Sim.run ~until:30.0 fx.sim;
+  Sim.run ~until:(ts 30.0) fx.sim;
   check_bool "completed" true (Flow.completed flow);
   check_int "acked exactly total" 120 (Flow.acked_pkts flow)
 
@@ -332,7 +334,7 @@ let ecn_halves_without_retransmit () =
         Netsim.Red.wq = 0.02;
         min_th = 5.0;
         max_th = 15.0;
-        max_p = 0.1;
+        max_p = Units.Prob.v 0.1;
         gentle = true;
         adaptive = false;
         ecn = true;
@@ -347,17 +349,17 @@ let ecn_halves_without_retransmit () =
   in
   (* Slow-start overshoot may push RED past its hard-drop region once;
      judge the steady state after a warm-up. *)
-  Sim.run ~until:5.0 fx.sim;
+  Sim.run ~until:(ts 5.0) fx.sim;
   Link.reset_stats fx.bottleneck;
   let retx_after_warmup = Flow.retransmissions flow in
-  Sim.run ~until:25.0 fx.sim;
+  Sim.run ~until:(ts 25.0) fx.sim;
   check_bool "link marked packets" true (Link.marks fx.bottleneck > 0);
   check_int "no steady-state drops (ECN absorbed congestion)" 0
     (Link.drops fx.bottleneck);
   check_int "no steady-state retransmissions" retx_after_warmup
     (Flow.retransmissions flow);
   check_bool "still utilises the pipe" true
-    (Flow.goodput_bps flow ~now:(Sim.now fx.sim) > 7e6)
+    (Units.Rate.to_bps (Flow.goodput_bps flow ~now:(Sim.now fx.sim)) > 7e6)
 
 (* --- fairness / CC variants ------------------------------------------------------------ *)
 
@@ -365,35 +367,38 @@ let two_reno_flows_fair () =
   let fx = fixture () in
   let mk () = Flow.create fx.topo ~src:fx.src ~dst:fx.dst ~cc:(Cc.newreno ()) () in
   let f1 = mk () and f2 = mk () in
-  Sim.run ~until:10.0 fx.sim;
+  Sim.run ~until:(ts 10.0) fx.sim;
   Flow.reset_stats f1;
   Flow.reset_stats f2;
-  Sim.run ~until:40.0 fx.sim;
+  Sim.run ~until:(ts 40.0) fx.sim;
   let now = Sim.now fx.sim in
-  let g1 = Flow.goodput_bps f1 ~now and g2 = Flow.goodput_bps f2 ~now in
+  let g1 = Units.Rate.to_bps (Flow.goodput_bps f1 ~now)
+  and g2 = Units.Rate.to_bps (Flow.goodput_bps f2 ~now) in
   let jain = Sim_engine.Stats.jain_index [| g1; g2 |] in
   check_bool "two identical flows share fairly" true (jain > 0.95)
 
 let vegas_keeps_queue_small () =
   let fx = fixture () in
   let flow = Flow.create fx.topo ~src:fx.src ~dst:fx.dst ~cc:(Vegas.create ()) () in
-  Sim.run ~until:10.0 fx.sim;
+  Sim.run ~until:(ts 10.0) fx.sim;
   Link.reset_stats fx.bottleneck;
-  Sim.run ~until:30.0 fx.sim;
+  Sim.run ~until:(ts 30.0) fx.sim;
   check_bool "queue a few packets (alpha..beta)" true
-    (Link.avg_queue_pkts fx.bottleneck < 8.0);
+    (Units.Pkts.to_float (Link.avg_queue_pkts fx.bottleneck) < 8.0);
   check_int "no drops" 0 (Link.drops fx.bottleneck);
   check_bool "high goodput" true
-    (Flow.goodput_bps flow ~now:(Sim.now fx.sim) > 8e6)
+    (Units.Rate.to_bps (Flow.goodput_bps flow ~now:(Sim.now fx.sim)) > 8e6)
 
 let pert_beats_reno_on_queue () =
   let run mk_cc =
     let fx = fixture () in
     let flow = Flow.create fx.topo ~src:fx.src ~dst:fx.dst ~cc:(mk_cc fx.sim) () in
-    Sim.run ~until:10.0 fx.sim;
+    Sim.run ~until:(ts 10.0) fx.sim;
     Link.reset_stats fx.bottleneck;
-    Sim.run ~until:40.0 fx.sim;
-    (Link.avg_queue_pkts fx.bottleneck, Link.drops fx.bottleneck, flow)
+    Sim.run ~until:(ts 40.0) fx.sim;
+    ( Units.Pkts.to_float (Link.avg_queue_pkts fx.bottleneck),
+      Link.drops fx.bottleneck,
+      flow )
   in
   let q_reno, drops_reno, _ = run (fun _ -> Cc.newreno ()) in
   let q_pert, drops_pert, pert_flow =
@@ -416,25 +421,25 @@ let pert_pi_regulates_delay () =
   let cc =
     Pert_pi_cc.create
       ~rng:(Rng.split (Sim.rng fx.sim))
-      ~gains ~target_delay:0.003 ~sample_interval:0.005 ()
+      ~gains ~target_delay:(ts 0.003) ~sample_interval:(ts 0.005) ()
   in
   let flow = Flow.create fx.topo ~src:fx.src ~dst:fx.dst ~cc () in
-  Sim.run ~until:10.0 fx.sim;
+  Sim.run ~until:(ts 10.0) fx.sim;
   Link.reset_stats fx.bottleneck;
-  Sim.run ~until:40.0 fx.sim;
+  Sim.run ~until:(ts 40.0) fx.sim;
   (* 3 ms at 1201 pkt/s is ~3.6 packets; allow generous slack. *)
   check_bool "queue regulated near target" true
-    (Link.avg_queue_pkts fx.bottleneck < 15.0);
+    (Units.Pkts.to_float (Link.avg_queue_pkts fx.bottleneck) < 15.0);
   check_int "no drops" 0 (Link.drops fx.bottleneck);
   check_bool "early responses happened" true (Flow.early_responses flow > 0)
 
 let flow_stop_detaches () =
   let fx = fixture () in
   let flow = Flow.create fx.topo ~src:fx.src ~dst:fx.dst ~cc:(Cc.newreno ()) () in
-  Sim.run ~until:1.0 fx.sim;
+  Sim.run ~until:(ts 1.0) fx.sim;
   let acked = Flow.acked_pkts flow in
   Flow.stop flow;
-  Sim.run ~until:5.0 fx.sim;
+  Sim.run ~until:(ts 5.0) fx.sim;
   (* a few in-flight ACKs may still drain, but no new data is sent *)
   check_bool "transmission halted" true (Flow.snd_next flow - acked < 200);
   check_bool "no further progress" true (Flow.acked_pkts flow <= acked + 200)
@@ -454,16 +459,16 @@ let owd_signal_ignores_reverse_congestion () =
     and dst = T.add_node topo in
     let fast () = Netsim.Droptail.create ~limit_pkts:10_000 in
     ignore
-      (T.add_duplex topo ~a:src ~b:r1 ~bandwidth:100e6 ~delay:0.001
+      (T.add_duplex topo ~a:src ~b:r1 ~bandwidth:(Units.Rate.bps 100e6) ~delay:(ts 0.001)
          ~disc_ab:(fast ()) ~disc_ba:(fast ()));
     ignore
-      (T.add_link topo ~src:r1 ~dst:r2 ~bandwidth:10e6 ~delay:0.01
+      (T.add_link topo ~src:r1 ~dst:r2 ~bandwidth:(Units.Rate.bps 10e6) ~delay:(ts 0.01)
          ~disc:(Netsim.Droptail.create ~limit_pkts:100));
     ignore
-      (T.add_link topo ~src:r2 ~dst:r1 ~bandwidth:10e6 ~delay:0.01
+      (T.add_link topo ~src:r2 ~dst:r1 ~bandwidth:(Units.Rate.bps 10e6) ~delay:(ts 0.01)
          ~disc:(Netsim.Droptail.create ~limit_pkts:100));
     ignore
-      (T.add_duplex topo ~a:r2 ~b:dst ~bandwidth:100e6 ~delay:0.001
+      (T.add_duplex topo ~a:r2 ~b:dst ~bandwidth:(Units.Rate.bps 100e6) ~delay:(ts 0.001)
          ~disc_ab:(fast ()) ~disc_ba:(fast ()));
     T.compute_routes topo;
     let flow =
@@ -475,8 +480,9 @@ let owd_signal_ignores_reverse_congestion () =
        starving the ACK path outright *)
     let _rev1 = Flow.create topo ~src:dst ~dst:src ~cc:(Cc.newreno ()) () in
     let _rev2 = Flow.create topo ~src:dst ~dst:src ~cc:(Cc.newreno ()) () in
-    Sim.run ~until:20.0 sim;
-    (Flow.early_responses flow, Flow.goodput_bps flow ~now:(Sim.now sim))
+    Sim.run ~until:(ts 20.0) sim;
+    ( Flow.early_responses flow,
+      Units.Rate.to_bps (Flow.goodput_bps flow ~now:(Sim.now sim)) )
   in
   let early_rtt, goodput_rtt = run `Rtt in
   let early_owd, goodput_owd = run `Owd in
@@ -502,7 +508,7 @@ let delayed_acks_halve_ack_traffic () =
         (fun l -> Netsim.Link.name l = "link-2->1")
         (Netsim.Topology.links fx.topo)
     in
-    Sim.run ~until:60.0 fx.sim;
+    Sim.run ~until:(ts 60.0) fx.sim;
     check_bool "completed" true (Flow.completed flow);
     check_int "all data acked" 400 (Flow.acked_pkts flow);
     check_int "no spurious retransmissions" 0 (Flow.retransmissions flow);
@@ -523,10 +529,10 @@ let survives_reordering_jitter () =
   let src = T.add_node topo and dst = T.add_node topo in
   let disc () = Netsim.Droptail.create ~limit_pkts:1000 in
   ignore
-    (T.add_link topo ~jitter:0.005 ~src ~dst ~bandwidth:10e6 ~delay:0.01
+    (T.add_link topo ~jitter:(ts 0.005) ~src ~dst ~bandwidth:(Units.Rate.bps 10e6) ~delay:(ts 0.01)
        ~disc:(disc ()));
   ignore
-    (T.add_link topo ~src:dst ~dst:src ~bandwidth:10e6 ~delay:0.01
+    (T.add_link topo ~src:dst ~dst:src ~bandwidth:(Units.Rate.bps 10e6) ~delay:(ts 0.01)
        ~disc:(disc ()));
   T.compute_routes topo;
   let completed = ref false in
@@ -535,7 +541,7 @@ let survives_reordering_jitter () =
       ~on_complete:(fun _ -> completed := true)
       ()
   in
-  Sim.run ~until:60.0 sim;
+  Sim.run ~until:(ts 60.0) sim;
   check_bool "completed despite reordering" true !completed;
   check_int "all data acked exactly once" 500 (Flow.acked_pkts flow)
 
@@ -544,11 +550,11 @@ let max_cwnd_cap_enforced () =
   let flow =
     Flow.create fx.topo ~src:fx.src ~dst:fx.dst ~cc:(Cc.newreno ()) ~max_cwnd:8.0 ()
   in
-  Sim.run ~until:10.0 fx.sim;
+  Sim.run ~until:(ts 10.0) fx.sim;
   (* cwnd may grow above the cap internally but in-flight must respect it *)
   check_bool "outstanding bounded by cap" true
     (Flow.snd_next flow - Flow.snd_una flow <= 8);
-  let goodput = Flow.goodput_bps flow ~now:(Sim.now fx.sim) in
+  let goodput = Units.Rate.to_bps (Flow.goodput_bps flow ~now:(Sim.now fx.sim)) in
   (* 8 pkts per 24 ms RTT = ~2.7 Mbps of MSS payload *)
   check_bool "rate matches window cap" true (goodput < 3.3e6);
   Flow.stop flow
@@ -562,7 +568,7 @@ let completion_callback_fires_once () =
       ~on_complete:(fun _ -> incr fired)
       ()
   in
-  Sim.run ~until:20.0 fx.sim;
+  Sim.run ~until:(ts 20.0) fx.sim;
   check_int "exactly one completion" 1 !fired
 
 let non_ecn_flow_ignores_echo () =
@@ -571,7 +577,7 @@ let non_ecn_flow_ignores_echo () =
      early_responses stay 0 and it behaves like plain NewReno. *)
   let mk_red () =
     let params =
-      { Netsim.Red.wq = 0.02; min_th = 5.0; max_th = 15.0; max_p = 0.1;
+      { Netsim.Red.wq = 0.02; min_th = 5.0; max_th = 15.0; max_p = Units.Prob.v 0.1;
         gentle = true; adaptive = false; ecn = true }
     in
     Netsim.Red.create ~rng:(Rng.create 13) ~params ~capacity_pps:1201.0
@@ -581,7 +587,7 @@ let non_ecn_flow_ignores_echo () =
   let flow =
     Flow.create fx.topo ~src:fx.src ~dst:fx.dst ~cc:(Cc.newreno ()) ~ecn:false ()
   in
-  Sim.run ~until:10.0 fx.sim;
+  Sim.run ~until:(ts 10.0) fx.sim;
   (* RED marks only ECN-capable packets; non-capable ones get dropped in
      the marking region instead, so the flow sees losses not echoes *)
   check_int "no marks for non-ecn traffic" 0 (Netsim.Link.marks fx.bottleneck);
@@ -595,7 +601,7 @@ let initial_cwnd_respected () =
       ~initial_cwnd:4.0 ()
   in
   (* before any ACK returns (RTT ~24 ms), exactly 4 packets are out *)
-  Sim.run ~until:0.01 fx.sim;
+  Sim.run ~until:(ts 0.01) fx.sim;
   check_int "initial window" 4 (Flow.snd_next flow);
   Flow.stop flow
 
@@ -607,7 +613,7 @@ let deterministic_replay () =
         ~cc:(Pert_cc.create ~rng:(Rng.split (Sim.rng fx.sim)) ())
         ()
     in
-    Sim.run ~until:10.0 fx.sim;
+    Sim.run ~until:(ts 10.0) fx.sim;
     (Flow.acked_pkts flow, Flow.early_responses flow, Sim.events_executed fx.sim)
   in
   let a = run () and b = run () in
@@ -626,7 +632,7 @@ let reliable_delivery_under_random_loss =
           ~on_complete:(fun _ -> completed := true)
           ()
       in
-      Sim.run ~until:120.0 fx.sim;
+      Sim.run ~until:(ts 120.0) fx.sim;
       !completed && Flow.acked_pkts flow = 150)
 
 let qsuite =

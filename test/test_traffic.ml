@@ -6,14 +6,15 @@ open Traffic
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
+let ts = Units.Time.s
 
-let fixture ?(bandwidth = 10e6) () =
+let fixture ?(bandwidth = Units.Rate.bps 10e6) () =
   let sim = Sim.create ~seed:21 () in
   let topo = T.create sim in
   let a = T.add_node topo and b = T.add_node topo in
   let disc () = Netsim.Droptail.create ~limit_pkts:1000 in
   ignore
-    (T.add_duplex topo ~a ~b ~bandwidth ~delay:0.005 ~disc_ab:(disc ())
+    (T.add_duplex topo ~a ~b ~bandwidth ~delay:(ts 0.005) ~disc_ab:(disc ())
        ~disc_ba:(disc ()));
   T.compute_routes topo;
   (sim, topo, a, b)
@@ -28,7 +29,7 @@ let ftp_spawns_unbounded_flows () =
       ~cc_factory:Tcpstack.Cc.newreno ()
   in
   check_int "three flows" 3 (List.length flows);
-  Sim.run ~until:5.0 sim;
+  Sim.run ~until:(ts 5.0) sim;
   List.iter
     (fun f ->
       check_bool "made progress" true (Tcpstack.Flow.acked_pkts f > 0);
@@ -43,11 +44,11 @@ let ftp_staggered_starts () =
       ~cc_factory:Tcpstack.Cc.newreno ~start_window:(1.0, 3.0) ()
   in
   (* Before t=1 nothing may be sent; after t=3 everything must run. *)
-  Sim.run ~until:0.9 sim;
+  Sim.run ~until:(ts 0.9) sim;
   List.iter
     (fun f -> check_int "quiet before window" 0 (Tcpstack.Flow.snd_next f))
     flows;
-  Sim.run ~until:6.0 sim;
+  Sim.run ~until:(ts 6.0) sim;
   List.iter
     (fun f -> check_bool "started within window" true (Tcpstack.Flow.acked_pkts f > 0))
     flows
@@ -60,7 +61,7 @@ let web_completes_objects () =
     Web.start_sessions topo ~n:20 ~src_pool:[| a |] ~dst_pool:[| b |]
       ~cc_factory:Tcpstack.Cc.newreno ()
   in
-  Sim.run ~until:60.0 sim;
+  Sim.run ~until:(ts 60.0) sim;
   check_bool "objects completed" true (stats.Web.objects_completed > 10);
   check_bool "packets accounted" true
     (stats.Web.pkts_completed >= 2 * stats.Web.objects_completed)
@@ -69,11 +70,11 @@ let web_respects_until () =
   let sim, topo, a, b = fixture () in
   let stats =
     Web.start_sessions topo ~n:10 ~src_pool:[| a |] ~dst_pool:[| b |]
-      ~cc_factory:Tcpstack.Cc.newreno ~until:5.0 ()
+      ~cc_factory:Tcpstack.Cc.newreno ~until:(ts 5.0) ()
   in
-  Sim.run ~until:30.0 sim;
+  Sim.run ~until:(ts 30.0) sim;
   let after_cutoff = stats.Web.objects_completed in
-  Sim.run ~until:200.0 sim;
+  Sim.run ~until:(ts 200.0) sim;
   (* a page in flight at the cutoff may still finish, but generation stops *)
   check_bool "no unbounded growth after cutoff" true
     (stats.Web.objects_completed - after_cutoff < 100)
@@ -90,27 +91,29 @@ let web_empty_pool_rejected () =
 
 let cbr_rate_accuracy () =
   let sim, topo, a, b = fixture () in
-  let cbr = Cbr.start topo ~src:a ~dst:b ~rate_bps:1e6 ~stop:10.0 () in
-  Sim.run ~until:12.0 sim;
+  let cbr = Cbr.start topo ~src:a ~dst:b ~rate:(Units.Rate.bps 1e6) ~stop:(ts 10.0) () in
+  Sim.run ~until:(ts 12.0) sim;
   (* 1 Mbps for 10 s at 1040-byte packets: ~1202 packets. *)
   check_bool "sent close to nominal" true (abs (Cbr.sent cbr - 1202) <= 2);
   check_int "all delivered on an idle link" (Cbr.sent cbr) (Cbr.received cbr)
 
 let cbr_halt () =
   let sim, topo, a, b = fixture () in
-  let cbr = Cbr.start topo ~src:a ~dst:b ~rate_bps:1e6 () in
-  Sim.run ~until:1.0 sim;
+  let cbr = Cbr.start topo ~src:a ~dst:b ~rate:(Units.Rate.bps 1e6) () in
+  Sim.run ~until:(ts 1.0) sim;
   Cbr.halt cbr;
   let sent = Cbr.sent cbr in
-  Sim.run ~until:5.0 sim;
+  Sim.run ~until:(ts 5.0) sim;
   check_int "no more packets after halt" sent (Cbr.sent cbr)
 
 let cbr_competes_with_tcp () =
-  let sim, topo, a, b = fixture ~bandwidth:5e6 () in
+  let sim, topo, a, b = fixture ~bandwidth:(Units.Rate.bps 5e6) () in
   let flow = Tcpstack.Flow.create topo ~src:a ~dst:b ~cc:(Tcpstack.Cc.newreno ()) () in
-  let _cbr = Cbr.start topo ~src:a ~dst:b ~rate_bps:3e6 () in
-  Sim.run ~until:20.0 sim;
-  let goodput = Tcpstack.Flow.goodput_bps flow ~now:(Sim.now sim) in
+  let _cbr = Cbr.start topo ~src:a ~dst:b ~rate:(Units.Rate.bps 3e6) () in
+  Sim.run ~until:(ts 20.0) sim;
+  let goodput =
+    Units.Rate.to_bps (Tcpstack.Flow.goodput_bps flow ~now:(Sim.now sim))
+  in
   (* TCP should be squeezed to roughly the residual 2 Mbps. *)
   check_bool "tcp yields to cbr" true (goodput < 3.5e6);
   check_bool "tcp still gets residual share" true (goodput > 0.8e6)
@@ -119,7 +122,7 @@ let cbr_validation () =
   let _sim, topo, a, b = fixture () in
   Alcotest.check_raises "bad rate"
     (Invalid_argument "Cbr.start: rate must be positive") (fun () ->
-      ignore (Cbr.start topo ~src:a ~dst:b ~rate_bps:0.0 ()))
+      ignore (Cbr.start topo ~src:a ~dst:b ~rate:(Units.Rate.bps 0.0) ()))
 
 let ftp_empty_pairs () =
   let _sim, topo, _, _ = fixture () in
@@ -133,7 +136,7 @@ let web_deterministic_per_seed () =
       Web.start_sessions topo ~n:10 ~src_pool:[| a |] ~dst_pool:[| b |]
         ~cc_factory:Tcpstack.Cc.newreno ()
     in
-    Sim.run ~until:30.0 sim;
+    Sim.run ~until:(ts 30.0) sim;
     (stats.Web.objects_completed, stats.Web.pkts_completed)
   in
   check_bool "same seed, same workload" true (run () = run ())

@@ -1,0 +1,146 @@
+(* Tests for lib/units: the phantom-typed quantity wrappers. These pin
+   down (1) the exact float semantics — wrap/unwrap round-trips are the
+   identity, conversions are single multiplications — so the migration
+   provably changed no computed value, and (2) the construction-time
+   guarantees (NaN rejection, Prob clamping) the rest of the tree now
+   relies on instead of scattered runtime range checks. *)
+
+module U = Units
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 0.0))
+let check_int = Alcotest.(check int)
+
+(* --- Time --- *)
+
+let time_roundtrip () =
+  check_float "to_s (s x) = x" 0.0125 (U.Time.to_s (U.Time.s 0.0125));
+  (* ms/us constructors are a single multiplication by the literal scale;
+     the float results must be bit-exact against the inline expression. *)
+  check_float "ms" (3.0 *. 1e-3) (U.Time.to_s (U.Time.ms 3.0));
+  check_float "us" (250.0 *. 1e-6) (U.Time.to_s (U.Time.us 250.0));
+  check_float "to_ms" (0.004 *. 1e3) (U.Time.to_ms (U.Time.s 0.004));
+  check_float "to_us" (0.004 *. 1e6) (U.Time.to_us (U.Time.s 0.004));
+  check_float "zero" 0.0 (U.Time.to_s U.Time.zero)
+
+let time_arith () =
+  let a = U.Time.s 0.3 and b = U.Time.s 0.1 in
+  check_float "add" (0.3 +. 0.1) (U.Time.to_s (U.Time.add a b));
+  check_float "sub" (0.3 -. 0.1) (U.Time.to_s (U.Time.sub a b));
+  check_float "scale" (2.5 *. 0.3) (U.Time.to_s (U.Time.scale 2.5 a));
+  check_float "ratio" (0.3 /. 0.1) (U.Time.ratio a b);
+  check_bool "compare" true (U.Time.compare b a < 0);
+  check_bool "min" true (U.Time.equal b (U.Time.min a b));
+  check_bool "max" true (U.Time.equal a (U.Time.max a b));
+  check_bool "finite" true (U.Time.is_finite a);
+  check_bool "infinite" false (U.Time.is_finite (U.Time.s infinity))
+
+let time_rejects_nan () =
+  Alcotest.check_raises "s nan" (Invalid_argument "Units.Time.s: NaN")
+    (fun () -> ignore (U.Time.s Float.nan));
+  Alcotest.check_raises "ms nan" (Invalid_argument "Units.Time.s: NaN")
+    (fun () -> ignore (U.Time.ms Float.nan))
+
+(* --- Rate --- *)
+
+let rate_roundtrip () =
+  check_float "to_bps (bps x) = x" 1.5e7 (U.Rate.to_bps (U.Rate.bps 1.5e7));
+  check_float "mbps" (10.0 *. 1e6) (U.Rate.to_bps (U.Rate.mbps 10.0));
+  check_float "to_mbps" (1.5e7 /. 1e6) (U.Rate.to_mbps (U.Rate.bps 1.5e7));
+  (* pps of a 10 Mbit/s link with 1000-byte packets: 1250 pkt/s. *)
+  check_float "to_pps" (1e7 /. 8000.0)
+    (U.Rate.to_pps (U.Rate.bps 1e7) ~pkt_bytes:1000);
+  check_float "scale" (0.5 *. 1e7) (U.Rate.to_bps (U.Rate.scale 0.5 (U.Rate.bps 1e7)));
+  check_float "ratio" 2.0 (U.Rate.ratio (U.Rate.bps 2e6) (U.Rate.bps 1e6));
+  Alcotest.check_raises "bps nan" (Invalid_argument "Units.Rate.bps: NaN")
+    (fun () -> ignore (U.Rate.bps Float.nan))
+
+(* --- Size --- *)
+
+let size_arith () =
+  check_int "bytes round-trip" 1500 (U.Size.to_bytes (U.Size.bytes 1500));
+  check_int "add" 1540 (U.Size.to_bytes (U.Size.add (U.Size.bytes 1500) (U.Size.bytes 40)));
+  check_float "bits" (8.0 *. 1500.0) (U.Size.bits (U.Size.bytes 1500));
+  (* Serialisation delay of a 1500 B packet at 10 Mbit/s: 1.2 ms. *)
+  check_float "tx_time" (12000.0 /. 1e7)
+    (U.Time.to_s (U.Size.tx_time (U.Size.bytes 1500) (U.Rate.bps 1e7)))
+
+(* --- Pkts --- *)
+
+let pkts_semantics () =
+  check_float "v round-trip" 12.5 (U.Pkts.to_float (U.Pkts.v 12.5));
+  check_float "of_int" 7.0 (U.Pkts.to_float (U.Pkts.of_int 7));
+  check_float "negative clamps to zero" 0.0 (U.Pkts.to_float (U.Pkts.v (-3.0)));
+  check_float "add" (1.5 +. 2.5)
+    (U.Pkts.to_float (U.Pkts.add (U.Pkts.v 1.5) (U.Pkts.v 2.5)));
+  check_float "ratio" 4.0 (U.Pkts.ratio (U.Pkts.v 8.0) (U.Pkts.v 2.0));
+  Alcotest.check_raises "v nan" (Invalid_argument "Units.Pkts.v: NaN")
+    (fun () -> ignore (U.Pkts.v Float.nan))
+
+(* --- Prob --- *)
+
+let prob_clamping () =
+  check_float "in-range is identity" 0.05 (U.Prob.to_float (U.Prob.v 0.05));
+  check_float "overrange clamps to one" 1.0 (U.Prob.to_float (U.Prob.v 1.5));
+  check_float "negative clamps to zero" 0.0 (U.Prob.to_float (U.Prob.v (-0.2)));
+  check_float "zero" 0.0 (U.Prob.to_float U.Prob.zero);
+  check_float "one" 1.0 (U.Prob.to_float U.Prob.one);
+  check_bool "is_zero" true (U.Prob.is_zero U.Prob.zero);
+  check_bool "positive" true (U.Prob.positive (U.Prob.v 0.01));
+  check_bool "zero not positive" false (U.Prob.positive U.Prob.zero);
+  check_float "complement" (1.0 -. 0.3) (U.Prob.to_float (U.Prob.complement (U.Prob.v 0.3)));
+  (* scale re-clamps: doubling 0.8 saturates. *)
+  check_float "scale clamps" 1.0 (U.Prob.to_float (U.Prob.scale 2.0 (U.Prob.v 0.8)));
+  Alcotest.check_raises "v nan" (Invalid_argument "Units.Prob.v: NaN")
+    (fun () -> ignore (U.Prob.v Float.nan))
+
+let prob_sampling () =
+  (* sample p ~u is exactly u < p — the single strict comparison every
+     Bernoulli decision in the tree now compiles to. *)
+  check_bool "u below p" true (U.Prob.sample (U.Prob.v 0.5) ~u:0.49);
+  check_bool "u at p" false (U.Prob.sample (U.Prob.v 0.5) ~u:0.5);
+  check_bool "never under zero" false (U.Prob.sample U.Prob.zero ~u:0.0);
+  check_bool "always under one" true (U.Prob.sample U.Prob.one ~u:0.999999)
+
+(* --- Round --- *)
+
+let rounding_modes () =
+  check_int "trunc" 3 (U.Round.trunc 3.9);
+  check_int "trunc negative" (-3) (U.Round.trunc (-3.9));
+  check_int "floor" 3 (U.Round.floor 3.9);
+  check_int "floor negative" (-4) (U.Round.floor (-3.9));
+  check_int "ceil" 4 (U.Round.ceil 3.1);
+  check_int "ceil negative" (-3) (U.Round.ceil (-3.1));
+  check_int "nearest up" 4 (U.Round.nearest 3.6);
+  check_int "nearest down" 3 (U.Round.nearest 3.4)
+
+(* QCheck: wrap/unwrap is the identity on every representable float, so
+   the wrappers cannot perturb any computation they pass through. *)
+let qcheck_roundtrips =
+  let open QCheck in
+  [
+    Test.make ~name:"Time.s/to_s identity" ~count:500
+      (float_range (-1e9) 1e9)
+      (fun x -> Float.equal (U.Time.to_s (U.Time.s x)) x);
+    Test.make ~name:"Rate.bps/to_bps identity" ~count:500
+      (float_range 0.0 1e12)
+      (fun x -> Float.equal (U.Rate.to_bps (U.Rate.bps x)) x);
+    Test.make ~name:"Prob.v idempotent" ~count:500 (float_range (-2.0) 2.0)
+      (fun x ->
+        let p = U.Prob.to_float (U.Prob.v x) in
+        Float.equal (U.Prob.to_float (U.Prob.v p)) p && 0.0 <= p && p <= 1.0);
+  ]
+
+let suite =
+  [
+    ("Time round-trips", `Quick, time_roundtrip);
+    ("Time arithmetic", `Quick, time_arith);
+    ("Time rejects NaN", `Quick, time_rejects_nan);
+    ("Rate conversions", `Quick, rate_roundtrip);
+    ("Size arithmetic and tx_time", `Quick, size_arith);
+    ("Pkts semantics", `Quick, pkts_semantics);
+    ("Prob clamps and rejects NaN", `Quick, prob_clamping);
+    ("Prob sampling is u < p", `Quick, prob_sampling);
+    ("Round names its mode", `Quick, rounding_modes);
+  ]
+  @ QCheck_alcotest.(List.map to_alcotest qcheck_roundtrips)

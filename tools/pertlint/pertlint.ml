@@ -18,6 +18,19 @@
      H1  no catch-all [try ... with _ ->] swallowing exceptions.
      M1  every lib/ module ships an .mli (checked as: the .cmt has a
          sibling .cmti).
+     U1  no float-typed binding or record label with a unit-suffixed name
+         ([_s], [_ms], [_us], [_bps], [_mbps], [_bytes], [_pkts], [_prob],
+         [_p]) inside lib/ — a value that names its unit must carry it in
+         the type ([Units.Time.t], [Units.Rate.t], ...), not in a comment.
+     U2  no inline probability decision: comparing a raw [Rng.float] draw
+         against a bare float re-implements Bernoulli sampling without the
+         [Units.Prob] clamping/NaN guarantees; use [Rng.bernoulli].
+     U3  no bare truncation ([int_of_float], [truncate], [Float.to_int])
+         of a unit-suffixed value, anywhere — rounding a quantity that
+         carries a unit is a semantic decision; spell it with
+         [Units.Round.trunc]/[floor]/[ceil]/[nearest].
+     N3  no [int_of_float]/[truncate]/[Float.to_int] inside lib/ at all,
+         outside lib/units/units.ml where [Units.Round] wraps them.
 
    Suppression: attach [@lint.allow "D3"] to an expression or
    [let[@lint.allow "D3"] x = ...] to a binding; a floating
@@ -42,6 +55,10 @@ let all_rules =
     { id = "N2"; severity = Err; what = "Obj.magic" };
     { id = "H1"; severity = Err; what = "catch-all exception handler" };
     { id = "M1"; severity = Err; what = "lib/ module without an .mli" };
+    { id = "U1"; severity = Err; what = "unit-suffixed name bound as raw float in lib/" };
+    { id = "U2"; severity = Err; what = "inline probability comparison against an Rng draw" };
+    { id = "U3"; severity = Err; what = "bare truncation of a unit-suffixed value" };
+    { id = "N3"; severity = Err; what = "float->int truncation in lib/ outside Units.Round" };
   ]
 
 let rule_by_id id = List.find_opt (fun r -> r.id = id) all_rules
@@ -52,12 +69,25 @@ let enabled_rules = ref (List.map (fun r -> r.id) all_rules)
 let assume_scope_lib = ref false
 let quiet = ref false
 let stats = ref false
+let format_json = ref false
 
 (* ---------- per-run accounting ---------- *)
 
 let counts : (string, int) Hashtbl.t = Hashtbl.create 8
 let error_total = ref 0
 let files_scanned = ref 0
+
+type finding = {
+  f_file : string;
+  f_line : int;
+  f_col : int;
+  f_severity : string;
+  f_rule : string;
+  f_message : string;
+}
+
+(* Accumulated in reverse; only materialised for --format=json. *)
+let findings : finding list ref = ref []
 
 (* ---------- per-file state ---------- *)
 
@@ -116,7 +146,17 @@ let report id (loc : Location.t) msg =
     let sev = match r.severity with Err -> "error" | Warn -> "warning" in
     if r.severity = Err then incr error_total;
     Hashtbl.replace counts id (1 + Option.value ~default:0 (Hashtbl.find_opt counts id));
-    if not !quiet then
+    findings :=
+      {
+        f_file = p.pos_fname;
+        f_line = p.pos_lnum;
+        f_col = p.pos_cnum - p.pos_bol;
+        f_severity = sev;
+        f_rule = id;
+        f_message = msg;
+      }
+      :: !findings;
+    if not (!quiet || !format_json) then
       Printf.printf "%s:%d:%d: %s [%s] %s\n" p.pos_fname p.pos_lnum
         (p.pos_cnum - p.pos_bol) sev id msg
   end
@@ -125,6 +165,7 @@ let report id (loc : Location.t) msg =
 
 let in_lib () = !cur_in_lib
 let is_rng_ml () = string_suffix ~suffix:"lib/engine/rng.ml" !cur_source
+let is_units_ml () = string_suffix ~suffix:"lib/units/units.ml" !cur_source
 
 let d1_hit name =
   name = "Stdlib.Random" || string_prefix ~prefix:"Stdlib.Random." name
@@ -177,6 +218,34 @@ let is_float_ty ty =
   | Tconstr (p, _, _) -> Path.same p Predef.path_float
   | _ -> false
 
+(* Suffixes that claim a unit in a name.  [_p] is the conventional
+   probability suffix (RED's max_p); a lone "p" does not match. *)
+let unit_suffixes =
+  [ "_s"; "_ms"; "_us"; "_bps"; "_mbps"; "_bytes"; "_pkts"; "_prob"; "_p" ]
+
+let unit_suffixed name =
+  List.exists (fun suffix -> string_suffix ~suffix name) unit_suffixes
+
+let u2_cmp_fns =
+  [ "Stdlib.<"; "Stdlib.<="; "Stdlib.>"; "Stdlib.>="; "Stdlib.="; "Stdlib.<>" ]
+
+let is_rng_draw (a : Typedtree.expression) =
+  match a.exp_desc with
+  | Texp_apply ({ exp_desc = Texp_ident (path, _, _); _ }, _) ->
+      string_suffix ~suffix:"Rng.float" (Path.name path)
+  | _ -> false
+
+let truncators = [ "Stdlib.int_of_float"; "Stdlib.truncate"; "Stdlib.Float.to_int" ]
+
+(* The name a U3 diagnostic can attach to: a unit-suffixed identifier or
+   record field being truncated. *)
+let unit_named_operand (a : Typedtree.expression) =
+  match a.exp_desc with
+  | Texp_ident (path, _, _) when unit_suffixed (Path.last path) ->
+      Some (Path.last path)
+  | Texp_field (_, _, lbl) when unit_suffixed lbl.lbl_name -> Some lbl.lbl_name
+  | _ -> None
+
 let rec catch_all_pat (p : Typedtree.pattern) =
   match p.pat_desc with
   | Tpat_any -> true
@@ -203,19 +272,43 @@ let check_expr (e : Typedtree.expression) =
   match e.exp_desc with
   | Texp_ident (path, _, _) -> check_ident e path
   | Texp_apply ({ exp_desc = Texp_ident (path, _, _); exp_loc = floc; _ }, args)
-    when List.mem (Path.name path) n1_fns ->
-      let float_arg =
-        List.exists
-          (function
-            | _, Some (a : Typedtree.expression) -> is_float_ty a.exp_type
-            | _, None -> false)
-          args
+    ->
+      let name = Path.name path in
+      let some_args =
+        List.filter_map (function _, Some a -> Some a | _, None -> None) args
       in
-      if float_arg then
+      if
+        List.mem name n1_fns
+        && List.exists
+             (fun (a : Typedtree.expression) -> is_float_ty a.exp_type)
+             some_args
+      then
         report "N1" floc
           (Printf.sprintf
              "structural '%s' on float operands is NaN-oblivious; use Float.equal/Float.compare/Float.min/Float.max or a tolerance"
-             (Path.last path))
+             (Path.last path));
+      if List.mem name u2_cmp_fns && List.exists is_rng_draw some_args then
+        report "U2" floc
+          (Printf.sprintf
+             "'%s' against a raw Rng draw re-implements Bernoulli sampling; draw the decision with Rng.bernoulli on a Units.Prob.t"
+             (Path.last path));
+      if List.mem name truncators then begin
+        if in_lib () && not (is_units_ml ()) then
+          report "N3" floc
+            (Printf.sprintf
+               "'%s' in lib/ hides a rounding decision; use Units.Round.trunc/floor/ceil/nearest"
+               (Path.last path));
+        List.iter
+          (fun a ->
+            match unit_named_operand a with
+            | Some operand ->
+                report "U3" floc
+                  (Printf.sprintf
+                     "'%s' truncates unit-carrying '%s' without an explicit rounding mode; use Units.Round.trunc/floor/ceil/nearest"
+                     (Path.last path) operand)
+            | None -> ())
+          some_args
+      end
   | Texp_try (_, cases) ->
       List.iter
         (fun (c : Typedtree.value Typedtree.case) ->
@@ -223,6 +316,27 @@ let check_expr (e : Typedtree.expression) =
             report "H1" c.c_lhs.pat_loc
               "catch-all 'with _ ->' swallows every exception (incl. Out_of_memory, Stack_overflow); match specific exceptions")
         cases
+  | _ -> ()
+
+(* U1: a name that spells its unit but a type that has forgotten it. *)
+let check_unit_name (loc : Location.t) name ty =
+  if
+    in_lib ()
+    && (not (is_units_ml ()))
+    && unit_suffixed name && is_float_ty ty
+  then
+    report "U1" loc
+      (Printf.sprintf
+         "'%s' names its unit but is a raw float; carry the unit in the type (Units.Time/Rate/Size/Pkts/Prob)"
+         name)
+
+let check_type_decl (td : Typedtree.type_declaration) =
+  match td.typ_kind with
+  | Ttype_record lds ->
+      List.iter
+        (fun (ld : Typedtree.label_declaration) ->
+          check_unit_name ld.ld_name.loc ld.ld_name.txt ld.ld_type.ctyp_type)
+        lds
   | _ -> ()
 
 let iterator =
@@ -236,6 +350,20 @@ let iterator =
     with_allows vb.vb_attributes (fun () ->
         default_iterator.value_binding sub vb)
   in
+  let pat : type k. iterator -> k Typedtree.general_pattern -> unit =
+   fun sub p ->
+    (match p.pat_desc with
+    | Typedtree.Tpat_var (_, name) ->
+        check_unit_name name.loc name.txt p.pat_type
+    | Typedtree.Tpat_alias (_, _, name) ->
+        check_unit_name name.loc name.txt p.pat_type
+    | _ -> ());
+    default_iterator.pat sub p
+  in
+  let type_declaration sub (td : Typedtree.type_declaration) =
+    check_type_decl td;
+    default_iterator.type_declaration sub td
+  in
   let module_expr sub (me : Typedtree.module_expr) =
     (match me.mod_desc with
     | Tmod_ident (path, _) when d1_hit (Path.name path) && not (is_rng_ml ()) ->
@@ -244,7 +372,7 @@ let iterator =
     | _ -> ());
     default_iterator.module_expr sub me
   in
-  { default_iterator with expr; value_binding; module_expr }
+  { default_iterator with expr; value_binding; module_expr; pat; type_declaration }
 
 (* ---------- D3: module-toplevel mutable state (lib/ only) ----------
 
@@ -379,20 +507,51 @@ let rec collect_cmts acc path =
   else if Filename.check_suffix path ".cmt" then path :: acc
   else acc
 
+(* Stats go to stderr under --format=json so stdout stays a valid JSON
+   document for tooling to parse. *)
 let print_stats () =
-  Printf.printf "\nrule  severity  count  description\n";
-  Printf.printf "----  --------  -----  -----------\n";
+  let oc = if !format_json then stderr else stdout in
+  Printf.fprintf oc "\nrule  severity  count  description\n";
+  Printf.fprintf oc "----  --------  -----  -----------\n";
   List.iter
     (fun r ->
       if List.mem r.id !enabled_rules then
-        Printf.printf "%-4s  %-8s  %5d  %s\n" r.id
+        Printf.fprintf oc "%-4s  %-8s  %5d  %s\n" r.id
           (match r.severity with Err -> "error" | Warn -> "warning")
           (Option.value ~default:0 (Hashtbl.find_opt counts r.id))
           r.what)
     all_rules;
-  Printf.printf "total: %d violation(s) across %d file(s)\n"
+  Printf.fprintf oc "total: %d violation(s) across %d file(s)\n"
     (Hashtbl.fold (fun _ n acc -> n + acc) counts 0)
     !files_scanned
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let print_json () =
+  let item f =
+    Printf.sprintf
+      "  {\"file\": \"%s\", \"line\": %d, \"col\": %d, \"severity\": \"%s\", \
+       \"rule\": \"%s\", \"message\": \"%s\"}"
+      (json_escape f.f_file) f.f_line f.f_col f.f_severity f.f_rule
+      (json_escape f.f_message)
+  in
+  print_string
+    (match List.rev_map item !findings with
+    | [] -> "[]\n"
+    | items -> "[\n" ^ String.concat ",\n" items ^ "\n]\n")
 
 let () =
   let roots = ref [] in
@@ -424,6 +583,17 @@ let () =
         "lib treat every file as if it lived under lib/ (fixture testing)" );
       ("--stats", Arg.Set stats, " print a per-rule violation count table");
       ("--quiet", Arg.Set quiet, " suppress per-violation diagnostics");
+      ( "--format",
+        Arg.String
+          (fun s ->
+            match s with
+            | "text" -> format_json := false
+            | "json" -> format_json := true
+            | _ ->
+                Printf.eprintf "pertlint: --format takes 'text' or 'json'\n";
+                exit 2),
+        "FMT output format: text (default) or json (findings array on stdout)"
+      );
     ]
   in
   let usage = "pertlint [options] [dir-or-cmt ...]  (default: scan .)" in
@@ -450,5 +620,6 @@ let () =
     exit 2
   end;
   List.iter scan_cmt cmts;
+  if !format_json then print_json ();
   if !stats then print_stats ();
   exit (if !error_total > 0 then 1 else 0)
