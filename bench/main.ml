@@ -7,7 +7,15 @@
    Part 2: regenerate every table/figure row at quick scale, so
    `dune exec bench/main.exe` reproduces the paper end to end. Use
    bin/experiments_cli at `-s default` (or `full`) for the
-   publication-shaped numbers. *)
+   publication-shaped numbers.
+
+   Flags:
+     --json FILE   also write machine-readable results (per-kernel ns/run,
+                   wall-clock of the table regeneration at -j1 and -jN,
+                   and whether the two outputs were byte-identical)
+     --quota SEC   bechamel time quota per kernel (default 0.5)
+     --jobs N      domains for the table regeneration (0 = auto)
+     --scale S     regeneration scale: smoke|quick|default|full *)
 
 open Bechamel
 open Toolkit
@@ -146,6 +154,56 @@ let kernel_heap () =
   in
   drain ()
 
+(* Same add/drain shape, but with the payload shape the simulator actually
+   stores: one closure per event, invoked on pop. The closures keep the
+   element boxes live, so this kernel also sees the cost of the popped-slot
+   retention fix. *)
+let kernel_heap_closure () =
+  let h = Sim_engine.Heap.create () in
+  let sink = ref 0 in
+  for i = 0 to 999 do
+    Sim_engine.Heap.add h
+      ~time:(float_of_int ((i * 7919) mod 1000))
+      ~seq:i
+      (fun () -> sink := !sink + i)
+  done;
+  let rec drain () =
+    match Sim_engine.Heap.pop h with
+    | Some (_, _, f) ->
+        f ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  !sink
+
+(* Two orders of magnitude more elements: sift depth ~17 instead of ~10,
+   and the working set falls out of L1. *)
+let kernel_heap_100k () =
+  let h = Sim_engine.Heap.create () in
+  for i = 0 to 99_999 do
+    Sim_engine.Heap.add h
+      ~time:(float_of_int ((i * 7919) mod 100_000))
+      ~seq:i ()
+  done;
+  let rec drain () =
+    match Sim_engine.Heap.pop h with Some _ -> drain () | None -> ()
+  in
+  drain ()
+
+(* The fused min_time/pop_min event loop in Sim.run, isolated: 10k trivial
+   timers through the full scheduler path. *)
+let kernel_sim_events () =
+  let sim = Sim_engine.Sim.create ~seed:1 () in
+  let count = ref 0 in
+  for i = 0 to 9_999 do
+    Sim_engine.Sim.at sim
+      (Units.Time.s (1e-4 *. float_of_int i))
+      (fun () -> incr count)
+  done;
+  Sim_engine.Sim.run ~until:(Units.Time.s 2.0) sim;
+  !count
+
 let kernel_pert_ack =
   let engine = Pert_core.Pert_red.create () in
   let i = ref 0 in
@@ -199,17 +257,22 @@ let tests =
       staged "reverse:dumbbell-rev-flows" (fun () -> ignore (kernel_reverse ()));
       (* hot primitives *)
       staged "prim:heap-1k" kernel_heap;
+      staged "prim:heap-1k-closure" (fun () -> ignore (kernel_heap_closure ()));
+      staged "prim:heap-100k" kernel_heap_100k;
+      staged "prim:sim-10k-events" (fun () -> ignore (kernel_sim_events ()));
       staged "prim:pert-on-ack" (fun () -> ignore (kernel_pert_ack ()));
       staged "prim:red-enqueue" kernel_red_enqueue;
     ]
 
-let run_benchmarks () =
+(* --- measurement ----------------------------------------------------------- *)
+
+let measure_kernels ~quota () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:true
       ~compaction:false ()
   in
   let raw = Benchmark.all cfg instances tests in
@@ -219,12 +282,22 @@ let run_benchmarks () =
   in
   let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) clock [] in
-  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let rows =
+    List.map
+      (fun (name, ols) ->
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> (name, Some est)
+        | Some _ | None -> (name, None))
+      rows
+  in
+  List.sort (fun (a, _) (b, _) -> compare (a : string) b) rows
+
+let print_kernels rows =
   Printf.printf "%-38s %16s\n" "benchmark" "time/run";
   List.iter
-    (fun (name, ols) ->
-      match Analyze.OLS.estimates ols with
-      | Some [ est ] ->
+    (fun (name, est) ->
+      match est with
+      | Some est ->
           let pretty =
             if est > 1e9 then Printf.sprintf "%8.3f  s" (est /. 1e9)
             else if est > 1e6 then Printf.sprintf "%8.3f ms" (est /. 1e6)
@@ -232,24 +305,143 @@ let run_benchmarks () =
             else Printf.sprintf "%8.1f ns" est
           in
           Printf.printf "%-38s %16s\n" name pretty
-      | Some _ | None -> Printf.printf "%-38s %16s\n" name "n/a")
+      | None -> Printf.printf "%-38s %16s\n" name "n/a")
     rows;
   print_newline ()
 
-let regenerate_tables () =
-  print_endline "=== paper tables/figures (quick scale) ===";
+(* Render every registry table at [scale] with a [jobs]-wide pool; returns
+   (wall_seconds, rendered_output). Rendering into a string lets the JSON
+   mode check -j1 and -jN for byte identity instead of trusting it. *)
+let regenerate_tables ~jobs ~scale () =
+  let buf = Buffer.create (1 lsl 16) in
+  let fmt = Format.formatter_of_buffer buf in
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Experiments.Registry.run_many ~jobs scale Experiments.Registry.all
+  in
+  List.iter
+    (fun (e, tables) ->
+      Format.fprintf fmt "# %s (%s)@." e.Experiments.Registry.id
+        e.Experiments.Registry.paper_ref;
+      Experiments.Output.print_all fmt tables)
+    results;
+  Format.pp_print_flush fmt ();
+  (Unix.gettimeofday () -. t0, Buffer.contents buf)
+
+(* --- machine-readable trajectory ------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json ~path ~quota ~scale ~kernels ~jobs1_wall ~jobsn ~jobsn_wall
+    ~identical =
+  let buf = Buffer.create (1 lsl 12) in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"pert-bench/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cores\": %d,\n" (Parallel.default_jobs ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"scale\": \"%s\",\n"
+       (json_escape (Experiments.Scale.to_string scale)));
+  Buffer.add_string buf (Printf.sprintf "  \"quota_s\": %g,\n" quota);
+  Buffer.add_string buf "  \"kernels\": [\n";
+  let n = List.length kernels in
+  List.iteri
+    (fun i (name, est) ->
+      Buffer.add_string buf
+        (match est with
+        | Some est ->
+            Printf.sprintf "    { \"name\": \"%s\", \"ns_per_run\": %.2f }"
+              (json_escape name) est
+        | None ->
+            Printf.sprintf "    { \"name\": \"%s\", \"ns_per_run\": null }"
+              (json_escape name));
+      Buffer.add_string buf (if i = n - 1 then "\n" else ",\n"))
+    kernels;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"tables\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    \"jobs1_wall_s\": %.3f,\n" jobs1_wall);
+  Buffer.add_string buf (Printf.sprintf "    \"jobsn\": %d,\n" jobsn);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"jobsn_wall_s\": %.3f,\n" jobsn_wall);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"identical\": %b\n" identical);
+  Buffer.add_string buf "  }\n";
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+(* --- driver ---------------------------------------------------------------- *)
+
+let () =
+  let opt_json = ref None in
+  let opt_quota = ref 0.5 in
+  let opt_jobs = ref 1 in
+  let opt_scale = ref Experiments.Scale.Quick in
+  let set_scale s =
+    match Experiments.Scale.of_string s with
+    | Ok v -> opt_scale := v
+    | Error e -> raise (Arg.Bad e)
+  in
+  let specs =
+    [
+      ( "--json",
+        Arg.String (fun s -> opt_json := Some s),
+        "FILE  also write machine-readable results to FILE" );
+      ( "--quota",
+        Arg.Set_float opt_quota,
+        "SEC  bechamel time quota per kernel (default 0.5)" );
+      ( "--jobs",
+        Arg.Set_int opt_jobs,
+        "N  domains for table regeneration (0 = one per recommended core)" );
+      ( "--scale",
+        Arg.String set_scale,
+        "SCALE  regeneration scale: smoke|quick|default|full (default quick)"
+      );
+    ]
+  in
+  Arg.parse specs
+    (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
+    "bench/main.exe [--json FILE] [--quota SEC] [--jobs N] [--scale SCALE]";
+  let jobs =
+    if !opt_jobs = 0 then Parallel.default_jobs () else max 1 !opt_jobs
+  in
+  let scale = !opt_scale in
+  let kernels = measure_kernels ~quota:!opt_quota () in
+  print_kernels kernels;
+  Printf.printf "=== paper tables/figures (%s scale) ===\n"
+    (Experiments.Scale.to_string scale);
   print_endline
     "(use `dune exec bin/experiments_cli.exe -- all -s default` for the \
      publication-shaped runs)\n";
-  let fmt = Format.std_formatter in
-  List.iter
-    (fun e ->
-      Format.fprintf fmt "# %s (%s)@." e.Experiments.Registry.id
-        e.Experiments.Registry.paper_ref;
-      Experiments.Output.print_all fmt
-        (e.Experiments.Registry.run Experiments.Scale.Quick))
-    Experiments.Registry.all
-
-let () =
-  run_benchmarks ();
-  regenerate_tables ()
+  match !opt_json with
+  | None ->
+      let wall, rendered = regenerate_tables ~jobs ~scale () in
+      print_string rendered;
+      Printf.printf "\n[tables regenerated in %.3f s at -j%d]\n" wall jobs
+  | Some path ->
+      (* The trajectory file records the sequential baseline and the -jN
+         run side by side, plus whether their bytes matched. *)
+      let wall1, out1 = regenerate_tables ~jobs:1 ~scale () in
+      let walln, outn = regenerate_tables ~jobs ~scale () in
+      print_string outn;
+      let identical = String.equal out1 outn in
+      write_json ~path ~quota:!opt_quota ~scale ~kernels ~jobs1_wall:wall1
+        ~jobsn:jobs ~jobsn_wall:walln ~identical;
+      Printf.printf
+        "\n[tables: %.3f s at -j1, %.3f s at -j%d, identical=%b; wrote %s]\n"
+        wall1 walln jobs identical path;
+      if not identical then exit 1

@@ -5,24 +5,34 @@ type 'a t = {
   mutable size : int;
 }
 
+(* Inert filler for data slots >= size (the stdlib Dynarray technique).
+   Without it the backing array pins payloads after they leave the heap:
+   [Array.make cap x] aliases the first element into every unused slot,
+   and a popped slot would keep its old payload (and whatever that
+   closure captures) reachable until overwritten.  The filler is an
+   immediate, so [Array.make] never commits the array to the flat-float
+   representation, and it is never read back at type ['a] — slots >= size
+   are write-only. *)
+let dummy : 'a. unit -> 'a = fun () -> (Obj.magic 0 [@lint.allow "N2"])
+
 let create ?(capacity = 256) () =
   let capacity = max capacity 1 in
   {
     times = Array.make capacity 0.0;
     seqs = Array.make capacity 0;
-    data = [||];
+    data = Array.make capacity (dummy ());
     size = 0;
   }
 
 let length t = t.size
 let is_empty t = t.size = 0
 
-let grow t x =
+let grow t =
   let cap = max 1 (Array.length t.times) in
   let cap' = 2 * cap in
   let times = Array.make cap' 0.0 in
   let seqs = Array.make cap' 0 in
-  let data = Array.make cap' x in
+  let data = Array.make cap' (dummy ()) in
   Array.blit t.times 0 times 0 t.size;
   Array.blit t.seqs 0 seqs 0 t.size;
   Array.blit t.data 0 data 0 t.size;
@@ -63,34 +73,45 @@ let rec sift_down t i =
   end
 
 let add t ~time ~seq x =
-  if Array.length t.data = 0 then begin
-    (* First element: allocate the data array lazily since we have no
-       placeholder value of type ['a] before this point. *)
-    let cap = Array.length t.times in
-    t.data <- Array.make cap x
-  end;
-  if t.size = Array.length t.times then grow t x;
+  if t.size = Array.length t.times then grow t;
   t.times.(t.size) <- time;
   t.seqs.(t.size) <- seq;
   t.data.(t.size) <- x;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
+exception Empty
+
+let[@inline] min_time_exn t = if t.size = 0 then raise Empty else t.times.(0)
+
+(* Fused, non-allocating pop for the event-loop hot path: no option, no
+   result tuple — read the key with [min_time_exn] first if needed. *)
+let pop_min_exn t =
+  if t.size = 0 then raise Empty;
+  let x = t.data.(0) in
+  let n = t.size - 1 in
+  t.size <- n;
+  if n > 0 then begin
+    t.times.(0) <- t.times.(n);
+    t.seqs.(0) <- t.seqs.(n);
+    t.data.(0) <- t.data.(n);
+    sift_down t 0
+  end;
+  (* Blank the vacated slot so the popped payload (and whatever its
+     closure captures) becomes collectable immediately. *)
+  t.data.(n) <- dummy ();
+  x
+
 let pop t =
   if t.size = 0 then None
   else begin
-    let time = t.times.(0) and seq = t.seqs.(0) and x = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.times.(0) <- t.times.(t.size);
-      t.seqs.(0) <- t.seqs.(t.size);
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    (* Release the reference so the GC can collect the payload. *)
-    t.data.(t.size) <- x;
+    let time = t.times.(0) and seq = t.seqs.(0) in
+    let x = pop_min_exn t in
     Some (time, seq, x)
   end
 
 let peek_time t = if t.size = 0 then None else Some t.times.(0)
-let clear t = t.size <- 0
+
+let clear t =
+  if t.size > 0 then Array.fill t.data 0 t.size (dummy ());
+  t.size <- 0

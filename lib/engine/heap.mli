@@ -16,6 +16,19 @@ val add : 'a t -> time:float -> seq:int -> 'a -> unit
 val pop : 'a t -> (float * int * 'a) option
 (** Remove and return the minimum element, or [None] if empty. *)
 
+exception Empty
+
+val min_time_exn : 'a t -> float
+(** Time of the minimum element; O(1), no allocation.
+    @raise Empty if the heap is empty. *)
+
+val pop_min_exn : 'a t -> 'a
+(** Remove the minimum element and return its payload alone — the
+    non-allocating fast path of the event loop ({!Sim.run}): no option,
+    no result tuple. Read the key first via {!min_time_exn}. The vacated
+    slot is scrubbed so the GC can reclaim the payload immediately.
+    @raise Empty if the heap is empty. *)
+
 val peek_time : 'a t -> float option
 (** Time of the minimum element without removing it. *)
 

@@ -73,29 +73,31 @@ let run ?until t =
   t.stopped <- false;
   let until = Option.map Units.Time.to_s until in
   let horizon = match until with Some u -> u | None -> infinity in
+  (* Fused peek/pop: one sift-read for the key, one sift-down for the
+     payload, and no [Some _] option or result-tuple allocation per
+     event — this loop runs once per simulated packet transmission. *)
   let rec loop () =
-    if not t.stopped then
-      match Heap.peek_time t.heap with
-      | None -> ()
-      | Some time when time > horizon -> t.clock <- horizon
-      | Some _ -> (
-          match Heap.pop t.heap with
-          | None -> ()
-          | Some (time, _, f) ->
-              if time > t.clock then t.instant_events <- 0;
-              t.clock <- time;
-              t.executed <- t.executed + 1;
-              t.instant_events <- t.instant_events + 1;
-              (match t.watchdog with
-              | Some (budget, trip) when t.instant_events = budget + 1 ->
-                  trip
-                    (Printf.sprintf
-                       "livelock suspected: %d events executed at t=%g \
-                        without the clock advancing"
-                       t.instant_events time)
-              | _ -> ());
-              f ();
-              loop ())
+    if (not t.stopped) && not (Heap.is_empty t.heap) then begin
+      let time = Heap.min_time_exn t.heap in
+      if time > horizon then t.clock <- horizon
+      else begin
+        let f = Heap.pop_min_exn t.heap in
+        if time > t.clock then t.instant_events <- 0;
+        t.clock <- time;
+        t.executed <- t.executed + 1;
+        t.instant_events <- t.instant_events + 1;
+        (match t.watchdog with
+        | Some (budget, trip) when t.instant_events = budget + 1 ->
+            trip
+              (Printf.sprintf
+                 "livelock suspected: %d events executed at t=%g without \
+                  the clock advancing"
+                 t.instant_events time)
+        | _ -> ());
+        f ();
+        loop ()
+      end
+    end
   in
   loop ();
   if t.stopped then ()

@@ -22,28 +22,33 @@ let tuned ?(curve = Curve.default) ?(alpha = 0.99) ?(decrease_factor = 0.35)
     ?(limit_per_rtt = true) () =
   Schemes.Pert_tuned { curve; alpha; decrease_factor; limit_per_rtt }
 
-let run_row label scale scheme extra_cells =
+let metric_cells (r : D.result) =
+  [
+    Output.cell_f ~digits:1 (Units.Pkts.to_float r.D.avg_queue_pkts);
+    Output.cell_e r.D.drop_rate;
+    Output.cell_f r.D.utilization;
+    Output.cell_f r.D.jain;
+    Output.cell_i r.D.early_responses;
+  ]
+
+(* Each spec is (label, scheme): one independent dumbbell per row, all of
+   them run through the domain pool, rendered in spec order. *)
+let run_rows ~jobs scale specs =
   let config, _ = base scale in
-  let r = D.run { config with D.scheme } in
-  label :: extra_cells
-  @ [
-      Output.cell_f ~digits:1 (Units.Pkts.to_float r.D.avg_queue_pkts);
-      Output.cell_e r.D.drop_rate;
-      Output.cell_f r.D.utilization;
-      Output.cell_f r.D.jain;
-      Output.cell_i r.D.early_responses;
-    ]
+  let results =
+    D.run_many ~jobs
+      (List.map (fun (_, scheme) -> { config with D.scheme }) specs)
+  in
+  List.map2 (fun (label, _) r -> label :: metric_cells r) specs results
 
 let metric_header = [ "Q(pkts)"; "droprate"; "util"; "jain"; "early" ]
 
-let decrease_factor scale =
+let decrease_factor ?(jobs = 1) scale =
   let rows =
-    List.map
-      (fun f ->
-        run_row (Printf.sprintf "f=%.2f" f) scale
-          (tuned ~decrease_factor:f ())
-          [])
-      [ 0.20; 0.35; 0.50 ]
+    run_rows ~jobs scale
+      (List.map
+         (fun f -> (Printf.sprintf "f=%.2f" f, tuned ~decrease_factor:f ()))
+         [ 0.20; 0.35; 0.50 ])
   in
   {
     Output.title =
@@ -52,12 +57,12 @@ let decrease_factor scale =
     rows;
   }
 
-let ewma_weight scale =
+let ewma_weight ?(jobs = 1) scale =
   let rows =
-    List.map
-      (fun a ->
-        run_row (Printf.sprintf "alpha=%.3f" a) scale (tuned ~alpha:a ()) [])
-      [ 0.875; 0.99; 0.999 ]
+    run_rows ~jobs scale
+      (List.map
+         (fun a -> (Printf.sprintf "alpha=%.3f" a, tuned ~alpha:a ()))
+         [ 0.875; 0.99; 0.999 ])
   in
   {
     Output.title = "Ablation: srtt history weight (paper picks 0.99)";
@@ -65,7 +70,7 @@ let ewma_weight scale =
     rows;
   }
 
-let curve_shape scale =
+let curve_shape ?(jobs = 1) scale =
   let variants =
     [
       ("paper 5-10ms p.05", Curve.default);
@@ -81,8 +86,8 @@ let curve_shape scale =
     ]
   in
   let rows =
-    List.map (fun (label, curve) -> run_row label scale (tuned ~curve ()) [])
-      variants
+    run_rows ~jobs scale
+      (List.map (fun (label, curve) -> (label, tuned ~curve ())) variants)
   in
   {
     Output.title = "Ablation: response-curve thresholds and p_max";
@@ -90,12 +95,13 @@ let curve_shape scale =
     rows;
   }
 
-let rtt_limiter scale =
+let rtt_limiter ?(jobs = 1) scale =
   let rows =
-    [
-      run_row "once-per-rtt" scale (tuned ~limit_per_rtt:true ()) [];
-      run_row "unlimited" scale (tuned ~limit_per_rtt:false ()) [];
-    ]
+    run_rows ~jobs scale
+      [
+        ("once-per-rtt", tuned ~limit_per_rtt:true ());
+        ("unlimited", tuned ~limit_per_rtt:false ());
+      ]
   in
   {
     Output.title =
@@ -104,29 +110,38 @@ let rtt_limiter scale =
     rows;
   }
 
-let reverse_traffic scale =
+let reverse_traffic ?(jobs = 1) scale =
   let config, nflows = base scale in
   let reverse_levels =
     [ 0; nflows / 2; nflows ]
   in
-  let rows =
+  let cells =
     List.concat_map
       (fun reverse_flows ->
         List.map
-          (fun (label, delay_signal) ->
-            let r =
-              D.run { config with D.reverse_flows; delay_signal }
-            in
-            [
-              Output.cell_i reverse_flows;
-              label;
-              Output.cell_f r.D.utilization;
-              Output.cell_f ~digits:1 (Units.Pkts.to_float r.D.avg_queue_pkts);
-              Output.cell_e r.D.drop_rate;
-              Output.cell_i r.D.early_responses;
-            ])
+          (fun (label, delay_signal) -> (reverse_flows, label, delay_signal))
           [ ("pert-rtt", `Rtt); ("pert-owd", `Owd) ])
       reverse_levels
+  in
+  let results =
+    D.run_many ~jobs
+      (List.map
+         (fun (reverse_flows, _, delay_signal) ->
+           { config with D.reverse_flows; delay_signal })
+         cells)
+  in
+  let rows =
+    List.map2
+      (fun (reverse_flows, label, _) r ->
+        [
+          Output.cell_i reverse_flows;
+          label;
+          Output.cell_f r.D.utilization;
+          Output.cell_f ~digits:1 (Units.Pkts.to_float r.D.avg_queue_pkts);
+          Output.cell_e r.D.drop_rate;
+          Output.cell_i r.D.early_responses;
+        ])
+      cells results
   in
   {
     Output.title =
@@ -135,22 +150,37 @@ let reverse_traffic scale =
     rows;
   }
 
-let seed_sensitivity scale =
+let seed_sensitivity ?(jobs = 1) scale =
   let config, _ = base scale in
   let seeds = [ 1; 2; 3; 4; 5 ] in
+  let nseeds = List.length seeds in
+  (* The (scheme, seed) grid is one flat task list; results come back in
+     submission order, so seeds for scheme [i] occupy the contiguous slice
+     starting at [i * nseeds]. *)
+  let cells =
+    List.concat_map
+      (fun scheme -> List.map (fun seed -> (scheme, seed)) seeds)
+      Schemes.all_fig4_schemes
+  in
+  let results =
+    Array.of_list
+      (D.run_many ~jobs
+         (List.map
+            (fun (scheme, seed) -> { config with D.scheme; seed })
+            cells))
+  in
   let rows =
-    List.map
-      (fun scheme ->
+    List.mapi
+      (fun i scheme ->
         let q = Sim_engine.Stats.Acc.create ()
         and u = Sim_engine.Stats.Acc.create ()
         and j = Sim_engine.Stats.Acc.create () in
-        List.iter
-          (fun seed ->
-            let r = D.run { config with D.scheme; seed } in
-            Sim_engine.Stats.Acc.add q (Units.Pkts.to_float r.D.avg_queue_pkts);
-            Sim_engine.Stats.Acc.add u r.D.utilization;
-            Sim_engine.Stats.Acc.add j r.D.jain)
-          seeds;
+        for k = i * nseeds to ((i + 1) * nseeds) - 1 do
+          let r = results.(k) in
+          Sim_engine.Stats.Acc.add q (Units.Pkts.to_float r.D.avg_queue_pkts);
+          Sim_engine.Stats.Acc.add u r.D.utilization;
+          Sim_engine.Stats.Acc.add j r.D.jain
+        done;
         let pm acc digits =
           Printf.sprintf "%.*f+-%.*f" digits (Sim_engine.Stats.Acc.mean acc)
             digits
@@ -165,12 +195,12 @@ let seed_sensitivity scale =
     rows;
   }
 
-let all scale =
+let all ?(jobs = 1) scale =
   [
-    decrease_factor scale;
-    ewma_weight scale;
-    curve_shape scale;
-    rtt_limiter scale;
-    reverse_traffic scale;
-    seed_sensitivity scale;
+    decrease_factor ~jobs scale;
+    ewma_weight ~jobs scale;
+    curve_shape ~jobs scale;
+    rtt_limiter ~jobs scale;
+    reverse_traffic ~jobs scale;
+    seed_sensitivity ~jobs scale;
   ]

@@ -64,6 +64,12 @@ type result = {
 val run : config -> result
 (** Build, warm up, measure, and summarise. *)
 
+val run_many : jobs:int -> config list -> result list
+(** [run] over every config on a {!Parallel} pool of [jobs] domains,
+    results in config order. Each run owns its simulator, so output is
+    bit-for-bit identical for every [jobs] value ([1] = sequential, no
+    domain spawned). *)
+
 (** Handles for custom experiments that need mid-run access. *)
 type built = {
   topo : Netsim.Topology.t;

@@ -116,12 +116,16 @@ let run config =
   Sim.run ~until:(Units.Time.s horizon) sim;
   (times, series)
 
-let fig12 scale =
+let fig12 ?(jobs = 1) scale =
+  (* One staircase scenario per scheme, each on its own simulator. *)
+  let per_scheme =
+    Parallel.map ~jobs
+      (fun scheme -> (scheme, run (default scale scheme)))
+      Schemes.all_fig4_schemes
+  in
   let rows =
     List.concat_map
-      (fun scheme ->
-        let config = default scale scheme in
-        let times, series = run config in
+      (fun (scheme, (times, series)) ->
         Array.to_list
           (Array.mapi
              (fun i t ->
@@ -132,7 +136,7 @@ let fig12 scale =
                        (fun cohort -> Output.cell_f ~digits:2 (cohort.(i) /. 1e6))
                        series))
              times))
-      Schemes.all_fig4_schemes
+      per_scheme
   in
   let n_cohorts = 4 in
   {
@@ -206,12 +210,16 @@ let run_cbr config ~cbr_share =
   Sim.run ~until:(Units.Time.s horizon) sim;
   (times, tcp_series, cbr_series)
 
-let dynamic_cbr scale =
+let dynamic_cbr ?(jobs = 1) scale =
+  let per_scheme =
+    Parallel.map ~jobs
+      (fun scheme ->
+        (scheme, run_cbr (default scale scheme) ~cbr_share:0.5))
+      Schemes.all_fig4_schemes
+  in
   let rows =
     List.concat_map
-      (fun scheme ->
-        let config = default scale scheme in
-        let times, tcp, cbr = run_cbr config ~cbr_share:0.5 in
+      (fun (scheme, (times, tcp, cbr)) ->
         Array.to_list
           (Array.mapi
              (fun i t ->
@@ -222,7 +230,7 @@ let dynamic_cbr scale =
                  Output.cell_f ~digits:2 (cbr.(i) /. 1e6);
                ])
              times))
-      Schemes.all_fig4_schemes
+      per_scheme
   in
   {
     Output.title =

@@ -21,9 +21,11 @@ val run : config -> float array * float array array
 (** [(bin_times, per_cohort_throughput)] — [per_cohort.(k).(i)] is cohort
     [k]'s aggregate goodput (bits/s) during bin [i]. *)
 
-val fig12 : Scale.t -> Output.table
+val fig12 : ?jobs:int -> Scale.t -> Output.table
 (** One table row per bin and scheme: the per-cohort series for every
-    scheme of the paper's comparison. *)
+    scheme of the paper's comparison. Per-scheme scenarios run on a
+    {!Parallel} pool of [jobs] domains (default 1); rows are
+    bit-identical for every [jobs]. *)
 
 val run_cbr :
   config -> cbr_share:float -> float array * float array * float array
@@ -32,5 +34,5 @@ val run_cbr :
     [cbr_share] of the bottleneck during the middle third of the run.
     Returns [(bin_times, tcp_aggregate_bps, cbr_received_bps)]. *)
 
-val dynamic_cbr : Scale.t -> Output.table
+val dynamic_cbr : ?jobs:int -> Scale.t -> Output.table
 (** The CBR on/off transient for every scheme of the comparison. *)

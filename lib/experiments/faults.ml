@@ -76,36 +76,37 @@ let loss_rates scale =
     ~default:[ 0.001; 0.01; 0.05 ]
     ~full:[ 0.001; 0.005; 0.01; 0.02; 0.05 ]
 
-let lossy scale =
+let lossy ?(jobs = 1) scale =
   let config = base scale in
-  let rows =
+  let cells =
     List.concat_map
-      (fun p ->
-        List.map
-          (fun scheme ->
-            let r =
-              run_config
-                {
-                  config with
-                  D.scheme;
-                  fault = Some (Fault.lossy (Units.Prob.v p));
-                }
-            in
-            [
-              Printf.sprintf "%.1f%%" (100.0 *. p);
-              Schemes.name scheme;
-              mbps r.goodput_bps;
-              Output.cell_f r.result.D.utilization;
-              Output.cell_f ~digits:1
-                (Units.Pkts.to_float r.result.D.avg_queue_pkts);
-              Output.cell_e r.result.D.drop_rate;
-              Output.cell_i (fstat r (fun s -> s.Fault.wire_drops));
-              Output.cell_i r.result.D.loss_events;
-              Output.cell_i r.timeouts;
-              Output.cell_i r.result.D.audit_violations;
-            ])
-          schemes)
+      (fun p -> List.map (fun scheme -> (p, scheme)) schemes)
       (loss_rates scale)
+  in
+  let runs =
+    Parallel.map ~jobs
+      (fun (p, scheme) ->
+        run_config
+          { config with D.scheme; fault = Some (Fault.lossy (Units.Prob.v p)) })
+      cells
+  in
+  let rows =
+    List.map2
+      (fun (p, scheme) r ->
+        [
+          Printf.sprintf "%.1f%%" (100.0 *. p);
+          Schemes.name scheme;
+          mbps r.goodput_bps;
+          Output.cell_f r.result.D.utilization;
+          Output.cell_f ~digits:1
+            (Units.Pkts.to_float r.result.D.avg_queue_pkts);
+          Output.cell_e r.result.D.drop_rate;
+          Output.cell_i (fstat r (fun s -> s.Fault.wire_drops));
+          Output.cell_i r.result.D.loss_events;
+          Output.cell_i r.timeouts;
+          Output.cell_i r.result.D.audit_violations;
+        ])
+      cells runs
   in
   {
     Output.title =
@@ -129,7 +130,7 @@ let lossy scale =
 
 (* --- link flapping -------------------------------------------------------- *)
 
-let flapping scale =
+let flapping ?(jobs = 1) scale =
   let config = base scale in
   let mean_up = Float.max 2.0 (config.D.duration /. 12.0) in
   let mean_down = Scale.pick scale ~smoke:0.3 ~quick:0.4 ~default:0.5 ~full:1.0 in
@@ -144,10 +145,14 @@ let flapping scale =
           };
     }
   in
+  let runs =
+    Parallel.map ~jobs
+      (fun scheme -> run_config { config with D.scheme; fault = Some spec })
+      schemes
+  in
   let rows =
-    List.map
-      (fun scheme ->
-        let r = run_config { config with D.scheme; fault = Some spec } in
+    List.map2
+      (fun scheme r ->
         [
           Schemes.name scheme;
           Output.cell_f ~digits:1
@@ -159,7 +164,7 @@ let flapping scale =
           Output.cell_i r.timeouts;
           Output.cell_i r.result.D.audit_violations;
         ])
-      schemes
+      schemes runs
   in
   {
     Output.title =
@@ -177,35 +182,45 @@ let flapping scale =
 
 (* --- ECN bleaching -------------------------------------------------------- *)
 
-let bleached scale =
+let bleached ?(jobs = 1) scale =
   let config = base scale in
   let levels =
     Scale.pick scale ~smoke:[ 1.0 ] ~quick:[ 1.0 ] ~default:[ 0.0; 0.5; 1.0 ]
       ~full:[ 0.0; 0.25; 0.5; 0.75; 1.0 ]
   in
-  let rows =
+  let cells =
     List.concat_map
       (fun bleach ->
         List.map
-          (fun scheme ->
-            let spec =
-              { Fault.none with Fault.bleach_prob = Units.Prob.v bleach }
-            in
-            let r = run_config { config with D.scheme; fault = Some spec } in
-            [
-              Printf.sprintf "%.0f%%" (100.0 *. bleach);
-              Schemes.name scheme;
-              Output.cell_i r.result.D.marks;
-              Output.cell_i (fstat r (fun s -> s.Fault.bleached));
-              mbps r.goodput_bps;
-              Output.cell_f r.result.D.utilization;
-              Output.cell_f ~digits:1
-                (Units.Pkts.to_float r.result.D.avg_queue_pkts);
-              Output.cell_e r.result.D.drop_rate;
-              Output.cell_i r.result.D.audit_violations;
-            ])
+          (fun scheme -> (bleach, scheme))
           [ Schemes.Pert_ecn; Schemes.Sack_red_ecn ])
       levels
+  in
+  let runs =
+    Parallel.map ~jobs
+      (fun (bleach, scheme) ->
+        let spec =
+          { Fault.none with Fault.bleach_prob = Units.Prob.v bleach }
+        in
+        run_config { config with D.scheme; fault = Some spec })
+      cells
+  in
+  let rows =
+    List.map2
+      (fun (bleach, scheme) r ->
+        [
+          Printf.sprintf "%.0f%%" (100.0 *. bleach);
+          Schemes.name scheme;
+          Output.cell_i r.result.D.marks;
+          Output.cell_i (fstat r (fun s -> s.Fault.bleached));
+          mbps r.goodput_bps;
+          Output.cell_f r.result.D.utilization;
+          Output.cell_f ~digits:1
+            (Units.Pkts.to_float r.result.D.avg_queue_pkts);
+          Output.cell_e r.result.D.drop_rate;
+          Output.cell_i r.result.D.audit_violations;
+        ])
+      cells runs
   in
   {
     Output.title =
@@ -219,4 +234,5 @@ let bleached scale =
     rows;
   }
 
-let all scale = [ lossy scale; flapping scale; bleached scale ]
+let all ?(jobs = 1) scale =
+  [ lossy ~jobs scale; flapping ~jobs scale; bleached ~jobs scale ]

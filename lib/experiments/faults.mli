@@ -6,14 +6,16 @@
     (expected 0). Graceful-degradation bar: PERT's aggregate goodput must
     not fall below plain SACK's under a polluted delay signal. *)
 
-val lossy : Scale.t -> Output.table
-(** 0.1–5% seeded random wire loss on the bottleneck. *)
+val lossy : ?jobs:int -> Scale.t -> Output.table
+(** 0.1–5% seeded random wire loss on the bottleneck. The (rate, scheme)
+    grid runs on a {!Parallel} pool of [jobs] domains (default 1);
+    rows are bit-identical for every [jobs]. *)
 
-val flapping : Scale.t -> Output.table
+val flapping : ?jobs:int -> Scale.t -> Output.table
 (** Memoryless link up/down flapping; exercises RTO backoff + recovery. *)
 
-val bleached : Scale.t -> Output.table
+val bleached : ?jobs:int -> Scale.t -> Output.table
 (** CE marks cleared in flight with probability 0–100%. *)
 
-val all : Scale.t -> Output.table list
+val all : ?jobs:int -> Scale.t -> Output.table list
 (** [lossy; flapping; bleached]. *)

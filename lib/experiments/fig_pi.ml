@@ -6,7 +6,7 @@ let schemes =
     Schemes.Sack_pi_ecn { target_delay = Units.Time.s 0.003 };
   ]
 
-let sweep_schemes ~title schemes scale =
+let sweep_schemes ~title schemes ?(jobs = 1) scale =
   let points =
     Scale.pick scale
       ~quick:[ 0.020; 0.100 ]
@@ -15,37 +15,42 @@ let sweep_schemes ~title schemes scale =
   in
   let bandwidth = Scale.pick scale ~quick:10e6 ~default:40e6 ~full:150e6 in
   let nflows = Scale.pick scale ~quick:8 ~default:16 ~full:50 in
-  let rows =
+  let cells =
     List.concat_map
-      (fun rtt ->
-        List.map
-          (fun (scheme : Schemes.t) ->
-            let duration = Float.max 40.0 (150.0 *. rtt) in
-            let cfg =
-              D.uniform_flows
-                {
-                  D.default with
-                  scheme;
-                  bandwidth;
-                  rtt;
-                  duration;
-                  warmup = duration /. 3.0;
-                  seed = 42 + Units.Round.trunc (rtt *. 1000.0);
-                }
-                ~n:nflows
-            in
-            let r = D.run cfg in
-            [
-              Output.cell_f ~digits:3 rtt;
-              Schemes.name scheme;
-              Output.cell_f ~digits:1 (Units.Pkts.to_float r.D.avg_queue_pkts);
-              Output.cell_f r.D.avg_queue_norm;
-              Output.cell_e r.D.drop_rate;
-              Output.cell_f r.D.utilization;
-              Output.cell_f r.D.jain;
-            ])
-          schemes)
+      (fun rtt -> List.map (fun (scheme : Schemes.t) -> (rtt, scheme)) schemes)
       points
+  in
+  let results =
+    D.run_many ~jobs
+      (List.map
+         (fun (rtt, scheme) ->
+           let duration = Float.max 40.0 (150.0 *. rtt) in
+           D.uniform_flows
+             {
+               D.default with
+               scheme;
+               bandwidth;
+               rtt;
+               duration;
+               warmup = duration /. 3.0;
+               seed = 42 + Units.Round.trunc (rtt *. 1000.0);
+             }
+             ~n:nflows)
+         cells)
+  in
+  let rows =
+    List.map2
+      (fun (rtt, scheme) r ->
+        [
+          Output.cell_f ~digits:3 rtt;
+          Schemes.name scheme;
+          Output.cell_f ~digits:1 (Units.Pkts.to_float r.D.avg_queue_pkts);
+          Output.cell_f r.D.avg_queue_norm;
+          Output.cell_e r.D.drop_rate;
+          Output.cell_f r.D.utilization;
+          Output.cell_f r.D.jain;
+        ])
+      cells results
   in
   {
     Output.title = title;

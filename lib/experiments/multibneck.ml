@@ -154,11 +154,17 @@ let run config =
   in
   (reports, long_jain)
 
-let fig11 scale =
+let fig11 ?(jobs = 1) scale =
+  (* One six-router chain per scheme; each owns its simulator, so the
+     four runs parallelise cleanly. *)
+  let per_scheme =
+    Parallel.map ~jobs
+      (fun scheme -> (scheme, run (default scale scheme)))
+      Schemes.all_fig4_schemes
+  in
   let rows =
     List.concat_map
-      (fun scheme ->
-        let reports, long_jain = run (default scale scheme) in
+      (fun (scheme, (reports, long_jain)) ->
         List.map
           (fun r ->
             [
@@ -171,7 +177,7 @@ let fig11 scale =
               Output.cell_f long_jain;
             ])
           reports)
-      Schemes.all_fig4_schemes
+      per_scheme
   in
   {
     Output.title = "Fig 11: multiple bottlenecks (6-router chain)";

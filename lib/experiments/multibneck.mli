@@ -28,4 +28,6 @@ val run : config -> link_report list * float
 (** Per-hop reports plus the Jain index of the long-haul (cloud 1 → last
     cloud) flows. *)
 
-val fig11 : Scale.t -> Output.table
+val fig11 : ?jobs:int -> Scale.t -> Output.table
+(** One chain per scheme, run on a {!Parallel} pool of [jobs] domains
+    (default 1); rows are bit-identical for every [jobs]. *)

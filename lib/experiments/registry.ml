@@ -2,10 +2,13 @@ type experiment = {
   id : string;
   paper_ref : string;
   summary : string;
-  run : Scale.t -> Output.table list;
+  run : jobs:int -> Scale.t -> Output.table list;
 }
 
-let one f scale = [ f scale ]
+let one f ~jobs scale = [ f ?jobs:(Some jobs) scale ]
+
+(* Single-run or closed-form tables: no independent tasks to spread. *)
+let seq f ~jobs:_ scale = [ f scale ]
 
 let all =
   [
@@ -13,25 +16,25 @@ let all =
       id = "fig2";
       paper_ref = "Figure 2";
       summary = "high-RTT->loss correlation, flow-level vs queue-level";
-      run = one Fig_predict.fig2;
+      run = seq Fig_predict.fig2;
     };
     {
       id = "fig3";
       paper_ref = "Figure 3";
       summary = "efficiency/false-pos/false-neg of nine predictors";
-      run = one Fig_predict.fig3;
+      run = seq Fig_predict.fig3;
     };
     {
       id = "fig4";
       paper_ref = "Figure 4";
       summary = "queue-occupancy PDF at srtt_0.99 false positives";
-      run = one Fig_predict.fig4;
+      run = seq Fig_predict.fig4;
     };
     {
       id = "fig5";
       paper_ref = "Figure 5";
       summary = "PERT probabilistic response curve";
-      run = (fun _ -> [ Sweeps.fig5 ]);
+      run = (fun ~jobs:_ _ -> [ Sweeps.fig5 ]);
     };
     {
       id = "fig6";
@@ -79,13 +82,13 @@ let all =
       id = "fig13a";
       paper_ref = "Figure 13(a)";
       summary = "minimum stable sampling interval vs flow count";
-      run = (fun _ -> [ Fig_fluid.fig13a ]);
+      run = (fun ~jobs:_ _ -> [ Fig_fluid.fig13a ]);
     };
     {
       id = "fig13";
       paper_ref = "Figure 13(b-d)";
       summary = "fluid-model trajectories across the stability boundary";
-      run = one Fig_fluid.fig13_trajectories;
+      run = seq Fig_fluid.fig13_trajectories;
     };
     {
       id = "fig14";
@@ -103,7 +106,7 @@ let all =
       id = "stability";
       paper_ref = "Section 5.4";
       summary = "PERT vs router-RED stability boundaries (closed form)";
-      run = (fun _ -> [ Fig_fluid.stability_region ]);
+      run = (fun ~jobs:_ _ -> [ Fig_fluid.stability_region ]);
     };
     {
       id = "dynamic-cbr";
@@ -116,33 +119,44 @@ let all =
       paper_ref = "DESIGN.md (beyond the paper)";
       summary = "decrease factor / EWMA weight / curve shape / RTT limiter";
       run =
-        (fun scale ->
+        (fun ~jobs scale ->
           [
-            Ablations.decrease_factor scale;
-            Ablations.ewma_weight scale;
-            Ablations.curve_shape scale;
-            Ablations.rtt_limiter scale;
+            Ablations.decrease_factor ~jobs scale;
+            Ablations.ewma_weight ~jobs scale;
+            Ablations.curve_shape ~jobs scale;
+            Ablations.rtt_limiter ~jobs scale;
           ]);
     };
     {
       id = "seeds";
       paper_ref = "methodology";
       summary = "five-seed mean +- sd of the reference comparison";
-      run = (fun scale -> [ Ablations.seed_sensitivity scale ]);
+      run = (fun ~jobs scale -> [ Ablations.seed_sensitivity ~jobs scale ]);
     };
     {
       id = "reverse";
       paper_ref = "Section 7 discussion";
       summary = "reverse-path congestion: RTT vs one-way-delay signal";
-      run = (fun scale -> [ Ablations.reverse_traffic scale ]);
+      run = (fun ~jobs scale -> [ Ablations.reverse_traffic ~jobs scale ]);
     };
     {
       id = "faults";
       paper_ref = "Sections 5.3/7 (beyond the paper)";
       summary = "PERT vs SACK vs PERT+ECN under loss, flapping, ECN bleaching";
-      run = Faults.all;
+      run = (fun ~jobs scale -> Faults.all ~jobs scale);
     };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
 let ids () = List.map (fun e -> e.id) all
+
+let run_many ~jobs scale exps =
+  match exps with
+  | [] -> []
+  | [ e ] -> [ (e, e.run ~jobs scale) ]
+  | _ :: _ when jobs <= 1 ->
+      List.map (fun e -> (e, e.run ~jobs:1 scale)) exps
+  | _ :: _ ->
+      (* Registry-level fan-out: one task per experiment, each run
+         sequentially inside (coarse granularity beats nested pools). *)
+      Parallel.map ~jobs (fun e -> (e, e.run ~jobs:1 scale)) exps

@@ -5,7 +5,10 @@ type experiment = {
   id : string;  (** e.g. "fig6" *)
   paper_ref : string;  (** the table/figure it regenerates *)
   summary : string;
-  run : Scale.t -> Output.table list;
+  run : jobs:int -> Scale.t -> Output.table list;
+      (** [jobs] is the {!Parallel} pool width used for the experiment's
+          independent simulation runs. Tables are bit-identical for every
+          [jobs]; [~jobs:1] runs fully sequentially. *)
 }
 
 val all : experiment list
@@ -13,3 +16,11 @@ val all : experiment list
 
 val find : string -> experiment option
 val ids : unit -> string list
+
+val run_many :
+  jobs:int -> Scale.t -> experiment list -> (experiment * Output.table list) list
+(** Run several experiments, fanning the list itself out across [jobs]
+    domains (each experiment then runs its own simulations sequentially —
+    coarse tasks keep the pool saturated without nesting domains). Results
+    are returned in input order, and are bit-identical to running each
+    experiment alone. *)

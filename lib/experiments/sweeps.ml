@@ -11,25 +11,25 @@ let result_cells (r : D.result) =
 
 let result_header = [ "Q(pkts)"; "Q(norm)"; "droprate"; "util"; "jain" ]
 
-let sweep ~title ~xlabel ~points ~configure scale =
-  let rows =
+(* Every (point, scheme) cell of a sweep is an independent simulation;
+   run the whole grid through the domain pool and render in grid order. *)
+let sweep ~jobs ~title ~xlabel ~points ~configure scale =
+  let cells =
     List.concat_map
-      (fun x ->
-        List.map
-          (fun scheme ->
-            let config = configure scale scheme x in
-            let r = D.run config in
-            (x, scheme, r))
-          Schemes.all_fig4_schemes)
+      (fun x -> List.map (fun scheme -> (x, scheme)) Schemes.all_fig4_schemes)
       points
+  in
+  let results =
+    D.run_many ~jobs
+      (List.map (fun (x, scheme) -> configure scale scheme x) cells)
   in
   {
     Output.title;
     header = (xlabel :: "scheme" :: result_header);
     rows =
-      List.map
-        (fun (x, scheme, r) -> x :: Schemes.name scheme :: result_cells r)
-        rows;
+      List.map2
+        (fun (x, scheme) r -> x :: Schemes.name scheme :: result_cells r)
+        cells results;
   }
 
 (* --- Fig 5 -------------------------------------------------------------- *)
@@ -54,7 +54,7 @@ let fig5 =
 
 (* --- Fig 6: bandwidth sweep --------------------------------------------- *)
 
-let fig6 scale =
+let fig6 ?(jobs = 1) scale =
   let points =
     Scale.pick scale
       ~quick:[ 5.0; 20.0 ]
@@ -80,7 +80,7 @@ let fig6 scale =
     in
     D.uniform_flows cfg ~n
   in
-  sweep ~title:"Fig 6: impact of bottleneck bandwidth" ~xlabel:"Mbps"
+  sweep ~jobs ~title:"Fig 6: impact of bottleneck bandwidth" ~xlabel:"Mbps"
     ~points:(List.map string_of_float points |> List.map (fun s -> s))
     ~configure:(fun s sch x -> configure s sch (float_of_string x))
     scale
@@ -93,7 +93,7 @@ let fig7_schemes_points scale =
     ~default:[ 0.010; 0.020; 0.050; 0.100; 0.200; 0.500; 1.0 ]
     ~full:[ 0.010; 0.020; 0.050; 0.100; 0.200; 0.500; 1.0 ]
 
-let fig7 scale =
+let fig7 ?(jobs = 1) scale =
   let points = fig7_schemes_points scale in
   let bandwidth = Scale.pick scale ~quick:10e6 ~default:40e6 ~full:150e6 in
   let nflows = Scale.pick scale ~quick:8 ~default:16 ~full:50 in
@@ -113,13 +113,13 @@ let fig7 scale =
     in
     D.uniform_flows cfg ~n:nflows
   in
-  sweep ~title:"Fig 7: impact of end-to-end RTT" ~xlabel:"rtt(s)"
+  sweep ~jobs ~title:"Fig 7: impact of end-to-end RTT" ~xlabel:"rtt(s)"
     ~points:(List.map string_of_float points)
     ~configure scale
 
 (* --- Fig 8: number of long-lived flows ----------------------------------- *)
 
-let fig8 scale =
+let fig8 ?(jobs = 1) scale =
   let points =
     Scale.pick scale
       ~quick:[ 4; 16 ]
@@ -142,14 +142,14 @@ let fig8 scale =
     in
     D.uniform_flows cfg ~n
   in
-  sweep ~title:"Fig 8: impact of the number of long-lived flows"
+  sweep ~jobs ~title:"Fig 8: impact of the number of long-lived flows"
     ~xlabel:"flows"
     ~points:(List.map string_of_int points)
     ~configure scale
 
 (* --- Fig 9: web sessions -------------------------------------------------- *)
 
-let fig9 scale =
+let fig9 ?(jobs = 1) scale =
   let points =
     Scale.pick scale
       ~quick:[ 10; 50 ]
@@ -174,36 +174,38 @@ let fig9 scale =
     in
     D.uniform_flows cfg ~n:nflows
   in
-  sweep ~title:"Fig 9: impact of web traffic" ~xlabel:"sessions"
+  sweep ~jobs ~title:"Fig 9: impact of web traffic" ~xlabel:"sessions"
     ~points:(List.map string_of_int points)
     ~configure scale
 
 (* --- Table 1: heterogeneous RTTs ------------------------------------------ *)
 
-let table1 scale =
+let table1 ?(jobs = 1) scale =
   let bandwidth = Scale.pick scale ~quick:10e6 ~default:40e6 ~full:150e6 in
   let web = Scale.pick scale ~quick:20 ~default:100 ~full:100 in
   let duration = Scale.pick scale ~quick:25.0 ~default:80.0 ~full:400.0 in
   let flow_rtts = List.init 10 (fun i -> 0.012 *. float_of_int (i + 1)) in
+  let results =
+    D.run_many ~jobs
+      (List.map
+         (fun scheme ->
+           {
+             D.default with
+             scheme;
+             bandwidth;
+             rtt = 0.060;
+             flow_rtts;
+             web_sessions = web;
+             duration;
+             warmup = duration /. 3.0;
+             seed = 42;
+           })
+         Schemes.all_fig4_schemes)
+  in
   let rows =
-    List.map
-      (fun scheme ->
-        let r =
-          D.run
-            {
-              D.default with
-              scheme;
-              bandwidth;
-              rtt = 0.060;
-              flow_rtts;
-              web_sessions = web;
-              duration;
-              warmup = duration /. 3.0;
-              seed = 42;
-            }
-        in
-        Schemes.name scheme :: result_cells r)
-      Schemes.all_fig4_schemes
+    List.map2
+      (fun scheme r -> Schemes.name scheme :: result_cells r)
+      Schemes.all_fig4_schemes results
   in
   {
     Output.title =

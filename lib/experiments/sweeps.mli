@@ -5,18 +5,20 @@
 val fig5 : Output.table
 (** The PERT response curve itself (analytic; paper Fig. 5). *)
 
-val fig6 : Scale.t -> Output.table
-(** Bottleneck-bandwidth sweep (Section 4.1). *)
+val fig6 : ?jobs:int -> Scale.t -> Output.table
+(** Bottleneck-bandwidth sweep (Section 4.1). Every sweep runs its
+    (point, scheme) grid on a {!Parallel} pool of [jobs] domains
+    (default 1 = sequential); rows are bit-identical for every [jobs]. *)
 
-val fig7 : Scale.t -> Output.table
+val fig7 : ?jobs:int -> Scale.t -> Output.table
 (** End-to-end RTT sweep (Section 4.2). *)
 
-val fig8 : Scale.t -> Output.table
+val fig8 : ?jobs:int -> Scale.t -> Output.table
 (** Long-lived flow count sweep (Section 4.3). *)
 
-val fig9 : Scale.t -> Output.table
+val fig9 : ?jobs:int -> Scale.t -> Output.table
 (** Web-session sweep (Section 4.4). *)
 
-val table1 : Scale.t -> Output.table
+val table1 : ?jobs:int -> Scale.t -> Output.table
 (** Heterogeneous RTTs, 10 flows at 12–120 ms plus web background
     (Section 4.5). *)

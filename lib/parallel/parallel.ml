@@ -1,0 +1,148 @@
+(* Work-queue domain pool. See the .mli for the determinism contract.
+
+   Shape: one shared FIFO of closures guarded by a mutex + condition;
+   [jobs - 1] worker domains block on the condition and drain the queue;
+   each submitted task fills a per-future slot and signals its own
+   condition. The submitting domain blocks in [await], so the pool keeps
+   at most [jobs] domains busy in steady state (workers + the submitter
+   only while it still has tasks to enqueue).
+
+   Results are deterministic by construction: the queue is FIFO, every
+   task runs exactly once, and [map] reads futures back in submission
+   order — scheduling only changes *when* a task runs, never what it
+   computes (tasks must not share mutable state, which pertlint D3/P1
+   enforce for the simulation code this pool was built to run). *)
+
+exception Task_error of { index : int; exn : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Task_error { index; exn } ->
+        Some
+          (Printf.sprintf "Parallel.Task_error (task %d: %s)" index
+             (Printexc.to_string exn))
+    | _ -> None)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+type t = {
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  pending : (unit -> unit) Queue.t;
+  mutable accepting : bool;
+  mutable workers : unit Domain.t list;
+  jobs : int;
+}
+
+let jobs t = t.jobs
+
+type 'a future = {
+  f_mutex : Mutex.t;
+  f_done : Condition.t;
+  mutable result : ('a, exn * Printexc.raw_backtrace) result option;
+}
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.pending && t.accepting do
+    Condition.wait t.work_available t.mutex
+  done;
+  if Queue.is_empty t.pending then Mutex.unlock t.mutex (* shut down *)
+  else begin
+    let job = Queue.pop t.pending in
+    Mutex.unlock t.mutex;
+    job ();
+    worker_loop t
+  end
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      pending = Queue.create ();
+      accepting = true;
+      workers = [];
+      jobs;
+    }
+  in
+  if jobs > 1 then
+    t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let run_task f =
+  match f () with
+  | v -> Ok v
+  | exception exn -> Error (exn, Printexc.get_raw_backtrace ())
+
+let submit t f =
+  if t.jobs = 1 then
+    (* Sequential fallback: run inline, on the calling domain, right now —
+       submission order is execution order, and no domain ever exists. *)
+    {
+      f_mutex = Mutex.create ();
+      f_done = Condition.create ();
+      result = Some (run_task f);
+    }
+  else begin
+    let fut =
+      { f_mutex = Mutex.create (); f_done = Condition.create (); result = None }
+    in
+    let job () =
+      let result = run_task f in
+      Mutex.lock fut.f_mutex;
+      fut.result <- Some result;
+      Condition.broadcast fut.f_done;
+      Mutex.unlock fut.f_mutex
+    in
+    Mutex.lock t.mutex;
+    if not t.accepting then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Parallel.submit: pool is shut down"
+    end;
+    Queue.push job t.pending;
+    Condition.signal t.work_available;
+    Mutex.unlock t.mutex;
+    fut
+  end
+
+let await fut =
+  Mutex.lock fut.f_mutex;
+  let rec wait () =
+    match fut.result with
+    | Some r ->
+        Mutex.unlock fut.f_mutex;
+        r
+    | None ->
+        Condition.wait fut.f_done fut.f_mutex;
+        wait ()
+  in
+  wait ()
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.accepting <- false;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let map ~jobs f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs when jobs <= 1 -> List.map f xs
+  | xs ->
+      let pool = create ~jobs:(min jobs (List.length xs)) in
+      Fun.protect
+        ~finally:(fun () -> shutdown pool)
+        (fun () ->
+          let futures = List.map (fun x -> submit pool (fun () -> f x)) xs in
+          List.mapi
+            (fun index fut ->
+              match await fut with
+              | Ok v -> v
+              | Error (exn, bt) ->
+                  Printexc.raise_with_backtrace (Task_error { index; exn }) bt)
+            futures)

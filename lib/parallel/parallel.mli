@@ -1,0 +1,59 @@
+(** Work-queue domain pool for mutually independent simulation tasks.
+
+    Every [Sim.t] is a self-contained deterministic island (no
+    module-level mutable state — pertlint D1–D3), so independent
+    experiment runs can execute on separate domains without sharing
+    anything. This module is the only sanctioned home for
+    [Domain]/[Mutex]/[Condition] in [lib/] (pertlint rule P1).
+
+    Determinism contract: {!map} returns results in task order and runs
+    each task exactly once, so for pure tasks the result is bit-for-bit
+    identical for every [jobs] value, including the sequential [jobs = 1]
+    fallback (which spawns no domain at all). *)
+
+exception Task_error of { index : int; exn : exn }
+(** A worker task raised [exn]; [index] is the task's 0-based position in
+    the submission order. Raised by {!map} (and re-raised with the
+    worker's backtrace) for the failing task with the smallest index. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], floored at 1 — the default for
+    [-j 0]/auto. *)
+
+(** {1 Pools} *)
+
+type t
+(** A fixed-size pool of worker domains draining a shared task queue. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains ([max jobs 1]; the
+    submitting domain is expected to block in {!await}, so [jobs] workers
+    would oversubscribe by one). With [jobs = 1] no domain is spawned and
+    {!submit} runs tasks inline on the calling domain. *)
+
+val jobs : t -> int
+
+type 'a future
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task. Tasks must be independent: a task must not [submit]
+    to (or [await] a future of) its own pool, or the pool can deadlock.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val await : 'a future -> ('a, exn * Printexc.raw_backtrace) result
+(** Block until the task has run. Never raises the task's exception —
+    it is returned, with the backtrace captured on the worker. *)
+
+val shutdown : t -> unit
+(** Drain the queue, then join every worker. Idempotent. *)
+
+(** {1 One-shot parallel map} *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] applies [f] to every element of [xs] on a transient
+    pool of [min jobs (length xs)] workers and returns the results in
+    list order. [jobs <= 1] (or a list shorter than 2) degrades to
+    [List.map f xs] with no domain spawned and exceptions propagating
+    unwrapped. Otherwise, if any task raised, the remaining tasks still
+    run to completion and the failure with the smallest task index is
+    re-raised as {!Task_error} with the worker's backtrace. *)

@@ -1,0 +1,4 @@
+(* Fixture for pertlint rule P1: concurrency primitive in (assumed) lib
+   scope outside lib/parallel. The violation must stay on line 4 —
+   test/lint asserts it. *)
+let jobs () = Domain.recommended_domain_count ()

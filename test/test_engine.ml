@@ -64,6 +64,61 @@ let heap_peek () =
   Heap.add h ~time:1.5 ~seq:1 ();
   Alcotest.(check (option (float 0.0))) "min peek" (Some 1.5) (Heap.peek_time h)
 
+(* Popped payloads must become collectable immediately: the vacated array
+   slot used to keep a reference to the popped element alive until it was
+   overwritten by a later add. Payloads are minted (and popped) inside
+   [@inline never] helpers so no test-frame local pins them. *)
+let[@inline never] heap_add_tracked h finalised ~time ~seq =
+  let payload = ref (Sys.opaque_identity seq) in
+  Gc.finalise (fun _ -> incr finalised) payload;
+  Heap.add h ~time ~seq payload
+
+let[@inline never] heap_pop_discard h =
+  match Heap.pop h with
+  | Some _ -> ()
+  | None -> Alcotest.fail "heap drained early"
+
+let heap_pop_releases_payload () =
+  let h = Heap.create () in
+  let finalised = ref 0 in
+  for i = 0 to 3 do
+    heap_add_tracked h finalised ~time:(float_of_int i) ~seq:i
+  done;
+  heap_pop_discard h;
+  Gc.full_major ();
+  Gc.full_major ();
+  check_int "popped payload collected, the three live ones kept" 1 !finalised;
+  check_int "heap still holds the rest" 3 (Heap.length h)
+
+let heap_drain_releases_all () =
+  let h = Heap.create () in
+  let finalised = ref 0 in
+  for i = 0 to 2 do
+    heap_add_tracked h finalised ~time:(float_of_int i) ~seq:i
+  done;
+  for _ = 0 to 2 do
+    heap_pop_discard h
+  done;
+  Gc.full_major ();
+  Gc.full_major ();
+  check_int "every payload collected once drained" 3 !finalised;
+  (* The drained heap must still be reusable. *)
+  Heap.add h ~time:9.0 ~seq:9 (ref 9);
+  check_int "add after drain" 1 (Heap.length h)
+
+let heap_exn_api () =
+  let h = Heap.create () in
+  Alcotest.check_raises "min_time_exn on empty" Heap.Empty (fun () ->
+      ignore (Heap.min_time_exn h));
+  Alcotest.check_raises "pop_min_exn on empty" Heap.Empty (fun () ->
+      ignore (Heap.pop_min_exn h));
+  Heap.add h ~time:2.0 ~seq:0 "b";
+  Heap.add h ~time:1.0 ~seq:1 "a";
+  check_float "min_time_exn" 1.0 (Heap.min_time_exn h);
+  Alcotest.(check string) "pop_min_exn pops the min" "a" (Heap.pop_min_exn h);
+  Alcotest.(check string) "then the next" "b" (Heap.pop_min_exn h);
+  check_bool "drained" true (Heap.is_empty h)
+
 let heap_qcheck_sorted =
   QCheck.Test.make ~name:"heap pops any multiset sorted" ~count:200
     QCheck.(list (float_bound_exclusive 1000.0))
@@ -484,6 +539,9 @@ let suite =
     ("heap FIFO on equal times", `Quick, heap_fifo_ties);
     ("heap interleaved ops", `Quick, heap_interleaved);
     ("heap peek", `Quick, heap_peek);
+    ("heap pop releases payload", `Quick, heap_pop_releases_payload);
+    ("heap drain releases all payloads", `Quick, heap_drain_releases_all);
+    ("heap exn-based min/pop", `Quick, heap_exn_api);
     ("sim event order", `Quick, sim_event_order);
     ("sim until semantics", `Quick, sim_until_semantics);
     ("sim nested scheduling", `Quick, sim_nested_scheduling);

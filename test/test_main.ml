@@ -10,6 +10,7 @@ let () =
       ("predictors", Test_predictors.suite);
       ("fluid", Test_fluid.suite);
       ("traffic", Test_traffic.suite);
+      ("parallel", Test_parallel.suite);
       ("experiments", Test_experiments.suite);
       ("determinism", Test_determinism.suite);
       ("scenario", Test_scenario.suite);

@@ -1,0 +1,82 @@
+(* The Parallel work-queue pool: submission-order results, worker
+   exception propagation with the failing task's index, and end-to-end
+   bit-identity of experiment tables across pool widths — the property
+   the whole -j flag rests on. *)
+
+open Experiments
+
+let check_int = Alcotest.(check int)
+
+let map_matches_sequential () =
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun n ->
+          let xs = List.init n (fun i -> i) in
+          let expected = List.map (fun i -> (i * i) + 1) xs in
+          let got = Parallel.map ~jobs (fun i -> (i * i) + 1) xs in
+          Alcotest.(check (list int))
+            (Printf.sprintf "map at jobs=%d over %d tasks" jobs n)
+            expected got)
+        [ 0; 1; 7; 64 ])
+    [ 1; 2; 4 ]
+
+let results_in_submission_order () =
+  (* Tasks finish in scrambled order (later indices do less work); the
+     result list must still line up with the input list. *)
+  let work i =
+    let acc = ref 0 in
+    for k = 0 to (64 - i) * 1000 do
+      acc := (!acc + k) mod 7919
+    done;
+    (i, !acc)
+  in
+  let got = Parallel.map ~jobs:4 work (List.init 64 (fun i -> i)) in
+  List.iteri (fun i (j, _) -> check_int "slot i holds task i" i j) got
+
+let exception_carries_index () =
+  let tasks = List.init 8 (fun i -> i) in
+  match
+    Parallel.map ~jobs:4
+      (fun i -> if i = 3 then failwith "boom" else i)
+      tasks
+  with
+  | _ -> Alcotest.fail "expected Parallel.Task_error"
+  | exception Parallel.Task_error { index; exn } -> (
+      check_int "failing task index" 3 index;
+      match exn with
+      | Failure m -> Alcotest.(check string) "original exception" "boom" m
+      | _ -> Alcotest.fail "wrong exception payload")
+
+let lowest_index_wins () =
+  (* With several failures the reported one must be the lowest-index
+     task, independent of completion order. *)
+  match
+    Parallel.map ~jobs:4
+      (fun i -> if i >= 5 then failwith "late" else i)
+      (List.init 10 (fun i -> i))
+  with
+  | _ -> Alcotest.fail "expected Parallel.Task_error"
+  | exception Parallel.Task_error { index; _ } ->
+      check_int "first failing index reported" 5 index
+
+let render tables = String.concat "\n" (List.map Output.to_csv tables)
+
+let family_identical id () =
+  match Registry.find id with
+  | None -> Alcotest.fail ("unknown experiment family: " ^ id)
+  | Some e ->
+      let j1 = render (e.Registry.run ~jobs:1 Scale.Smoke) in
+      let j4 = render (e.Registry.run ~jobs:4 Scale.Smoke) in
+      Alcotest.(check string) (id ^ " tables byte-identical at -j1 vs -j4") j1
+        j4
+
+let suite =
+  [
+    ("map matches sequential (0/1/many tasks)", `Quick, map_matches_sequential);
+    ("results come back in submission order", `Quick, results_in_submission_order);
+    ("worker exception propagates with task index", `Quick, exception_carries_index);
+    ("lowest failing index is reported", `Quick, lowest_index_wins);
+    ("faults tables identical -j1 vs -j4", `Slow, family_identical "faults");
+    ("fig6 tables identical -j1 vs -j4", `Slow, family_identical "fig6");
+  ]

@@ -31,6 +31,10 @@
          [Units.Round.trunc]/[floor]/[ceil]/[nearest].
      N3  no [int_of_float]/[truncate]/[Float.to_int] inside lib/ at all,
          outside lib/units/units.ml where [Units.Round] wraps them.
+     P1  no concurrency primitives ([Domain.*], [Mutex.*], [Condition.*],
+         [Atomic.*]) inside lib/ outside lib/parallel — every simulation
+         stays a single-domain island; cross-domain coordination lives in
+         the one audited pool.  Also flags [module D = Domain] aliasing.
 
    Suppression: attach [@lint.allow "D3"] to an expression or
    [let[@lint.allow "D3"] x = ...] to a binding; a floating
@@ -59,6 +63,7 @@ let all_rules =
     { id = "U2"; severity = Err; what = "inline probability comparison against an Rng draw" };
     { id = "U3"; severity = Err; what = "bare truncation of a unit-suffixed value" };
     { id = "N3"; severity = Err; what = "float->int truncation in lib/ outside Units.Round" };
+    { id = "P1"; severity = Err; what = "concurrency primitive in lib/ outside lib/parallel" };
   ]
 
 let rule_by_id id = List.find_opt (fun r -> r.id = id) all_rules
@@ -163,9 +168,15 @@ let report id (loc : Location.t) msg =
 
 (* ---------- rule predicates ---------- *)
 
+let string_contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
 let in_lib () = !cur_in_lib
 let is_rng_ml () = string_suffix ~suffix:"lib/engine/rng.ml" !cur_source
 let is_units_ml () = string_suffix ~suffix:"lib/units/units.ml" !cur_source
+let in_parallel_lib () = string_contains ~sub:"lib/parallel/" !cur_source
 
 let d1_hit name =
   name = "Stdlib.Random" || string_prefix ~prefix:"Stdlib.Random." name
@@ -237,6 +248,14 @@ let is_rng_draw (a : Typedtree.expression) =
 
 let truncators = [ "Stdlib.int_of_float"; "Stdlib.truncate"; "Stdlib.Float.to_int" ]
 
+let p1_roots =
+  [ "Stdlib.Domain"; "Stdlib.Mutex"; "Stdlib.Condition"; "Stdlib.Atomic" ]
+
+let p1_hit name =
+  List.exists
+    (fun root -> name = root || string_prefix ~prefix:(root ^ ".") name)
+    p1_roots
+
 (* The name a U3 diagnostic can attach to: a unit-suffixed identifier or
    record field being truncated. *)
 let unit_named_operand (a : Typedtree.expression) =
@@ -266,7 +285,12 @@ let check_ident (e : Typedtree.expression) path =
       (Printf.sprintf "'%s': wall-clock/environment read breaks replay; thread the value in"
          name);
   if name = "Stdlib.Obj.magic" then
-    report "N2" e.exp_loc "Obj.magic defeats the type system"
+    report "N2" e.exp_loc "Obj.magic defeats the type system";
+  if in_lib () && (not (in_parallel_lib ())) && p1_hit name then
+    report "P1" e.exp_loc
+      (Printf.sprintf
+         "'%s': concurrency primitive outside lib/parallel; simulations must stay single-domain — go through the Parallel pool"
+         name)
 
 let check_expr (e : Typedtree.expression) =
   match e.exp_desc with
@@ -369,6 +393,13 @@ let iterator =
     | Tmod_ident (path, _) when d1_hit (Path.name path) && not (is_rng_ml ()) ->
         report "D1" me.mod_loc
           (Printf.sprintf "aliasing '%s' re-exports ambient randomness" (Path.name path))
+    | Tmod_ident (path, _)
+      when in_lib ()
+           && (not (in_parallel_lib ()))
+           && p1_hit (Path.name path) ->
+        report "P1" me.mod_loc
+          (Printf.sprintf "aliasing '%s' smuggles a concurrency primitive past lib/parallel"
+             (Path.name path))
     | _ -> ());
     default_iterator.module_expr sub me
   in
