@@ -317,7 +317,9 @@ let regenerate_tables ~jobs ~scale () =
   let fmt = Format.formatter_of_buffer buf in
   let t0 = Unix.gettimeofday () in
   let results =
-    Experiments.Registry.run_many ~jobs scale Experiments.Registry.all
+    Experiments.Registry.run_many
+      ~ctx:(Experiments.Runner.ctx ~jobs ())
+      scale Experiments.Registry.all
   in
   List.iter
     (fun (e, tables) ->
@@ -380,9 +382,7 @@ let write_json ~path ~quota ~scale ~kernels ~jobs1_wall ~jobsn ~jobsn_wall
     (Printf.sprintf "    \"identical\": %b\n" identical);
   Buffer.add_string buf "  }\n";
   Buffer.add_string buf "}\n";
-  let oc = open_out path in
-  output_string oc (Buffer.contents buf);
-  close_out oc
+  Experiments.Store.write_atomic ~path (Buffer.contents buf)
 
 (* --- driver ---------------------------------------------------------------- *)
 

@@ -1,6 +1,6 @@
 (* Command-line driver for the paper-reproduction experiments:
    `experiments_cli list`, `experiments_cli run fig6 table1 --scale quick`,
-   `experiments_cli all --csv out/`. *)
+   `experiments_cli all --csv out/ --resume --deadline 300`. *)
 
 open Cmdliner
 
@@ -31,6 +31,43 @@ let jobs_arg =
           "Run independent simulations on $(docv) domains (0 = one per \
            recommended core). Output is bit-identical for every $(docv).")
 
+let resume_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some ".pert-store") (some string) None
+    & info [ "resume" ] ~docv:"DIR"
+        ~doc:
+          "Checkpoint completed simulation cells into $(docv) (default \
+           $(b,.pert-store)) and skip cells already present — a rerun \
+           after a crash or SIGKILL recomputes only what is missing. \
+           Printed tables are byte-identical with or without the store.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SEC"
+        ~doc:
+          "Per-simulation wall-clock budget in seconds; a cell that \
+           exceeds it renders as TIMEOUT instead of hanging the sweep.")
+
+let max_events_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-events" ] ~docv:"N"
+        ~doc:
+          "Per-simulation event budget; a cell that exceeds it renders \
+           as TIMEOUT instead of spinning forever.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Re-run a crashed simulation cell up to $(docv) times \
+           (deterministic seeded backoff) before rendering it FAILED.")
+
 let resolve_jobs = function
   | 0 -> Parallel.default_jobs ()
   | n when n < 0 -> 1
@@ -50,33 +87,48 @@ let write_csv dir id tables =
         Filename.concat dir
           (if i = 0 then id ^ ".csv" else Printf.sprintf "%s-%d.csv" id i)
       in
-      let oc = open_out path in
-      output_string oc (Experiments.Output.to_csv table);
-      close_out oc)
+      Experiments.Store.write_atomic ~path (Experiments.Output.to_csv table))
     tables
 
-let run_experiments ids scale csv jobs =
+let run_experiments ids scale csv jobs resume deadline max_events retries =
   let fmt = Format.std_formatter in
   let missing = List.filter (fun id -> Experiments.Registry.find id = None) ids in
   if missing <> [] then
     `Error (false, "unknown experiment(s): " ^ String.concat ", " missing)
   else begin
     let jobs = resolve_jobs jobs in
+    let store = Option.map (fun dir -> Experiments.Store.open_ ~dir) resume in
+    let ctx =
+      Experiments.Runner.ctx ~jobs ?store ~retries
+        ?deadline:(Option.map Units.Time.s deadline)
+        ?max_events ()
+    in
     let exps = List.filter_map Experiments.Registry.find ids in
     (* Registry-level fan-out: run everything first (in parallel when
        jobs > 1), then print in request order. *)
-    let results = Experiments.Registry.run_many ~jobs scale exps in
+    let results = Experiments.Registry.run_many ~ctx scale exps in
+    let failures = ref 0 in
     List.iter
       (fun (e, tables) ->
         Format.fprintf fmt "# %s (%s) at scale %s@." e.Experiments.Registry.id
           e.Experiments.Registry.paper_ref
           (Experiments.Scale.to_string scale);
         Experiments.Output.print_all fmt tables;
+        List.iter
+          (fun t -> failures := !failures + Experiments.Output.failure_count t)
+          tables;
         Option.iter
           (fun dir -> write_csv dir e.Experiments.Registry.id tables)
           csv)
       results;
-    `Ok ()
+    if !failures > 0 then begin
+      Printf.eprintf
+        "pert-experiments: %d cell(s) FAILED or TIMEOUT — tables above are \
+         partial\n"
+        !failures;
+      `Ok 3
+    end
+    else `Ok 0
   end
 
 let list_cmd =
@@ -85,7 +137,8 @@ let list_cmd =
       (fun e ->
         Printf.printf "%-8s %-14s %s\n" e.Experiments.Registry.id
           e.Experiments.Registry.paper_ref e.Experiments.Registry.summary)
-      Experiments.Registry.all
+      Experiments.Registry.all;
+    0
   in
   Cmd.v (Cmd.info "list" ~doc:"List reproducible tables/figures.")
     Term.(const run $ const ())
@@ -98,18 +151,26 @@ let ids_arg =
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run selected experiments and print their tables.")
-    Term.(ret (const run_experiments $ ids_arg $ scale_arg $ csv_arg $ jobs_arg))
+    Term.(
+      ret
+        (const run_experiments $ ids_arg $ scale_arg $ csv_arg $ jobs_arg
+       $ resume_arg $ deadline_arg $ max_events_arg $ retries_arg))
 
 let all_cmd =
-  let run scale csv jobs =
-    run_experiments (Experiments.Registry.ids ()) scale csv jobs
+  let run scale csv jobs resume deadline max_events retries =
+    run_experiments
+      (Experiments.Registry.ids ())
+      scale csv jobs resume deadline max_events retries
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment in paper order.")
-    Term.(ret (const run $ scale_arg $ csv_arg $ jobs_arg))
+    Term.(
+      ret
+        (const run $ scale_arg $ csv_arg $ jobs_arg $ resume_arg
+       $ deadline_arg $ max_events_arg $ retries_arg))
 
 let main =
   let doc = "Reproduce the tables and figures of the PERT paper (SIGCOMM 2007)" in
   Cmd.group (Cmd.info "pert-experiments" ~doc) [ list_cmd; run_cmd; all_cmd ]
 
-let () = exit (Cmd.eval main)
+let () = exit (Cmd.eval' main)

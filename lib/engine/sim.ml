@@ -9,7 +9,26 @@ type t = {
   mutable watchdog : (int * (string -> unit)) option;
   mutable instant_events : int;
   mutable next_id : int;
+  (* run budgets: one branch on [budget_armed] per event when disarmed *)
+  mutable budget_armed : bool;
+  mutable budget_events : int;  (* absolute [executed] threshold; max_int = off *)
+  mutable budget_wall_limit : float;  (* allowed wall seconds; infinity = off *)
+  mutable budget_wall_start : float;
+  mutable wall_countdown : int;  (* events until the next wall-clock sample *)
 }
+
+exception
+  Budget_exceeded of { events : int; now : Units.Time.t; exhausted : string }
+
+let () =
+  Printexc.register_printer (function
+    | Budget_exceeded { events; now; exhausted } ->
+        Some
+          (Printf.sprintf
+             "Sim.Budget_exceeded (%s after %d events at t=%g)" exhausted
+             events
+             (Units.Time.to_s now))
+    | _ -> None)
 
 let create ?(seed = 42) () =
   {
@@ -22,6 +41,11 @@ let create ?(seed = 42) () =
     watchdog = None;
     instant_events = 0;
     next_id = 0;
+    budget_armed = false;
+    budget_events = max_int;
+    budget_wall_limit = infinity;
+    budget_wall_start = 0.0;
+    wall_countdown = 0;
   }
 
 let now t = t.clock
@@ -69,6 +93,58 @@ let set_watchdog t ~max_events_per_instant on_trip =
 
 let clear_watchdog t = t.watchdog <- None
 
+(* Wall time is sampled once per this many events: a syscall per event
+   would dominate the fused peek/pop hot path. *)
+let wall_sample_period = 256
+
+let set_budget t ?max_events ?max_wall () =
+  (match max_events with
+  | Some n when n <= 0 ->
+      invalid_arg "Sim.set_budget: max_events must be positive"
+  | _ -> ());
+  (match max_wall with
+  | Some w when Units.Time.to_s w <= 0.0 ->
+      invalid_arg "Sim.set_budget: max_wall must be positive"
+  | _ -> ());
+  if Option.is_none max_events && Option.is_none max_wall then
+    invalid_arg "Sim.set_budget: set max_events, max_wall or both";
+  t.budget_events <-
+    (match max_events with Some n -> t.executed + n | None -> max_int);
+  (match max_wall with
+  | Some w ->
+      t.budget_wall_limit <- Units.Time.to_s w;
+      (* Deliberate wall-clock read: the wall budget is a safety valve
+         against pathological parameter points, not simulation input — it
+         never feeds back into any computed value, only into whether the
+         run is cut short with [Budget_exceeded]. *)
+      t.budget_wall_start <- (Unix.gettimeofday () [@lint.allow "D2"])
+  | None -> t.budget_wall_limit <- infinity);
+  t.wall_countdown <- wall_sample_period;
+  t.budget_armed <- true
+
+let clear_budget t =
+  t.budget_armed <- false;
+  t.budget_events <- max_int;
+  t.budget_wall_limit <- infinity
+
+let budget_trip t exhausted =
+  raise
+    (Budget_exceeded
+       { events = t.executed; now = Units.Time.of_s t.clock; exhausted })
+
+let check_budget t =
+  if t.executed >= t.budget_events then budget_trip t "max_events";
+  if t.budget_wall_limit < infinity then begin
+    t.wall_countdown <- t.wall_countdown - 1;
+    if t.wall_countdown <= 0 then begin
+      t.wall_countdown <- wall_sample_period;
+      if
+        (Unix.gettimeofday () [@lint.allow "D2"]) -. t.budget_wall_start
+        > t.budget_wall_limit
+      then budget_trip t "max_wall"
+    end
+  end
+
 let run ?until t =
   t.stopped <- false;
   let until = Option.map Units.Time.to_s until in
@@ -78,6 +154,7 @@ let run ?until t =
      event — this loop runs once per simulated packet transmission. *)
   let rec loop () =
     if (not t.stopped) && not (Heap.is_empty t.heap) then begin
+      if t.budget_armed then check_budget t;
       let time = Heap.min_time_exn t.heap in
       if time > horizon then t.clock <- horizon
       else begin

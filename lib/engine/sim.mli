@@ -44,10 +44,39 @@ val set_watchdog :
 
 val clear_watchdog : t -> unit
 
+exception
+  Budget_exceeded of {
+    events : int;  (** total events executed when the budget tripped *)
+    now : Units.Time.t;  (** virtual time reached — the partial horizon *)
+    exhausted : string;  (** ["max_events"] or ["max_wall"] *)
+  }
+(** Raised out of {!run} when an armed budget is exhausted. The payload is
+    the partial progress; the simulation itself stays valid — the event
+    that would have exceeded the budget is still queued, so after
+    {!clear_budget} (or a fresh {!set_budget}) the run can be resumed
+    with {!run}. *)
+
+val set_budget : t -> ?max_events:int -> ?max_wall:Units.Time.t -> unit -> unit
+(** [set_budget t ?max_events ?max_wall ()] arms a run budget, so a
+    pathological parameter point terminates deterministically instead of
+    hanging its domain: {!run} raises {!Budget_exceeded} once more than
+    [max_events] further events execute, or once [max_wall] of wall-clock
+    time elapses (sampled every few hundred events; this is the one
+    sanctioned wall-clock read in the engine — it only decides whether to
+    abort, never what is computed). [max_events] is relative to the events
+    already executed and is fully deterministic; [max_wall] is a
+    machine-dependent safety valve. At least one bound is required; both
+    must be positive. Replaces any previous budget.
+    @raise Invalid_argument on a non-positive or missing bound. *)
+
+val clear_budget : t -> unit
+(** Disarm the budget; {!run} resumes unbounded. *)
+
 val run : ?until:Units.Time.t -> t -> unit
 (** Execute events until the heap drains, [until] is reached (events
     scheduled strictly after [until] stay queued, the clock advances to
-    [until]), or {!stop} is called. *)
+    [until]), or {!stop} is called.
+    @raise Budget_exceeded when an armed {!set_budget} bound runs out. *)
 
 val events_executed : t -> int
 (** Total number of events executed so far (for benchmarks). *)

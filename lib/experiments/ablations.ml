@@ -31,21 +31,32 @@ let metric_cells (r : D.result) =
     Output.cell_i r.D.early_responses;
   ]
 
-(* Each spec is (label, scheme): one independent dumbbell per row, all of
-   them run through the domain pool, rendered in spec order. *)
-let run_rows ~jobs scale specs =
-  let config, _ = base scale in
-  let results =
-    D.run_many ~jobs
-      (List.map (fun (_, scheme) -> { config with D.scheme }) specs)
-  in
-  List.map2 (fun (label, _) r -> label :: metric_cells r) specs results
-
 let metric_header = [ "Q(pkts)"; "droprate"; "util"; "jain"; "early" ]
+let metric_width = List.length metric_header
 
-let decrease_factor ?(jobs = 1) scale =
+(* Each spec is (label, scheme): one independent dumbbell per row, run
+   through the supervised/checkpointed runner and rendered in spec order,
+   with failed cells degraded to explicit marker rows. *)
+let run_rows ~ctx ~experiment scale specs =
+  let config, _ = base scale in
+  let cells =
+    D.run_cells ~ctx ~experiment
+      (List.map
+         (fun (label, scheme) -> (label, { config with D.scheme }))
+         specs)
+  in
+  List.map2
+    (fun (label, _) cell ->
+      label
+      ::
+      (match cell with
+      | Ok r -> metric_cells r
+      | Error f -> Runner.failure_cells ~width:metric_width f))
+    specs cells
+
+let decrease_factor ?(ctx = Runner.default) scale =
   let rows =
-    run_rows ~jobs scale
+    run_rows ~ctx ~experiment:"ablation-decrease" scale
       (List.map
          (fun f -> (Printf.sprintf "f=%.2f" f, tuned ~decrease_factor:f ()))
          [ 0.20; 0.35; 0.50 ])
@@ -57,9 +68,9 @@ let decrease_factor ?(jobs = 1) scale =
     rows;
   }
 
-let ewma_weight ?(jobs = 1) scale =
+let ewma_weight ?(ctx = Runner.default) scale =
   let rows =
-    run_rows ~jobs scale
+    run_rows ~ctx ~experiment:"ablation-ewma" scale
       (List.map
          (fun a -> (Printf.sprintf "alpha=%.3f" a, tuned ~alpha:a ()))
          [ 0.875; 0.99; 0.999 ])
@@ -70,7 +81,7 @@ let ewma_weight ?(jobs = 1) scale =
     rows;
   }
 
-let curve_shape ?(jobs = 1) scale =
+let curve_shape ?(ctx = Runner.default) scale =
   let variants =
     [
       ("paper 5-10ms p.05", Curve.default);
@@ -86,7 +97,7 @@ let curve_shape ?(jobs = 1) scale =
     ]
   in
   let rows =
-    run_rows ~jobs scale
+    run_rows ~ctx ~experiment:"ablation-curve" scale
       (List.map (fun (label, curve) -> (label, tuned ~curve ())) variants)
   in
   {
@@ -95,9 +106,9 @@ let curve_shape ?(jobs = 1) scale =
     rows;
   }
 
-let rtt_limiter ?(jobs = 1) scale =
+let rtt_limiter ?(ctx = Runner.default) scale =
   let rows =
-    run_rows ~jobs scale
+    run_rows ~ctx ~experiment:"ablation-limiter" scale
       [
         ("once-per-rtt", tuned ~limit_per_rtt:true ());
         ("unlimited", tuned ~limit_per_rtt:false ());
@@ -110,7 +121,7 @@ let rtt_limiter ?(jobs = 1) scale =
     rows;
   }
 
-let reverse_traffic ?(jobs = 1) scale =
+let reverse_traffic ?(ctx = Runner.default) scale =
   let config, nflows = base scale in
   let reverse_levels =
     [ 0; nflows / 2; nflows ]
@@ -124,23 +135,29 @@ let reverse_traffic ?(jobs = 1) scale =
       reverse_levels
   in
   let results =
-    D.run_many ~jobs
+    D.run_cells ~ctx ~experiment:"reverse"
       (List.map
-         (fun (reverse_flows, _, delay_signal) ->
-           { config with D.reverse_flows; delay_signal })
+         (fun (reverse_flows, label, delay_signal) ->
+           ( Printf.sprintf "%d-%s" reverse_flows label,
+             { config with D.reverse_flows; delay_signal } ))
          cells)
   in
   let rows =
     List.map2
-      (fun (reverse_flows, label, _) r ->
-        [
-          Output.cell_i reverse_flows;
-          label;
-          Output.cell_f r.D.utilization;
-          Output.cell_f ~digits:1 (Units.Pkts.to_float r.D.avg_queue_pkts);
-          Output.cell_e r.D.drop_rate;
-          Output.cell_i r.D.early_responses;
-        ])
+      (fun (reverse_flows, label, _) cell ->
+        Output.cell_i reverse_flows
+        :: label
+        ::
+        (match cell with
+        | Ok r ->
+            [
+              Output.cell_f r.D.utilization;
+              Output.cell_f ~digits:1
+                (Units.Pkts.to_float r.D.avg_queue_pkts);
+              Output.cell_e r.D.drop_rate;
+              Output.cell_i r.D.early_responses;
+            ]
+        | Error f -> Runner.failure_cells ~width:4 f))
       cells results
   in
   {
@@ -150,7 +167,7 @@ let reverse_traffic ?(jobs = 1) scale =
     rows;
   }
 
-let seed_sensitivity ?(jobs = 1) scale =
+let seed_sensitivity ?(ctx = Runner.default) scale =
   let config, _ = base scale in
   let seeds = [ 1; 2; 3; 4; 5 ] in
   let nseeds = List.length seeds in
@@ -164,29 +181,44 @@ let seed_sensitivity ?(jobs = 1) scale =
   in
   let results =
     Array.of_list
-      (D.run_many ~jobs
+      (D.run_cells ~ctx ~experiment:"seeds"
          (List.map
-            (fun (scheme, seed) -> { config with D.scheme; seed })
+            (fun (scheme, seed) ->
+              (string_of_int seed, { config with D.scheme; seed }))
             cells))
   in
   let rows =
     List.mapi
       (fun i scheme ->
-        let q = Sim_engine.Stats.Acc.create ()
-        and u = Sim_engine.Stats.Acc.create ()
-        and j = Sim_engine.Stats.Acc.create () in
-        for k = i * nseeds to ((i + 1) * nseeds) - 1 do
-          let r = results.(k) in
-          Sim_engine.Stats.Acc.add q (Units.Pkts.to_float r.D.avg_queue_pkts);
-          Sim_engine.Stats.Acc.add u r.D.utilization;
-          Sim_engine.Stats.Acc.add j r.D.jain
-        done;
-        let pm acc digits =
-          Printf.sprintf "%.*f+-%.*f" digits (Sim_engine.Stats.Acc.mean acc)
-            digits
-            (Sim_engine.Stats.Acc.stddev acc)
-        in
-        [ Schemes.name scheme; pm q 1; pm u 3; pm j 3 ])
+        (* A mean over a partial seed set would be silently biased, so one
+           bad seed degrades the scheme's whole row to a marker. *)
+        let slice = Array.to_list (Array.sub results (i * nseeds) nseeds) in
+        match
+          List.find_map
+            (function Error f -> Some f | Ok _ -> None)
+            slice
+        with
+        | Some f -> Schemes.name scheme :: Runner.failure_cells ~width:3 f
+        | None ->
+            let q = Sim_engine.Stats.Acc.create ()
+            and u = Sim_engine.Stats.Acc.create ()
+            and j = Sim_engine.Stats.Acc.create () in
+            List.iter
+              (function
+                | Error _ -> ()
+                | Ok r ->
+                    Sim_engine.Stats.Acc.add q
+                      (Units.Pkts.to_float r.D.avg_queue_pkts);
+                    Sim_engine.Stats.Acc.add u r.D.utilization;
+                    Sim_engine.Stats.Acc.add j r.D.jain)
+              slice;
+            let pm acc digits =
+              Printf.sprintf "%.*f+-%.*f" digits
+                (Sim_engine.Stats.Acc.mean acc)
+                digits
+                (Sim_engine.Stats.Acc.stddev acc)
+            in
+            [ Schemes.name scheme; pm q 1; pm u 3; pm j 3 ])
       Schemes.all_fig4_schemes
   in
   {
@@ -195,12 +227,12 @@ let seed_sensitivity ?(jobs = 1) scale =
     rows;
   }
 
-let all ?(jobs = 1) scale =
+let all ?(ctx = Runner.default) scale =
   [
-    decrease_factor ~jobs scale;
-    ewma_weight ~jobs scale;
-    curve_shape ~jobs scale;
-    rtt_limiter ~jobs scale;
-    reverse_traffic ~jobs scale;
-    seed_sensitivity ~jobs scale;
+    decrease_factor ~ctx scale;
+    ewma_weight ~ctx scale;
+    curve_shape ~ctx scale;
+    rtt_limiter ~ctx scale;
+    reverse_traffic ~ctx scale;
+    seed_sensitivity ~ctx scale;
   ]

@@ -5,35 +5,38 @@
     each knob of the PERT design contributes on a fixed reference dumbbell
     (queue, drops, utilisation, fairness, early-response count).
 
-    Every table takes [?jobs] (default 1): its independent dumbbell runs
-    execute on a {!Parallel} pool of that many domains, and rows are
-    bit-identical for every [jobs]. *)
+    Every table takes a {!Runner.ctx} (default {!Runner.default}): its
+    independent dumbbell runs execute supervised and checkpointed, rows
+    are bit-identical for every [ctx.jobs], and a failed or
+    budget-exhausted cell renders as a [FAILED]/[TIMEOUT] marker row
+    instead of aborting the table. *)
 
-val decrease_factor : ?jobs:int -> Scale.t -> Output.table
+val decrease_factor : ?ctx:Runner.ctx -> Scale.t -> Output.table
 (** Early multiplicative decrease f in {0.20, 0.35, 0.50}: the paper
     derives 0.35 from the buffer-sizing rule; smaller responses leave
     standing queues, larger ones under-utilise. *)
 
-val ewma_weight : ?jobs:int -> Scale.t -> Output.table
+val ewma_weight : ?ctx:Runner.ctx -> Scale.t -> Output.table
 (** History weight alpha in {0.875, 0.99, 0.999}: Section 2.4's accuracy
     argument, replayed in closed loop. *)
 
-val curve_shape : ?jobs:int -> Scale.t -> Output.table
+val curve_shape : ?ctx:Runner.ctx -> Scale.t -> Output.table
 (** Response-curve variants: paper thresholds vs tighter/looser bands and
     a higher p_max. *)
 
-val rtt_limiter : ?jobs:int -> Scale.t -> Output.table
+val rtt_limiter : ?ctx:Runner.ctx -> Scale.t -> Output.table
 (** The once-per-RTT response limiter on vs off. *)
 
-val reverse_traffic : ?jobs:int -> Scale.t -> Output.table
+val reverse_traffic : ?ctx:Runner.ctx -> Scale.t -> Output.table
 (** Section 7 "impact of reverse traffic": forward PERT flows against
     increasing reverse-path congestion, with the RTT signal vs the
     one-way-delay signal. The RTT variant sacrifices forward throughput
     to reverse congestion; the OWD variant does not. *)
 
-val seed_sensitivity : ?jobs:int -> Scale.t -> Output.table
+val seed_sensitivity : ?ctx:Runner.ctx -> Scale.t -> Output.table
 (** The reference dumbbell re-run under five seeds per scheme: mean and
     standard deviation of queue, utilisation and fairness — the evidence
-    behind "robust across seeds" in EXPERIMENTS.md. *)
+    behind "robust across seeds" in EXPERIMENTS.md. A failed seed
+    degrades its scheme's whole row (a partial mean would be biased). *)
 
-val all : ?jobs:int -> Scale.t -> Output.table list
+val all : ?ctx:Runner.ctx -> Scale.t -> Output.table list

@@ -249,9 +249,15 @@ let measure built =
       | None -> 0);
   }
 
-let run config =
+let arm_budget sim ?max_events ?max_wall () =
+  match (max_events, max_wall) with
+  | None, None -> ()
+  | _ -> Sim.set_budget sim ?max_events ?max_wall ()
+
+let run ?max_events ?max_wall config =
   let built = build config in
   let sim = T.sim built.topo in
+  arm_budget sim ?max_events ?max_wall ();
   Sim.run ~until:(Units.Time.s config.warmup) sim;
   reset built;
   Sim.run ~until:(Units.Time.s config.duration) sim;
@@ -261,3 +267,23 @@ let run config =
    D1–D3) and can execute on separate domains. Results come back in
    config order: output is bit-identical for every [jobs]. *)
 let run_many ~jobs configs = Parallel.map ~jobs run configs
+
+(* The config record is plain data (no closures), so its Marshal bytes
+   are a stable fingerprint: two cells agree on the digest iff they are
+   the same simulation. *)
+let config_digest config = Digest.to_hex (Digest.string (Marshal.to_string config []))
+
+let cell_key ~experiment (point, config) =
+  Store.key ~experiment
+    ~scheme:(Schemes.name config.scheme)
+    ~seed:config.seed ~point
+    ~extra:(config_digest config)
+    ()
+
+let run_cells ~ctx ~experiment cells =
+  Runner.map ctx
+    ~key:(cell_key ~experiment)
+    (fun (_, config) ->
+      run ?max_events:ctx.Runner.max_events ?max_wall:ctx.Runner.deadline
+        config)
+    cells

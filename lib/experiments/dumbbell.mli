@@ -61,14 +61,30 @@ type result = {
       (** total invariant violations observed (0 when auditing is off) *)
 }
 
-val run : config -> result
-(** Build, warm up, measure, and summarise. *)
+val run : ?max_events:int -> ?max_wall:Units.Time.t -> config -> result
+(** Build, warm up, measure, and summarise. When either budget is set it
+    is armed on the scenario's simulator ({!Sim_engine.Sim.set_budget}),
+    so a pathological configuration raises
+    {!Sim_engine.Sim.Budget_exceeded} instead of hanging. *)
 
 val run_many : jobs:int -> config list -> result list
 (** [run] over every config on a {!Parallel} pool of [jobs] domains,
     results in config order. Each run owns its simulator, so output is
     bit-for-bit identical for every [jobs] value ([1] = sequential, no
     domain spawned). *)
+
+val config_digest : config -> string
+(** Hex fingerprint of the full config (stable across runs) — the
+    [?extra] component of {!cell_key}. *)
+
+val cell_key : experiment:string -> string * config -> Store.key
+(** Store identity of one [(point, config)] sweep cell. *)
+
+val run_cells :
+  ctx:Runner.ctx -> experiment:string -> (string * config) list ->
+  result Runner.cell list
+(** {!Runner.map} over labelled configs: store-checkpointed, supervised,
+    budgeted per [ctx] — the building block of every dumbbell sweep. *)
 
 (** Handles for custom experiments that need mid-run access. *)
 type built = {

@@ -24,7 +24,16 @@ let default scale scheme =
     seed = 42;
   }
 
-let run config =
+(* The config record is plain data, so its Marshal bytes are a stable
+   fingerprint for store keys (same convention as [Dumbbell.cell_key]). *)
+let scheme_key ~experiment ?point config =
+  Store.key ~experiment
+    ~scheme:(Schemes.name config.scheme)
+    ~seed:config.seed ?point
+    ~extra:(Digest.to_hex (Digest.string (Marshal.to_string config [])))
+    ()
+
+let run ?max_events ?max_wall config =
   (* Total timeline: cohorts join at 0, e, 2e, ... then leave in arrival
      order at n*e, (n+1)*e, ...; simulation ends when one cohort is left
      for a final epoch, mirroring the paper's 0..700 s staircase. *)
@@ -46,6 +55,9 @@ let run config =
   in
   let built = Dumbbell.build dumbbell_cfg in
   let sim = Netsim.Topology.sim built.Dumbbell.topo in
+  (match (max_events, max_wall) with
+  | None, None -> ()
+  | _ -> Sim.set_budget sim ?max_events ?max_wall ());
   let r1, r2 = built.Dumbbell.routers in
   ignore r2;
   let total_epochs = (2 * config.n_cohorts) - 1 in
@@ -116,29 +128,41 @@ let run config =
   Sim.run ~until:(Units.Time.s horizon) sim;
   (times, series)
 
-let fig12 ?(jobs = 1) scale =
+let fig12 ?(ctx = Runner.default) scale =
+  let n_cohorts = 4 in
   (* One staircase scenario per scheme, each on its own simulator. *)
-  let per_scheme =
-    Parallel.map ~jobs
-      (fun scheme -> (scheme, run (default scale scheme)))
+  let cells =
+    Runner.map ctx
+      ~key:(fun scheme -> scheme_key ~experiment:"fig12" (default scale scheme))
+      (fun scheme ->
+        run ?max_events:ctx.Runner.max_events ?max_wall:ctx.Runner.deadline
+          (default scale scheme))
       Schemes.all_fig4_schemes
   in
   let rows =
-    List.concat_map
-      (fun (scheme, (times, series)) ->
-        Array.to_list
-          (Array.mapi
-             (fun i t ->
-               Schemes.name scheme
-               :: Output.cell_f ~digits:1 t
-               :: Array.to_list
-                    (Array.map
-                       (fun cohort -> Output.cell_f ~digits:2 (cohort.(i) /. 1e6))
-                       series))
-             times))
-      per_scheme
+    List.concat
+      (List.map2
+         (fun scheme cell ->
+           match cell with
+           | Ok (times, series) ->
+               Array.to_list
+                 (Array.mapi
+                    (fun i t ->
+                      Schemes.name scheme
+                      :: Output.cell_f ~digits:1 t
+                      :: Array.to_list
+                           (Array.map
+                              (fun cohort ->
+                                Output.cell_f ~digits:2 (cohort.(i) /. 1e6))
+                              series))
+                    times)
+           | Error f ->
+               [
+                 Schemes.name scheme
+                 :: Runner.failure_cells ~width:(1 + n_cohorts) f;
+               ])
+         Schemes.all_fig4_schemes cells)
   in
-  let n_cohorts = 4 in
   {
     Output.title =
       "Fig 12: response to flow arrivals/departures (per-cohort Mbps)";
@@ -148,7 +172,7 @@ let fig12 ?(jobs = 1) scale =
     rows;
   }
 
-let run_cbr config ~cbr_share =
+let run_cbr ?max_events ?max_wall config ~cbr_share =
   let dumbbell_cfg =
     Dumbbell.uniform_flows
       {
@@ -165,6 +189,9 @@ let run_cbr config ~cbr_share =
   in
   let built = Dumbbell.build dumbbell_cfg in
   let sim = Netsim.Topology.sim built.Dumbbell.topo in
+  (match (max_events, max_wall) with
+  | None, None -> ()
+  | _ -> Sim.set_budget sim ?max_events ?max_wall ());
   let horizon = 3.0 *. config.epoch in
   let nbins = Units.Round.ceil (horizon /. config.bin) in
   let times = Array.init nbins (fun i -> float_of_int (i + 1) *. config.bin) in
@@ -210,27 +237,38 @@ let run_cbr config ~cbr_share =
   Sim.run ~until:(Units.Time.s horizon) sim;
   (times, tcp_series, cbr_series)
 
-let dynamic_cbr ?(jobs = 1) scale =
-  let per_scheme =
-    Parallel.map ~jobs
+let dynamic_cbr ?(ctx = Runner.default) scale =
+  let cbr_share = 0.5 in
+  let cells =
+    Runner.map ctx
+      ~key:(fun scheme ->
+        scheme_key ~experiment:"dynamic-cbr"
+          ~point:(Printf.sprintf "cbr%.2f" cbr_share)
+          (default scale scheme))
       (fun scheme ->
-        (scheme, run_cbr (default scale scheme) ~cbr_share:0.5))
+        run_cbr ?max_events:ctx.Runner.max_events
+          ?max_wall:ctx.Runner.deadline (default scale scheme) ~cbr_share)
       Schemes.all_fig4_schemes
   in
   let rows =
-    List.concat_map
-      (fun (scheme, (times, tcp, cbr)) ->
-        Array.to_list
-          (Array.mapi
-             (fun i t ->
-               [
-                 Schemes.name scheme;
-                 Output.cell_f ~digits:1 t;
-                 Output.cell_f ~digits:2 (tcp.(i) /. 1e6);
-                 Output.cell_f ~digits:2 (cbr.(i) /. 1e6);
-               ])
-             times))
-      per_scheme
+    List.concat
+      (List.map2
+         (fun scheme cell ->
+           match cell with
+           | Ok (times, tcp, cbr) ->
+               Array.to_list
+                 (Array.mapi
+                    (fun i t ->
+                      [
+                        Schemes.name scheme;
+                        Output.cell_f ~digits:1 t;
+                        Output.cell_f ~digits:2 (tcp.(i) /. 1e6);
+                        Output.cell_f ~digits:2 (cbr.(i) /. 1e6);
+                      ])
+                    times)
+           | Error f ->
+               [ Schemes.name scheme :: Runner.failure_cells ~width:3 f ])
+         Schemes.all_fig4_schemes cells)
   in
   {
     Output.title =

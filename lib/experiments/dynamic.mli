@@ -17,22 +17,28 @@ type config = {
 
 val default : Scale.t -> Schemes.t -> config
 
-val run : config -> float array * float array array
+val run :
+  ?max_events:int -> ?max_wall:Units.Time.t -> config ->
+  float array * float array array
 (** [(bin_times, per_cohort_throughput)] — [per_cohort.(k).(i)] is cohort
-    [k]'s aggregate goodput (bits/s) during bin [i]. *)
+    [k]'s aggregate goodput (bits/s) during bin [i]. When either budget
+    is set it is armed on the scenario's simulator
+    ({!Sim_engine.Sim.set_budget}). *)
 
-val fig12 : ?jobs:int -> Scale.t -> Output.table
+val fig12 : ?ctx:Runner.ctx -> Scale.t -> Output.table
 (** One table row per bin and scheme: the per-cohort series for every
-    scheme of the paper's comparison. Per-scheme scenarios run on a
-    {!Parallel} pool of [jobs] domains (default 1); rows are
-    bit-identical for every [jobs]. *)
+    scheme of the paper's comparison. Per-scheme scenarios run supervised
+    and checkpointed per [ctx] (default {!Runner.default}); rows are
+    bit-identical for every [ctx.jobs], and a failed scheme degrades to
+    one marker row instead of aborting the table. *)
 
 val run_cbr :
-  config -> cbr_share:float -> float array * float array * float array
+  ?max_events:int -> ?max_wall:Units.Time.t -> config ->
+  cbr_share:float -> float array * float array * float array
 (** Section 4.7's companion experiment (results relegated to the thesis):
     one cohort of flows, with a non-responsive CBR stream consuming
     [cbr_share] of the bottleneck during the middle third of the run.
     Returns [(bin_times, tcp_aggregate_bps, cbr_received_bps)]. *)
 
-val dynamic_cbr : ?jobs:int -> Scale.t -> Output.table
+val dynamic_cbr : ?ctx:Runner.ctx -> Scale.t -> Output.table
 (** The CBR on/off transient for every scheme of the comparison. *)

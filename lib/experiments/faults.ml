@@ -46,9 +46,12 @@ type run = {
   fstats : Fault.stats option;
 }
 
-let run_config config =
+let run_config ?max_events ?max_wall config =
   let built = D.build config in
   let sim = T.sim built.D.topo in
+  (match (max_events, max_wall) with
+  | None, None -> ()
+  | _ -> Sim.set_budget sim ?max_events ?max_wall ());
   Sim.run ~until:(Units.Time.s config.D.warmup) sim;
   D.reset built;
   Sim.run ~until:(Units.Time.s config.D.duration) sim;
@@ -69,6 +72,17 @@ let mbps v = Output.cell_f ~digits:2 (Units.Rate.to_mbps v)
 
 let fstat f get = match f.fstats with Some s -> get s | None -> 0
 
+(* Labelled (point, config) cells through the supervised/checkpointed
+   runner — same contract as [Dumbbell.run_cells] but for this suite's
+   richer per-run record. *)
+let run_cells ~ctx ~experiment specs =
+  Runner.map ctx
+    ~key:(D.cell_key ~experiment)
+    (fun ((_ : string), config) ->
+      run_config ?max_events:ctx.Runner.max_events
+        ?max_wall:ctx.Runner.deadline config)
+    specs
+
 (* --- non-congestive loss ------------------------------------------------- *)
 
 let loss_rates scale =
@@ -76,7 +90,7 @@ let loss_rates scale =
     ~default:[ 0.001; 0.01; 0.05 ]
     ~full:[ 0.001; 0.005; 0.01; 0.02; 0.05 ]
 
-let lossy ?(jobs = 1) scale =
+let lossy ?(ctx = Runner.default) scale =
   let config = base scale in
   let cells =
     List.concat_map
@@ -84,28 +98,37 @@ let lossy ?(jobs = 1) scale =
       (loss_rates scale)
   in
   let runs =
-    Parallel.map ~jobs
-      (fun (p, scheme) ->
-        run_config
-          { config with D.scheme; fault = Some (Fault.lossy (Units.Prob.v p)) })
-      cells
+    run_cells ~ctx ~experiment:"faults-lossy"
+      (List.map
+         (fun (p, scheme) ->
+           ( Printf.sprintf "%.4f" p,
+             {
+               config with
+               D.scheme;
+               fault = Some (Fault.lossy (Units.Prob.v p));
+             } ))
+         cells)
   in
   let rows =
     List.map2
-      (fun (p, scheme) r ->
-        [
-          Printf.sprintf "%.1f%%" (100.0 *. p);
-          Schemes.name scheme;
-          mbps r.goodput_bps;
-          Output.cell_f r.result.D.utilization;
-          Output.cell_f ~digits:1
-            (Units.Pkts.to_float r.result.D.avg_queue_pkts);
-          Output.cell_e r.result.D.drop_rate;
-          Output.cell_i (fstat r (fun s -> s.Fault.wire_drops));
-          Output.cell_i r.result.D.loss_events;
-          Output.cell_i r.timeouts;
-          Output.cell_i r.result.D.audit_violations;
-        ])
+      (fun (p, scheme) cell ->
+        Printf.sprintf "%.1f%%" (100.0 *. p)
+        :: Schemes.name scheme
+        ::
+        (match cell with
+        | Ok r ->
+            [
+              mbps r.goodput_bps;
+              Output.cell_f r.result.D.utilization;
+              Output.cell_f ~digits:1
+                (Units.Pkts.to_float r.result.D.avg_queue_pkts);
+              Output.cell_e r.result.D.drop_rate;
+              Output.cell_i (fstat r (fun s -> s.Fault.wire_drops));
+              Output.cell_i r.result.D.loss_events;
+              Output.cell_i r.timeouts;
+              Output.cell_i r.result.D.audit_violations;
+            ]
+        | Error f -> Runner.failure_cells ~width:8 f))
       cells runs
   in
   {
@@ -130,7 +153,7 @@ let lossy ?(jobs = 1) scale =
 
 (* --- link flapping -------------------------------------------------------- *)
 
-let flapping ?(jobs = 1) scale =
+let flapping ?(ctx = Runner.default) scale =
   let config = base scale in
   let mean_up = Float.max 2.0 (config.D.duration /. 12.0) in
   let mean_down = Scale.pick scale ~smoke:0.3 ~quick:0.4 ~default:0.5 ~full:1.0 in
@@ -146,24 +169,32 @@ let flapping ?(jobs = 1) scale =
     }
   in
   let runs =
-    Parallel.map ~jobs
-      (fun scheme -> run_config { config with D.scheme; fault = Some spec })
-      schemes
+    run_cells ~ctx ~experiment:"faults-flapping"
+      (List.map
+         (fun scheme ->
+           (Schemes.name scheme, { config with D.scheme; fault = Some spec }))
+         schemes)
   in
   let rows =
     List.map2
-      (fun scheme r ->
-        [
-          Schemes.name scheme;
-          Output.cell_f ~digits:1
-            (match r.fstats with Some s -> s.Fault.downtime | None -> 0.0);
-          Output.cell_i (fstat r (fun s -> s.Fault.transitions));
-          Output.cell_i (fstat r (fun s -> s.Fault.outage_drops));
-          mbps r.goodput_bps;
-          Output.cell_f r.result.D.utilization;
-          Output.cell_i r.timeouts;
-          Output.cell_i r.result.D.audit_violations;
-        ])
+      (fun scheme cell ->
+        Schemes.name scheme
+        ::
+        (match cell with
+        | Ok r ->
+            [
+              Output.cell_f ~digits:1
+                (match r.fstats with
+                | Some s -> s.Fault.downtime
+                | None -> 0.0);
+              Output.cell_i (fstat r (fun s -> s.Fault.transitions));
+              Output.cell_i (fstat r (fun s -> s.Fault.outage_drops));
+              mbps r.goodput_bps;
+              Output.cell_f r.result.D.utilization;
+              Output.cell_i r.timeouts;
+              Output.cell_i r.result.D.audit_violations;
+            ]
+        | Error f -> Runner.failure_cells ~width:7 f))
       schemes runs
   in
   {
@@ -182,7 +213,7 @@ let flapping ?(jobs = 1) scale =
 
 (* --- ECN bleaching -------------------------------------------------------- *)
 
-let bleached ?(jobs = 1) scale =
+let bleached ?(ctx = Runner.default) scale =
   let config = base scale in
   let levels =
     Scale.pick scale ~smoke:[ 1.0 ] ~quick:[ 1.0 ] ~default:[ 0.0; 0.5; 1.0 ]
@@ -197,29 +228,35 @@ let bleached ?(jobs = 1) scale =
       levels
   in
   let runs =
-    Parallel.map ~jobs
-      (fun (bleach, scheme) ->
-        let spec =
-          { Fault.none with Fault.bleach_prob = Units.Prob.v bleach }
-        in
-        run_config { config with D.scheme; fault = Some spec })
-      cells
+    run_cells ~ctx ~experiment:"faults-bleached"
+      (List.map
+         (fun (bleach, scheme) ->
+           let spec =
+             { Fault.none with Fault.bleach_prob = Units.Prob.v bleach }
+           in
+           ( Printf.sprintf "%.4f" bleach,
+             { config with D.scheme; fault = Some spec } ))
+         cells)
   in
   let rows =
     List.map2
-      (fun (bleach, scheme) r ->
-        [
-          Printf.sprintf "%.0f%%" (100.0 *. bleach);
-          Schemes.name scheme;
-          Output.cell_i r.result.D.marks;
-          Output.cell_i (fstat r (fun s -> s.Fault.bleached));
-          mbps r.goodput_bps;
-          Output.cell_f r.result.D.utilization;
-          Output.cell_f ~digits:1
-            (Units.Pkts.to_float r.result.D.avg_queue_pkts);
-          Output.cell_e r.result.D.drop_rate;
-          Output.cell_i r.result.D.audit_violations;
-        ])
+      (fun (bleach, scheme) cell ->
+        Printf.sprintf "%.0f%%" (100.0 *. bleach)
+        :: Schemes.name scheme
+        ::
+        (match cell with
+        | Ok r ->
+            [
+              Output.cell_i r.result.D.marks;
+              Output.cell_i (fstat r (fun s -> s.Fault.bleached));
+              mbps r.goodput_bps;
+              Output.cell_f r.result.D.utilization;
+              Output.cell_f ~digits:1
+                (Units.Pkts.to_float r.result.D.avg_queue_pkts);
+              Output.cell_e r.result.D.drop_rate;
+              Output.cell_i r.result.D.audit_violations;
+            ]
+        | Error f -> Runner.failure_cells ~width:7 f))
       cells runs
   in
   {
@@ -234,5 +271,5 @@ let bleached ?(jobs = 1) scale =
     rows;
   }
 
-let all ?(jobs = 1) scale =
-  [ lossy ~jobs scale; flapping ~jobs scale; bleached ~jobs scale ]
+let all ?(ctx = Runner.default) scale =
+  [ lossy ~ctx scale; flapping ~ctx scale; bleached ~ctx scale ]

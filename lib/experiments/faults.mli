@@ -4,18 +4,21 @@
     bleaching. Every run executes with the {!Sim_engine.Audit} invariant
     checks enabled and reports the violation count in its last column
     (expected 0). Graceful-degradation bar: PERT's aggregate goodput must
-    not fall below plain SACK's under a polluted delay signal. *)
+    not fall below plain SACK's under a polluted delay signal.
 
-val lossy : ?jobs:int -> Scale.t -> Output.table
-(** 0.1–5% seeded random wire loss on the bottleneck. The (rate, scheme)
-    grid runs on a {!Parallel} pool of [jobs] domains (default 1);
-    rows are bit-identical for every [jobs]. *)
+    Every table takes a {!Runner.ctx} (default {!Runner.default}):
+    cells run supervised and checkpointed, rows are bit-identical for
+    every [ctx.jobs], and a failed or budget-exhausted cell renders as
+    a [FAILED]/[TIMEOUT] marker row instead of aborting the table. *)
 
-val flapping : ?jobs:int -> Scale.t -> Output.table
+val lossy : ?ctx:Runner.ctx -> Scale.t -> Output.table
+(** 0.1–5% seeded random wire loss on the bottleneck. *)
+
+val flapping : ?ctx:Runner.ctx -> Scale.t -> Output.table
 (** Memoryless link up/down flapping; exercises RTO backoff + recovery. *)
 
-val bleached : ?jobs:int -> Scale.t -> Output.table
+val bleached : ?ctx:Runner.ctx -> Scale.t -> Output.table
 (** CE marks cleared in flight with probability 0–100%. *)
 
-val all : ?jobs:int -> Scale.t -> Output.table list
+val all : ?ctx:Runner.ctx -> Scale.t -> Output.table list
 (** [lossy; flapping; bleached]. *)

@@ -6,7 +6,7 @@ let schemes =
     Schemes.Sack_pi_ecn { target_delay = Units.Time.s 0.003 };
   ]
 
-let sweep_schemes ~title schemes ?(jobs = 1) scale =
+let sweep_schemes ~title ~experiment schemes ?(ctx = Runner.default) scale =
   let points =
     Scale.pick scale
       ~quick:[ 0.020; 0.100 ]
@@ -21,35 +21,41 @@ let sweep_schemes ~title schemes ?(jobs = 1) scale =
       points
   in
   let results =
-    D.run_many ~jobs
+    D.run_cells ~ctx ~experiment
       (List.map
          (fun (rtt, scheme) ->
            let duration = Float.max 40.0 (150.0 *. rtt) in
-           D.uniform_flows
-             {
-               D.default with
-               scheme;
-               bandwidth;
-               rtt;
-               duration;
-               warmup = duration /. 3.0;
-               seed = 42 + Units.Round.trunc (rtt *. 1000.0);
-             }
-             ~n:nflows)
+           ( Printf.sprintf "%.3f" rtt,
+             D.uniform_flows
+               {
+                 D.default with
+                 scheme;
+                 bandwidth;
+                 rtt;
+                 duration;
+                 warmup = duration /. 3.0;
+                 seed = 42 + Units.Round.trunc (rtt *. 1000.0);
+               }
+               ~n:nflows ))
          cells)
   in
   let rows =
     List.map2
-      (fun (rtt, scheme) r ->
-        [
-          Output.cell_f ~digits:3 rtt;
-          Schemes.name scheme;
-          Output.cell_f ~digits:1 (Units.Pkts.to_float r.D.avg_queue_pkts);
-          Output.cell_f r.D.avg_queue_norm;
-          Output.cell_e r.D.drop_rate;
-          Output.cell_f r.D.utilization;
-          Output.cell_f r.D.jain;
-        ])
+      (fun (rtt, scheme) cell ->
+        Output.cell_f ~digits:3 rtt
+        :: Schemes.name scheme
+        ::
+        (match cell with
+        | Ok r ->
+            [
+              Output.cell_f ~digits:1
+                (Units.Pkts.to_float r.D.avg_queue_pkts);
+              Output.cell_f r.D.avg_queue_norm;
+              Output.cell_e r.D.drop_rate;
+              Output.cell_f r.D.utilization;
+              Output.cell_f r.D.jain;
+            ]
+        | Error f -> Runner.failure_cells ~width:5 f))
       cells results
   in
   {
@@ -59,10 +65,13 @@ let sweep_schemes ~title schemes ?(jobs = 1) scale =
     rows;
   }
 
-let fig14 = sweep_schemes ~title:"Fig 14: emulating PI at end hosts (RTT sweep)" schemes
+let fig14 =
+  sweep_schemes ~title:"Fig 14: emulating PI at end hosts (RTT sweep)"
+    ~experiment:"fig14" schemes
 
 let other_aqm =
   sweep_schemes
     ~title:"Beyond the paper: emulating REM at end hosts, vs router REM and AVQ"
+    ~experiment:"other-aqm"
     [ Schemes.Pert_rem; Schemes.Sack_rem_ecn; Schemes.Pert_avq;
       Schemes.Sack_avq_ecn ]

@@ -2,11 +2,13 @@
     Fig. 7 rerun with PERT/PI against router-based PI with ECN, both
     targeting a 3 ms queueing delay. *)
 
-val fig14 : ?jobs:int -> Scale.t -> Output.table
-(** The (rtt, scheme) grid runs on a {!Parallel} pool of [jobs] domains
-    (default 1); rows are bit-identical for every [jobs]. *)
+val fig14 : ?ctx:Runner.ctx -> Scale.t -> Output.table
+(** The (rtt, scheme) grid runs supervised and checkpointed per [ctx]
+    (default {!Runner.default}); rows are bit-identical for every
+    [ctx.jobs], and failed cells degrade to [FAILED]/[TIMEOUT] marker
+    rows. *)
 
-val other_aqm : ?jobs:int -> Scale.t -> Output.table
+val other_aqm : ?ctx:Runner.ctx -> Scale.t -> Output.table
 (** The paper's closing direction ("other AQM schemes can be potentially
     emulated"): the same sweep with end-host REM against router REM/ECN
     and router AVQ/ECN. *)

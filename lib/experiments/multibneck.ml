@@ -37,8 +37,11 @@ type link_report = {
   jain : float;
 }
 
-let run config =
+let run ?max_events ?max_wall config =
   let sim = Sim.create ~seed:config.seed () in
+  (match (max_events, max_wall) with
+  | None, None -> ()
+  | _ -> Sim.set_budget sim ?max_events ?max_wall ());
   let topo = T.create sim in
   let routers = Array.init config.n_routers (fun _ -> T.add_node topo) in
   let capacity_pps =
@@ -154,30 +157,46 @@ let run config =
   in
   (reports, long_jain)
 
-let fig11 ?(jobs = 1) scale =
+let fig11 ?(ctx = Runner.default) scale =
   (* One six-router chain per scheme; each owns its simulator, so the
-     four runs parallelise cleanly. *)
-  let per_scheme =
-    Parallel.map ~jobs
-      (fun scheme -> (scheme, run (default scale scheme)))
+     four runs parallelise cleanly. The config record is plain data, so
+     its Marshal bytes key the store cell. *)
+  let cells =
+    Runner.map ctx
+      ~key:(fun scheme ->
+        let config = default scale scheme in
+        Store.key ~experiment:"fig11"
+          ~scheme:(Schemes.name config.scheme)
+          ~seed:config.seed
+          ~extra:
+            (Digest.to_hex (Digest.string (Marshal.to_string config [])))
+          ())
+      (fun scheme ->
+        run ?max_events:ctx.Runner.max_events ?max_wall:ctx.Runner.deadline
+          (default scale scheme))
       Schemes.all_fig4_schemes
   in
   let rows =
-    List.concat_map
-      (fun (scheme, (reports, long_jain)) ->
-        List.map
-          (fun r ->
-            [
-              Schemes.name scheme;
-              r.hop;
-              Output.cell_f r.avg_queue_norm;
-              Output.cell_e r.drop_rate;
-              Output.cell_f r.utilization;
-              Output.cell_f r.jain;
-              Output.cell_f long_jain;
-            ])
-          reports)
-      per_scheme
+    List.concat
+      (List.map2
+         (fun scheme cell ->
+           match cell with
+           | Ok (reports, long_jain) ->
+               List.map
+                 (fun r ->
+                   [
+                     Schemes.name scheme;
+                     r.hop;
+                     Output.cell_f r.avg_queue_norm;
+                     Output.cell_e r.drop_rate;
+                     Output.cell_f r.utilization;
+                     Output.cell_f r.jain;
+                     Output.cell_f long_jain;
+                   ])
+                 reports
+           | Error f ->
+               [ Schemes.name scheme :: Runner.failure_cells ~width:6 f ])
+         Schemes.all_fig4_schemes cells)
   in
   {
     Output.title = "Fig 11: multiple bottlenecks (6-router chain)";

@@ -24,10 +24,14 @@ type link_report = {
   jain : float;  (** fairness among the flows entering at this hop *)
 }
 
-val run : config -> link_report list * float
+val run :
+  ?max_events:int -> ?max_wall:Units.Time.t -> config ->
+  link_report list * float
 (** Per-hop reports plus the Jain index of the long-haul (cloud 1 → last
-    cloud) flows. *)
+    cloud) flows. When either budget is set it is armed on the chain's
+    simulator ({!Sim_engine.Sim.set_budget}). *)
 
-val fig11 : ?jobs:int -> Scale.t -> Output.table
-(** One chain per scheme, run on a {!Parallel} pool of [jobs] domains
-    (default 1); rows are bit-identical for every [jobs]. *)
+val fig11 : ?ctx:Runner.ctx -> Scale.t -> Output.table
+(** One chain per scheme, run supervised and checkpointed per [ctx]
+    (default {!Runner.default}); rows are bit-identical for every
+    [ctx.jobs], and a failed scheme degrades to one marker row. *)

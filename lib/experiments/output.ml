@@ -8,6 +8,42 @@ let cell_f ?(digits = 3) v = Printf.sprintf "%.*f" digits v
 let cell_e v = Printf.sprintf "%.2e" v
 let cell_i v = string_of_int v
 
+(* Failure markers survive every renderer unmangled: no commas (CSV), no
+   whitespace (gnuplot columns), no newlines. *)
+let timeout_cell = "TIMEOUT"
+
+let max_reason = 48
+
+let failed_cell ~reason =
+  let sanitized =
+    String.map
+      (function
+        | ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | ':') as c
+          ->
+            c
+        | _ -> '_')
+      reason
+  in
+  let sanitized =
+    if String.length sanitized > max_reason then
+      String.sub sanitized 0 max_reason
+    else sanitized
+  in
+  "FAILED(" ^ sanitized ^ ")"
+
+let is_failure_cell c =
+  String.equal c timeout_cell
+  || String.length c >= 7
+     && String.equal (String.sub c 0 7) "FAILED("
+
+let failure_count t =
+  List.fold_left
+    (fun acc row ->
+      List.fold_left
+        (fun acc c -> if is_failure_cell c then acc + 1 else acc)
+        acc row)
+    0 t.rows
+
 let widths t =
   let ncols =
     List.fold_left (fun acc r -> max acc (List.length r)) (List.length t.header)

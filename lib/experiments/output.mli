@@ -14,6 +14,26 @@ val cell_e : float -> string
 
 val cell_i : int -> string
 
+(** {1 Failure markers}
+
+    Graceful degradation: a sweep cell whose simulation failed or timed
+    out renders as an explicit marker instead of aborting the whole
+    table. Markers contain no comma, whitespace or newline, so they pass
+    through {!to_csv} and {!to_gnuplot} unmangled. *)
+
+val failed_cell : reason:string -> string
+(** ["FAILED(<reason>)"], with [reason] sanitised to marker-safe
+    characters and truncated to a few dozen bytes. *)
+
+val timeout_cell : string
+(** ["TIMEOUT"] — the cell's run exceeded its deadline/budget. *)
+
+val is_failure_cell : string -> bool
+
+val failure_count : table -> int
+(** Number of failure-marker cells in the table's rows — the basis of the
+    CLI's non-zero exit on partial results. *)
+
 val print : Format.formatter -> table -> unit
 (** Aligned columns with a title line. *)
 

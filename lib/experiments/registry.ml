@@ -2,13 +2,13 @@ type experiment = {
   id : string;
   paper_ref : string;
   summary : string;
-  run : jobs:int -> Scale.t -> Output.table list;
+  run : ctx:Runner.ctx -> Scale.t -> Output.table list;
 }
 
-let one f ~jobs scale = [ f ?jobs:(Some jobs) scale ]
+let one f ~ctx scale = [ f ?ctx:(Some ctx) scale ]
 
 (* Single-run or closed-form tables: no independent tasks to spread. *)
-let seq f ~jobs:_ scale = [ f scale ]
+let seq f ~ctx:_ scale = [ f scale ]
 
 let all =
   [
@@ -34,7 +34,7 @@ let all =
       id = "fig5";
       paper_ref = "Figure 5";
       summary = "PERT probabilistic response curve";
-      run = (fun ~jobs:_ _ -> [ Sweeps.fig5 ]);
+      run = (fun ~ctx:_ _ -> [ Sweeps.fig5 ]);
     };
     {
       id = "fig6";
@@ -82,7 +82,7 @@ let all =
       id = "fig13a";
       paper_ref = "Figure 13(a)";
       summary = "minimum stable sampling interval vs flow count";
-      run = (fun ~jobs:_ _ -> [ Fig_fluid.fig13a ]);
+      run = (fun ~ctx:_ _ -> [ Fig_fluid.fig13a ]);
     };
     {
       id = "fig13";
@@ -106,7 +106,7 @@ let all =
       id = "stability";
       paper_ref = "Section 5.4";
       summary = "PERT vs router-RED stability boundaries (closed form)";
-      run = (fun ~jobs:_ _ -> [ Fig_fluid.stability_region ]);
+      run = (fun ~ctx:_ _ -> [ Fig_fluid.stability_region ]);
     };
     {
       id = "dynamic-cbr";
@@ -119,44 +119,48 @@ let all =
       paper_ref = "DESIGN.md (beyond the paper)";
       summary = "decrease factor / EWMA weight / curve shape / RTT limiter";
       run =
-        (fun ~jobs scale ->
+        (fun ~ctx scale ->
           [
-            Ablations.decrease_factor ~jobs scale;
-            Ablations.ewma_weight ~jobs scale;
-            Ablations.curve_shape ~jobs scale;
-            Ablations.rtt_limiter ~jobs scale;
+            Ablations.decrease_factor ~ctx scale;
+            Ablations.ewma_weight ~ctx scale;
+            Ablations.curve_shape ~ctx scale;
+            Ablations.rtt_limiter ~ctx scale;
           ]);
     };
     {
       id = "seeds";
       paper_ref = "methodology";
       summary = "five-seed mean +- sd of the reference comparison";
-      run = (fun ~jobs scale -> [ Ablations.seed_sensitivity ~jobs scale ]);
+      run = (fun ~ctx scale -> [ Ablations.seed_sensitivity ~ctx scale ]);
     };
     {
       id = "reverse";
       paper_ref = "Section 7 discussion";
       summary = "reverse-path congestion: RTT vs one-way-delay signal";
-      run = (fun ~jobs scale -> [ Ablations.reverse_traffic ~jobs scale ]);
+      run = (fun ~ctx scale -> [ Ablations.reverse_traffic ~ctx scale ]);
     };
     {
       id = "faults";
       paper_ref = "Sections 5.3/7 (beyond the paper)";
       summary = "PERT vs SACK vs PERT+ECN under loss, flapping, ECN bleaching";
-      run = (fun ~jobs scale -> Faults.all ~jobs scale);
+      run = (fun ~ctx scale -> Faults.all ~ctx scale);
     };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
 let ids () = List.map (fun e -> e.id) all
 
-let run_many ~jobs scale exps =
+let run_many ~ctx scale exps =
   match exps with
   | [] -> []
-  | [ e ] -> [ (e, e.run ~jobs scale) ]
-  | _ :: _ when jobs <= 1 ->
-      List.map (fun e -> (e, e.run ~jobs:1 scale)) exps
+  | [ e ] -> [ (e, e.run ~ctx scale) ]
+  | _ :: _ when ctx.Runner.jobs <= 1 ->
+      List.map (fun e -> (e, e.run ~ctx scale)) exps
   | _ :: _ ->
       (* Registry-level fan-out: one task per experiment, each run
-         sequentially inside (coarse granularity beats nested pools). *)
-      Parallel.map ~jobs (fun e -> (e, e.run ~jobs:1 scale)) exps
+         sequentially inside (coarse granularity beats nested pools).
+         The child ctx keeps the store, budgets and retry policy. *)
+      let inner = Runner.sequential ctx in
+      Parallel.map ~jobs:ctx.Runner.jobs
+        (fun e -> (e, e.run ~ctx:inner scale))
+        exps

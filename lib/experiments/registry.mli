@@ -5,10 +5,11 @@ type experiment = {
   id : string;  (** e.g. "fig6" *)
   paper_ref : string;  (** the table/figure it regenerates *)
   summary : string;
-  run : jobs:int -> Scale.t -> Output.table list;
-      (** [jobs] is the {!Parallel} pool width used for the experiment's
-          independent simulation runs. Tables are bit-identical for every
-          [jobs]; [~jobs:1] runs fully sequentially. *)
+  run : ctx:Runner.ctx -> Scale.t -> Output.table list;
+      (** [ctx] carries the pool width, result store and task budgets
+          for the experiment's independent simulation runs. Tables are
+          bit-identical for every [ctx.jobs]; {!Runner.default} runs
+          fully sequentially with no store. *)
 }
 
 val all : experiment list
@@ -18,9 +19,11 @@ val find : string -> experiment option
 val ids : unit -> string list
 
 val run_many :
-  jobs:int -> Scale.t -> experiment list -> (experiment * Output.table list) list
-(** Run several experiments, fanning the list itself out across [jobs]
-    domains (each experiment then runs its own simulations sequentially —
-    coarse tasks keep the pool saturated without nesting domains). Results
-    are returned in input order, and are bit-identical to running each
+  ctx:Runner.ctx -> Scale.t -> experiment list ->
+  (experiment * Output.table list) list
+(** Run several experiments, fanning the list itself out across
+    [ctx.jobs] domains (each experiment then runs its own simulations
+    sequentially — coarse tasks keep the pool saturated without nesting
+    domains; the store, budgets and retry policy are kept). Results are
+    returned in input order, and are bit-identical to running each
     experiment alone. *)

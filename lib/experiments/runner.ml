@@ -1,0 +1,118 @@
+(* Crash-safe execution context for experiment cells. See the .mli. *)
+
+type ctx = {
+  jobs : int;
+  store : Store.t option;
+  retries : int;
+  backoff : Units.Time.t;
+  deadline : Units.Time.t option;
+  max_events : int option;
+  seed : int;
+}
+
+let ctx ?(jobs = 1) ?store ?(retries = 0) ?(backoff = Units.Time.ms 20.0)
+    ?deadline ?max_events ?(seed = 2007) () =
+  { jobs = max 1 jobs; store; retries; backoff; deadline; max_events; seed }
+
+let default = ctx ()
+let sequential c = { c with jobs = 1 }
+let with_jobs c ~jobs = { c with jobs = max 1 jobs }
+
+type failure =
+  | Failed of { attempts : int; reason : string }
+  | Timed_out of string
+
+type 'a cell = ('a, failure) result
+
+let is_timeout_exn = function
+  | Sim_engine.Sim.Budget_exceeded _ -> true
+  | _ -> false
+
+let failure_cell = function
+  | Failed { reason; _ } -> Output.failed_cell ~reason
+  | Timed_out _ -> Output.timeout_cell
+
+let failure_cells ~width f =
+  if width < 1 then invalid_arg "Runner.failure_cells: width must be >= 1";
+  failure_cell f :: List.init (width - 1) (fun _ -> "-")
+
+let encode v = Marshal.to_string v []
+
+let cached ctx k =
+  match ctx.store with
+  | None -> None
+  | Some store ->
+      Option.map (fun payload -> Marshal.from_string payload 0)
+        (Store.find store k)
+
+let commit ctx k v =
+  match ctx.store with
+  | None -> ()
+  | Some store -> Store.put store k ~payload:(encode v)
+
+let outcome_to_cell = function
+  | Parallel.Ok v -> Ok v
+  | Parallel.Failed attempts ->
+      let reason =
+        match List.rev attempts with
+        | a :: _ -> a.Parallel.error
+        | [] -> "unknown"
+      in
+      Error (Failed { attempts = List.length attempts; reason })
+  | Parallel.Timed_out { reason; _ } -> Error (Timed_out reason)
+
+let map ctx ~key f xs =
+  match xs with
+  | [] -> []
+  | xs ->
+      let keys = List.map key xs in
+      let hits = List.map (cached ctx) keys in
+      let n_uncached =
+        List.length (List.filter Option.is_none hits)
+      in
+      if n_uncached = 0 then List.map (fun h -> Ok (Option.get h)) hits
+      else begin
+        let pool = Parallel.create ~jobs:(min ctx.jobs n_uncached) in
+        Fun.protect
+          ~finally:(fun () -> Parallel.shutdown pool)
+          (fun () ->
+            (* Submit the misses in input order (the pool queue is FIFO,
+               so execution order — and thus jobs=1 behaviour — matches
+               a sequential run over the misses); the supervision seed is
+               the cell's position in the *full* list, so a task's retry
+               trace does not depend on which other cells were cached. *)
+            let slots =
+              List.mapi
+                (fun i (x, hit) ->
+                  match hit with
+                  | Some v -> Either.Left v
+                  | None ->
+                      Either.Right
+                        (Parallel.submit_supervised pool
+                           ?deadline:ctx.deadline ~retries:ctx.retries
+                           ~backoff:ctx.backoff ~is_timeout:is_timeout_exn
+                           ~seed:(ctx.seed + i)
+                           (fun ~deadline:_ -> f x)))
+                (List.combine xs hits)
+            in
+            List.map2
+              (fun k slot ->
+                match slot with
+                | Either.Left v -> Ok v
+                | Either.Right fut -> (
+                    match Parallel.await fut with
+                    | Error (exn, bt) ->
+                        (* supervision caught task exceptions, so this is
+                           a harness bug — surface it loudly *)
+                        Printexc.raise_with_backtrace exn bt
+                    | Ok outcome ->
+                        let cell = outcome_to_cell outcome in
+                        (match cell with
+                        | Ok v -> commit ctx k v
+                        | Error _ ->
+                            (* failures are never cached: a rerun (or
+                               --resume) retries them *)
+                            ());
+                        cell))
+              keys slots)
+      end

@@ -1,0 +1,72 @@
+(** Crash-safe experiment execution: every independent simulation cell
+    runs as a supervised {!Parallel} task (deadline classification,
+    bounded deterministic retries), its result is checkpointed in an
+    optional {!Store}, and failures degrade to explicit table markers
+    instead of aborting the sweep.
+
+    Determinism contract: for a fixed context, {!map}'s successful cells
+    are byte-identical at any [jobs] and whether they were computed or
+    replayed from the store ([Marshal] round-trips floats exactly). *)
+
+type ctx = {
+  jobs : int;  (** {!Parallel} pool width, >= 1 *)
+  store : Store.t option;  (** checkpoint store ([None]: recompute all) *)
+  retries : int;  (** extra attempts per failing cell *)
+  backoff : Units.Time.t;  (** base retry backoff (seeded-deterministic) *)
+  deadline : Units.Time.t option;
+      (** wall budget per cell, enforced cooperatively via
+          {!Sim_engine.Sim.set_budget} *)
+  max_events : int option;  (** event budget per cell (deterministic) *)
+  seed : int;  (** base seed for per-task backoff jitter *)
+}
+
+val ctx :
+  ?jobs:int ->
+  ?store:Store.t ->
+  ?retries:int ->
+  ?backoff:Units.Time.t ->
+  ?deadline:Units.Time.t ->
+  ?max_events:int ->
+  ?seed:int ->
+  unit ->
+  ctx
+(** Defaults: sequential, no store, no retries, 20 ms backoff, no
+    budgets. *)
+
+val default : ctx
+
+val sequential : ctx -> ctx
+(** Same context at [jobs = 1] — used by the registry's coarse-grained
+    fan-out so nested pools never spawn domains inside domains. *)
+
+val with_jobs : ctx -> jobs:int -> ctx
+
+(** {1 Cells} *)
+
+type failure =
+  | Failed of { attempts : int; reason : string }
+      (** every attempt raised; [reason] is the last error *)
+  | Timed_out of string  (** deadline or event budget exhausted *)
+
+type 'a cell = ('a, failure) result
+
+val is_timeout_exn : exn -> bool
+(** Holds on {!Sim_engine.Sim.Budget_exceeded} — the supervised-task
+    timeout classifier shared by every experiment. *)
+
+val failure_cell : failure -> string
+(** The {!Output} marker: [FAILED(reason)] or [TIMEOUT]. *)
+
+val failure_cells : width:int -> failure -> string list
+(** A row fragment of [width] metric columns: the marker followed by
+    ["-"] placeholders. *)
+
+val map : ctx -> key:('a -> Store.key) -> ('a -> 'b) -> 'a list -> 'b cell list
+(** [map ctx ~key f xs] runs [f] over [xs] with results in input order:
+    cells found in [ctx.store] (checksum-verified) are replayed without
+    running anything; the rest run as supervised tasks on a transient
+    pool of [min ctx.jobs misses] domains, retried per [ctx.retries] /
+    [ctx.backoff], and committed to the store on success. Failures and
+    timeouts come back as [Error] cells — and are deliberately never
+    cached, so a rerun retries them. Exceptions escaping the supervision
+    machinery itself (harness bugs) are re-raised. *)

@@ -1,0 +1,99 @@
+(* Content-addressed checkpoint store. See the .mli for the format.
+
+   Writes are crash-safe by construction: the payload lands in a
+   same-directory temp file first and is moved into place with the
+   atomic [Sys.rename], so a SIGKILL at any instant leaves either the
+   previous cell or the complete new one — never a torn file. Reads
+   verify an MD5 checksum line before trusting anything, so a corrupt or
+   truncated cell degrades to a cache miss and is simply recomputed. *)
+
+let magic = "pert-store/1"
+
+type t = { dir : string }
+
+let dir t = t.dir
+
+type key = { canon : string }
+
+let canonical k = k.canon
+
+(* The canonical key string is the unit of content addressing; '|' is the
+   field separator, so strip it (and newlines) from the free-text
+   fields. Collisions after sanitisation only matter if they disagree on
+   the [extra] digest, which is itself collision-resistant. *)
+let sanitize s =
+  String.map (function '|' | '\n' | '\r' -> '_' | c -> c) s
+
+let key ~experiment ?(scheme = "-") ?(seed = 0) ?(point = "-") ?(extra = "-")
+    () =
+  {
+    canon =
+      String.concat "|"
+        [
+          magic;
+          sanitize experiment;
+          sanitize scheme;
+          string_of_int seed;
+          sanitize point;
+          sanitize extra;
+        ];
+  }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    match Sys.mkdir dir 0o755 with
+    | () -> ()
+    | exception Sys_error _ when Sys.file_exists dir ->
+        (* lost a creation race; the directory is there, which is all we
+           wanted *)
+        ()
+  end
+
+let open_ ~dir =
+  mkdir_p dir;
+  { dir }
+
+let path t k =
+  Filename.concat t.dir (Digest.to_hex (Digest.string k.canon) ^ ".cell")
+
+let write_atomic ~path data =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc data;
+      close_out oc);
+  Sys.rename tmp path
+
+let header ~payload k =
+  Printf.sprintf "%s %s %s\n" magic
+    (Digest.to_hex (Digest.string payload))
+    (Digest.to_hex (Digest.string k.canon))
+
+let put t k ~payload =
+  write_atomic ~path:(path t k) (header ~payload k ^ payload)
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | data -> Some data
+  | exception Sys_error _ -> None
+
+let find t k =
+  let file = path t k in
+  if not (Sys.file_exists file) then None
+  else
+    match read_file file with
+    | None -> None
+    | Some data -> (
+        match String.index_opt data '\n' with
+        | None -> None
+        | Some i ->
+            let payload =
+              String.sub data (i + 1) (String.length data - i - 1)
+            in
+            if String.equal (String.sub data 0 (i + 1)) (header ~payload k)
+            then Some payload
+            else None)

@@ -1,0 +1,62 @@
+(** Checkpointed result store: crash-safe memoisation of experiment
+    cells, keyed by (experiment, scheme, seed, parameter point).
+
+    Each cell is one file named by the MD5 of its canonical key, holding
+
+    {v pert-store/1 <md5 of payload> <md5 of canonical key>\n<payload> v}
+
+    written via a same-directory temp file and an atomic [Sys.rename].
+    A process killed mid-sweep therefore loses at most its in-flight
+    cells; everything committed before the kill is replayed byte-for-byte
+    by [--resume]. A cell that fails its checksum (corruption, torn
+    write by some other tool, key collision) reads as a miss and is
+    recomputed — the store is a cache, never an oracle.
+
+    Payloads are opaque bytes; {!Runner} stores [Marshal]-encoded result
+    records, so a store directory must be deleted when the compiler or a
+    result type changes — the checksum guards integrity, not schema. *)
+
+type t
+
+val open_ : dir:string -> t
+(** Open (creating the directory, and its parents, if needed). *)
+
+val dir : t -> string
+
+type key
+
+val key :
+  experiment:string ->
+  ?scheme:string ->
+  ?seed:int ->
+  ?point:string ->
+  ?extra:string ->
+  unit ->
+  key
+(** Canonical cell identity. [point] is the sweep coordinate ("20.",
+    "0.01", a row label); [extra] disambiguates everything the other
+    fields do not capture — callers pass a digest of the full config, so
+    the same (experiment, scheme, seed, point) at a different scale maps
+    to a different cell. Free-text fields are sanitised; defaults stand
+    in for fields without a natural value. *)
+
+val canonical : key -> string
+(** The canonical string (for diagnostics and tests). *)
+
+val path : t -> key -> string
+(** The cell file the key maps to (for diagnostics and tests); the file
+    need not exist. *)
+
+val find : t -> key -> string option
+(** The stored payload, or [None] when absent, torn, corrupt or written
+    under a different key. Never raises on a damaged cell file. *)
+
+val put : t -> key -> payload:string -> unit
+(** Commit a payload atomically (temp file + rename). Last writer wins;
+    concurrent writers of the {e same} key are benign because both write
+    identical content. *)
+
+val write_atomic : path:string -> string -> unit
+(** The store's writer, exposed for other emitters (CSV, bench JSON):
+    write to [path ^ ".tmp"] in the same directory, then [Sys.rename]
+    into place, so readers never observe a truncated file. *)

@@ -10,25 +10,32 @@ let result_cells (r : D.result) =
   ]
 
 let result_header = [ "Q(pkts)"; "Q(norm)"; "droprate"; "util"; "jain" ]
+let result_width = List.length result_header
 
 (* Every (point, scheme) cell of a sweep is an independent simulation;
-   run the whole grid through the domain pool and render in grid order. *)
-let sweep ~jobs ~title ~xlabel ~points ~configure scale =
+   run the whole grid through the supervised/checkpointed runner and
+   render in grid order, degrading failed cells to explicit markers. *)
+let sweep ~ctx ~experiment ~title ~xlabel ~points ~configure scale =
   let cells =
     List.concat_map
       (fun x -> List.map (fun scheme -> (x, scheme)) Schemes.all_fig4_schemes)
       points
   in
   let results =
-    D.run_many ~jobs
-      (List.map (fun (x, scheme) -> configure scale scheme x) cells)
+    D.run_cells ~ctx ~experiment
+      (List.map (fun (x, scheme) -> (x, configure scale scheme x)) cells)
   in
   {
     Output.title;
     header = (xlabel :: "scheme" :: result_header);
     rows =
       List.map2
-        (fun (x, scheme) r -> x :: Schemes.name scheme :: result_cells r)
+        (fun (x, scheme) cell ->
+          x :: Schemes.name scheme
+          ::
+          (match cell with
+          | Ok r -> result_cells r
+          | Error f -> Runner.failure_cells ~width:result_width f))
         cells results;
   }
 
@@ -54,7 +61,7 @@ let fig5 =
 
 (* --- Fig 6: bandwidth sweep --------------------------------------------- *)
 
-let fig6 ?(jobs = 1) scale =
+let fig6 ?(ctx = Runner.default) scale =
   let points =
     Scale.pick scale
       ~quick:[ 5.0; 20.0 ]
@@ -80,7 +87,8 @@ let fig6 ?(jobs = 1) scale =
     in
     D.uniform_flows cfg ~n
   in
-  sweep ~jobs ~title:"Fig 6: impact of bottleneck bandwidth" ~xlabel:"Mbps"
+  sweep ~ctx ~experiment:"fig6" ~title:"Fig 6: impact of bottleneck bandwidth"
+    ~xlabel:"Mbps"
     ~points:(List.map string_of_float points |> List.map (fun s -> s))
     ~configure:(fun s sch x -> configure s sch (float_of_string x))
     scale
@@ -93,7 +101,7 @@ let fig7_schemes_points scale =
     ~default:[ 0.010; 0.020; 0.050; 0.100; 0.200; 0.500; 1.0 ]
     ~full:[ 0.010; 0.020; 0.050; 0.100; 0.200; 0.500; 1.0 ]
 
-let fig7 ?(jobs = 1) scale =
+let fig7 ?(ctx = Runner.default) scale =
   let points = fig7_schemes_points scale in
   let bandwidth = Scale.pick scale ~quick:10e6 ~default:40e6 ~full:150e6 in
   let nflows = Scale.pick scale ~quick:8 ~default:16 ~full:50 in
@@ -113,13 +121,14 @@ let fig7 ?(jobs = 1) scale =
     in
     D.uniform_flows cfg ~n:nflows
   in
-  sweep ~jobs ~title:"Fig 7: impact of end-to-end RTT" ~xlabel:"rtt(s)"
+  sweep ~ctx ~experiment:"fig7" ~title:"Fig 7: impact of end-to-end RTT"
+    ~xlabel:"rtt(s)"
     ~points:(List.map string_of_float points)
     ~configure scale
 
 (* --- Fig 8: number of long-lived flows ----------------------------------- *)
 
-let fig8 ?(jobs = 1) scale =
+let fig8 ?(ctx = Runner.default) scale =
   let points =
     Scale.pick scale
       ~quick:[ 4; 16 ]
@@ -142,14 +151,15 @@ let fig8 ?(jobs = 1) scale =
     in
     D.uniform_flows cfg ~n
   in
-  sweep ~jobs ~title:"Fig 8: impact of the number of long-lived flows"
+  sweep ~ctx ~experiment:"fig8"
+    ~title:"Fig 8: impact of the number of long-lived flows"
     ~xlabel:"flows"
     ~points:(List.map string_of_int points)
     ~configure scale
 
 (* --- Fig 9: web sessions -------------------------------------------------- *)
 
-let fig9 ?(jobs = 1) scale =
+let fig9 ?(ctx = Runner.default) scale =
   let points =
     Scale.pick scale
       ~quick:[ 10; 50 ]
@@ -174,37 +184,44 @@ let fig9 ?(jobs = 1) scale =
     in
     D.uniform_flows cfg ~n:nflows
   in
-  sweep ~jobs ~title:"Fig 9: impact of web traffic" ~xlabel:"sessions"
+  sweep ~ctx ~experiment:"fig9" ~title:"Fig 9: impact of web traffic"
+    ~xlabel:"sessions"
     ~points:(List.map string_of_int points)
     ~configure scale
 
 (* --- Table 1: heterogeneous RTTs ------------------------------------------ *)
 
-let table1 ?(jobs = 1) scale =
+let table1 ?(ctx = Runner.default) scale =
   let bandwidth = Scale.pick scale ~quick:10e6 ~default:40e6 ~full:150e6 in
   let web = Scale.pick scale ~quick:20 ~default:100 ~full:100 in
   let duration = Scale.pick scale ~quick:25.0 ~default:80.0 ~full:400.0 in
   let flow_rtts = List.init 10 (fun i -> 0.012 *. float_of_int (i + 1)) in
   let results =
-    D.run_many ~jobs
+    D.run_cells ~ctx ~experiment:"table1"
       (List.map
          (fun scheme ->
-           {
-             D.default with
-             scheme;
-             bandwidth;
-             rtt = 0.060;
-             flow_rtts;
-             web_sessions = web;
-             duration;
-             warmup = duration /. 3.0;
-             seed = 42;
-           })
+           ( Schemes.name scheme,
+             {
+               D.default with
+               scheme;
+               bandwidth;
+               rtt = 0.060;
+               flow_rtts;
+               web_sessions = web;
+               duration;
+               warmup = duration /. 3.0;
+               seed = 42;
+             } ))
          Schemes.all_fig4_schemes)
   in
   let rows =
     List.map2
-      (fun scheme r -> Schemes.name scheme :: result_cells r)
+      (fun scheme cell ->
+        Schemes.name scheme
+        ::
+        (match cell with
+        | Ok r -> result_cells r
+        | Error f -> Runner.failure_cells ~width:result_width f))
       Schemes.all_fig4_schemes results
   in
   {

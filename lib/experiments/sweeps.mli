@@ -1,24 +1,28 @@
 (** The steady-state evaluation of Section 4: parameter sweeps over the
     dumbbell, comparing PERT, SACK/DropTail, SACK/RED-ECN and Vegas on
-    average queue, drop rate, utilisation and Jain fairness. *)
+    average queue, drop rate, utilisation and Jain fairness.
+
+    Every sweep takes a {!Runner.ctx} (default {!Runner.default}:
+    sequential, no store): its (point, scheme) grid runs supervised and
+    checkpointed, rows are bit-identical for every [ctx.jobs], and a
+    failed or budget-exhausted cell renders as a [FAILED]/[TIMEOUT]
+    marker row instead of aborting the table. *)
 
 val fig5 : Output.table
 (** The PERT response curve itself (analytic; paper Fig. 5). *)
 
-val fig6 : ?jobs:int -> Scale.t -> Output.table
-(** Bottleneck-bandwidth sweep (Section 4.1). Every sweep runs its
-    (point, scheme) grid on a {!Parallel} pool of [jobs] domains
-    (default 1 = sequential); rows are bit-identical for every [jobs]. *)
+val fig6 : ?ctx:Runner.ctx -> Scale.t -> Output.table
+(** Bottleneck-bandwidth sweep (Section 4.1). *)
 
-val fig7 : ?jobs:int -> Scale.t -> Output.table
+val fig7 : ?ctx:Runner.ctx -> Scale.t -> Output.table
 (** End-to-end RTT sweep (Section 4.2). *)
 
-val fig8 : ?jobs:int -> Scale.t -> Output.table
+val fig8 : ?ctx:Runner.ctx -> Scale.t -> Output.table
 (** Long-lived flow count sweep (Section 4.3). *)
 
-val fig9 : ?jobs:int -> Scale.t -> Output.table
+val fig9 : ?ctx:Runner.ctx -> Scale.t -> Output.table
 (** Web-session sweep (Section 4.4). *)
 
-val table1 : ?jobs:int -> Scale.t -> Output.table
+val table1 : ?ctx:Runner.ctx -> Scale.t -> Output.table
 (** Heterogeneous RTTs, 10 flows at 12–120 ms plus web background
     (Section 4.5). *)

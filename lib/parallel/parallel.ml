@@ -13,6 +13,8 @@
    computes (tasks must not share mutable state, which pertlint D3/P1
    enforce for the simulation code this pool was built to run). *)
 
+module Rng = Sim_engine.Rng
+
 exception Task_error of { index : int; exn : exn }
 
 let () =
@@ -128,11 +130,20 @@ let shutdown t =
   List.iter Domain.join t.workers;
   t.workers <- []
 
+(* Sequential counterpart of the pool path: same [Task_error] wrapping,
+   same backtrace, so callers need a single handler for every [jobs]. *)
+let run_wrapped index f x =
+  match f x with
+  | v -> v
+  | exception exn ->
+      let bt = Printexc.get_raw_backtrace () in
+      Printexc.raise_with_backtrace (Task_error { index; exn }) bt
+
 let map ~jobs f xs =
   match xs with
   | [] -> []
-  | [ x ] -> [ f x ]
-  | xs when jobs <= 1 -> List.map f xs
+  | [ x ] -> [ run_wrapped 0 f x ]
+  | xs when jobs <= 1 -> List.mapi (fun index x -> run_wrapped index f x) xs
   | xs ->
       let pool = create ~jobs:(min jobs (List.length xs)) in
       Fun.protect
@@ -146,3 +157,83 @@ let map ~jobs f xs =
               | Error (exn, bt) ->
                   Printexc.raise_with_backtrace (Task_error { index; exn }) bt)
             futures)
+
+(* ---- supervised tasks ---------------------------------------------------
+
+   Retry/timeout supervision runs *inside* the submitted closure, on
+   whichever domain executes it: domains cannot be interrupted, so a
+   deadline is enforced cooperatively (the task arms its own engine
+   budget from the [~deadline] it receives) and the pool's job is to
+   classify the resulting exception and to pace retries.
+
+   Backoff is deterministic by construction — drawn from an [Rng] seeded
+   per task, never from the wall clock — and honoured by a bounded
+   [Domain.cpu_relax] spin, so a retrying task yields its core without
+   sleeping (pertlint R1) and the attempt trace is byte-identical at any
+   [jobs]. *)
+
+type attempt = { attempt : int; error : string; backoff : Units.Time.t }
+
+(* NOTE: [Ok] deliberately mirrors the issue-tracker API and shadows
+   [Stdlib.Ok] from here down — everything above this point uses the
+   stdlib constructor. *)
+type 'a outcome =
+  | Ok of 'a
+  | Failed of attempt list
+  | Timed_out of { attempts : attempt list; reason : string }
+
+(* ~1e8 relax/s on current hardware; cap a single pause at ~0.1 s of spin
+   so a misconfigured backoff cannot wedge a worker. *)
+let relax_per_second = 1e8
+let max_relax = 10_000_000
+
+let honour_backoff t pause =
+  if t.jobs > 1 then begin
+    let n =
+      min max_relax
+        (Units.Round.trunc (Units.Time.to_s pause *. relax_per_second))
+    in
+    for _ = 1 to n do
+      Domain.cpu_relax ()
+    done
+  end
+
+let submit_supervised t ?deadline ?(retries = 0)
+    ?(backoff = Units.Time.ms 20.0) ?(is_timeout = fun _ -> false) ~seed f =
+  if retries < 0 then
+    invalid_arg "Parallel.submit_supervised: retries must be >= 0";
+  if Units.Time.to_s backoff < 0.0 then
+    invalid_arg "Parallel.submit_supervised: backoff must be >= 0";
+  let supervise () =
+    let rng = Rng.create seed in
+    let rec go k attempts =
+      match f ~deadline with
+      | v -> Ok v
+      | exception exn ->
+          let error = Printexc.to_string exn in
+          if is_timeout exn then
+            Timed_out { attempts = List.rev attempts; reason = error }
+          else begin
+            let pause =
+              if k >= retries then Units.Time.zero
+              else
+                (* base * 2^k, jittered by a deterministic draw in
+                   [0.5, 1.5) — the usual decorrelation, minus the wall
+                   clock. *)
+                Units.Time.scale
+                  (float_of_int (1 lsl min k 20) *. Rng.uniform rng 0.5 1.5)
+                  backoff
+            in
+            let attempts =
+              { attempt = k + 1; error; backoff = pause } :: attempts
+            in
+            if k >= retries then Failed (List.rev attempts)
+            else begin
+              honour_backoff t pause;
+              go (k + 1) attempts
+            end
+          end
+    in
+    go 0 []
+  in
+  submit t supervise

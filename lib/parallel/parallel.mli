@@ -52,8 +52,53 @@ val shutdown : t -> unit
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] applies [f] to every element of [xs] on a transient
     pool of [min jobs (length xs)] workers and returns the results in
-    list order. [jobs <= 1] (or a list shorter than 2) degrades to
-    [List.map f xs] with no domain spawned and exceptions propagating
-    unwrapped. Otherwise, if any task raised, the remaining tasks still
-    run to completion and the failure with the smallest task index is
-    re-raised as {!Task_error} with the worker's backtrace. *)
+    list order. [jobs <= 1] (or a list shorter than 2) degrades to a
+    sequential map with no domain spawned. Failures are uniform across
+    every [jobs] value: a raising task is re-raised as {!Task_error}
+    carrying its index and backtrace — sequentially that is the first
+    failing task; on a pool the remaining tasks still run to completion
+    and the failure with the smallest task index wins. *)
+
+(** {1 Supervised tasks}
+
+    Crash-safe task execution layered on {!submit}/{!await}: bounded
+    retries with deterministic backoff, and timeout classification for
+    cooperatively-enforced deadlines. *)
+
+type attempt = {
+  attempt : int;  (** 1-based attempt number *)
+  error : string;  (** [Printexc.to_string] of what it raised *)
+  backoff : Units.Time.t;
+      (** pause honoured before the next attempt ([zero] on the last) *)
+}
+
+type 'a outcome =
+  | Ok of 'a  (** some attempt succeeded *)
+  | Failed of attempt list  (** every attempt raised; oldest first *)
+  | Timed_out of { attempts : attempt list; reason : string }
+      (** an attempt raised an exception classified by [is_timeout] —
+          deadlines are final, so no retry is made *)
+
+val submit_supervised :
+  t ->
+  ?deadline:Units.Time.t ->
+  ?retries:int ->
+  ?backoff:Units.Time.t ->
+  ?is_timeout:(exn -> bool) ->
+  seed:int ->
+  (deadline:Units.Time.t option -> 'a) ->
+  'a outcome future
+(** [submit_supervised t ~deadline ~retries ~backoff ~is_timeout ~seed f]
+    enqueues [f], re-running it up to [retries] extra times when it
+    raises. Domains cannot be killed, so the deadline is cooperative:
+    [f] receives [~deadline] and is expected to bound itself (simulation
+    tasks arm {!Sim_engine.Sim.set_budget} with it); an exception for
+    which [is_timeout] holds (default: none) becomes {!Timed_out}
+    without retrying. The pause before attempt [k+1] is
+    [backoff * 2^k * u] with [u] drawn uniformly from [0.5, 1.5) by an
+    {!Sim_engine.Rng} seeded with [seed] — never from the wall clock —
+    so outcomes and attempt traces are byte-identical at any pool width
+    (the pause is honoured by a bounded cpu-relax spin on multi-domain
+    pools and skipped at [jobs = 1]). Defaults: [retries = 0],
+    [backoff = 20ms], no deadline.
+    @raise Invalid_argument on negative [retries] or [backoff]. *)

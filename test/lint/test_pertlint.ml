@@ -56,6 +56,7 @@ let bad_fixtures =
     ("U3", "U3_bad", "u3_bad.ml", 8);
     ("N3", "N3_bad", "n3_bad.ml", 4);
     ("P1", "P1_bad", "p1_bad.ml", 4);
+    ("R1", "R1_bad", "r1_bad.ml", 4);
   ]
 
 let rule_fires (rule, modname, src, line) () =

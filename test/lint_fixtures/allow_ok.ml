@@ -22,3 +22,4 @@ let[@lint.allow "U1"] delay_s = 0.25
 let bernoulli state p = (Rng.float state 1.0 < p) [@lint.allow "U2"]
 let ticks = (int_of_float delay_s) [@lint.allow "U3 N3"]
 let cores () = (Domain.recommended_domain_count () [@lint.allow "P1"])
+let nap () = (Unix.sleep 0 [@lint.allow "R1"])

@@ -1,0 +1,4 @@
+(* Fixture for pertlint rule R1: blocking/process-control call in
+   (assumed) lib scope. The violation must stay on line 4 — test/lint
+   asserts it. *)
+let nap () = Unix.sleep 1

@@ -14,7 +14,7 @@ let render tables =
 let run_family id scale =
   match Registry.find id with
   | None -> Alcotest.fail ("unknown experiment family: " ^ id)
-  | Some e -> render (e.Registry.run ~jobs:1 scale)
+  | Some e -> render (e.Registry.run ~ctx:Runner.default scale)
 
 let byte_identical id scale () =
   let first = run_family id scale in

@@ -531,6 +531,53 @@ let audit_watchdog_stops_livelock () =
   check_bool "stopped promptly instead of hanging" true (!spins <= 502);
   check_float "clock stuck at the livelock instant" 0.25 (Sim.now sim)
 
+let sim_event_budget_trips_and_resumes () =
+  let sim = Sim.create () in
+  let ran = ref 0 in
+  for i = 1 to 1000 do
+    Sim.at sim (ts (float_of_int i *. 0.001)) (fun () -> incr ran)
+  done;
+  Sim.set_budget sim ~max_events:100 ();
+  (match Sim.run sim with
+  | () -> Alcotest.fail "expected Budget_exceeded"
+  | exception Sim.Budget_exceeded { events; exhausted; now } ->
+      check_int "partial stats: events executed" 100 events;
+      Alcotest.(check string) "which budget tripped" "max_events" exhausted;
+      check_bool "partial stats: sim time advanced" true
+        (Units.Time.to_s now >= 0.1));
+  check_int "exactly the budget ran" 100 !ran;
+  (* The budget check fires before the pop, so the offending event is
+     still queued: clearing the budget makes the sim resumable. *)
+  Sim.clear_budget sim;
+  Sim.run sim;
+  check_int "remaining events run after clear_budget" 1000 !ran;
+  check_int "events_executed counts the whole run" 1000
+    (Sim.events_executed sim)
+
+let sim_wall_budget_stops_runaway () =
+  let sim = Sim.create () in
+  (* An unbounded microsecond ticker: without ~until this would run
+     forever; only the wall budget can stop it. *)
+  Sim.every sim (ts 1e-6) ignore;
+  Sim.set_budget sim ~max_wall:(Units.Time.ms 5.0) ();
+  match Sim.run sim with
+  | () -> Alcotest.fail "expected Budget_exceeded"
+  | exception Sim.Budget_exceeded { exhausted; events; _ } ->
+      Alcotest.(check string) "which budget tripped" "max_wall" exhausted;
+      check_bool "made progress before tripping" true (events > 0)
+
+let sim_budget_validation () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "no budget at all"
+    (Invalid_argument "Sim.set_budget: set max_events, max_wall or both")
+    (fun () -> Sim.set_budget sim ());
+  Alcotest.check_raises "zero events"
+    (Invalid_argument "Sim.set_budget: max_events must be positive")
+    (fun () -> Sim.set_budget sim ~max_events:0 ());
+  Alcotest.check_raises "zero wall"
+    (Invalid_argument "Sim.set_budget: max_wall must be positive")
+    (fun () -> Sim.set_budget sim ~max_wall:Units.Time.zero ())
+
 let qsuite = List.map QCheck_alcotest.to_alcotest [ heap_qcheck_sorted; jain_qcheck_bounds ]
 
 let suite =
@@ -580,5 +627,8 @@ let suite =
     ("audit check_finite", `Quick, audit_check_finite);
     ("sim watchdog semantics", `Quick, sim_watchdog_semantics);
     ("audit watchdog stops livelock", `Quick, audit_watchdog_stops_livelock);
+    ("sim event budget trips and resumes", `Quick, sim_event_budget_trips_and_resumes);
+    ("sim wall budget stops a runaway", `Quick, sim_wall_budget_stops_runaway);
+    ("sim budget validation", `Quick, sim_budget_validation);
   ]
   @ qsuite

@@ -175,7 +175,7 @@ let fig6_structure () =
   check_int "four schemes present" 4 (List.length schemes_in_rows)
 
 let fig5_is_the_curve () =
-  match (Option.get (Registry.find "fig5")).Registry.run ~jobs:1 Scale.Quick with
+  match (Option.get (Registry.find "fig5")).Registry.run ~ctx:Runner.default Scale.Quick with
   | [ t ] ->
       check_int "26 sample points" 26 (List.length t.Output.rows);
       let last = List.nth t.Output.rows 25 in
@@ -184,7 +184,7 @@ let fig5_is_the_curve () =
 
 let fig13a_matches_paper_point () =
   match
-    (Option.get (Registry.find "fig13a")).Registry.run ~jobs:1 Scale.Quick
+    (Option.get (Registry.find "fig13a")).Registry.run ~ctx:Runner.default Scale.Quick
   with
   | [ t ] ->
       check_int "fifty rows" 50 (List.length t.Output.rows);

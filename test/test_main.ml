@@ -11,6 +11,7 @@ let () =
       ("fluid", Test_fluid.suite);
       ("traffic", Test_traffic.suite);
       ("parallel", Test_parallel.suite);
+      ("runner", Test_runner.suite);
       ("experiments", Test_experiments.suite);
       ("determinism", Test_determinism.suite);
       ("scenario", Test_scenario.suite);

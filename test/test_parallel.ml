@@ -6,6 +6,7 @@
 open Experiments
 
 let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
 
 let map_matches_sequential () =
   List.iter
@@ -60,14 +61,155 @@ let lowest_index_wins () =
   | exception Parallel.Task_error { index; _ } ->
       check_int "first failing index reported" 5 index
 
+let sequential_map_wraps_task_error () =
+  (* jobs <= 1 takes the no-domain path; its failures must still surface
+     as Task_error with the task index, exactly like the pool path. *)
+  List.iter
+    (fun n ->
+      match
+        Parallel.map ~jobs:1
+          (fun i -> if i = n - 1 then failwith "seq-boom" else i)
+          (List.init n (fun i -> i))
+      with
+      | _ -> Alcotest.fail "expected Parallel.Task_error"
+      | exception Parallel.Task_error { index; exn } -> (
+          check_int "sequential failing index" (n - 1) index;
+          match exn with
+          | Failure m -> Alcotest.(check string) "payload" "seq-boom" m
+          | _ -> Alcotest.fail "wrong exception payload"))
+    [ 1; 8 ]
+
+let with_pool jobs f =
+  let pool = Parallel.create ~jobs in
+  Fun.protect ~finally:(fun () -> Parallel.shutdown pool) (fun () -> f pool)
+
+let supervised_retry_then_succeed () =
+  with_pool 1 (fun pool ->
+      let calls = ref 0 in
+      let fut =
+        Parallel.submit_supervised pool ~retries:3 ~seed:11
+          (fun ~deadline:_ ->
+            incr calls;
+            if !calls < 3 then failwith "flaky";
+            !calls * 10)
+      in
+      match Parallel.await fut with
+      | Ok (Parallel.Ok v) ->
+          check_int "third attempt's value" 30 v;
+          check_int "two failures then success" 3 !calls
+      | _ -> Alcotest.fail "expected a supervised Ok")
+
+let supervised_exhausts_retries () =
+  with_pool 1 (fun pool ->
+      let fut =
+        Parallel.submit_supervised pool ~retries:2 ~seed:11
+          (fun ~deadline:_ -> failwith "always")
+      in
+      match Parallel.await fut with
+      | Ok (Parallel.Failed attempts) ->
+          check_int "initial try + 2 retries" 3 (List.length attempts);
+          List.iteri
+            (fun i (a : Parallel.attempt) ->
+              check_int "attempts numbered from 1" (i + 1) a.attempt;
+              check_bool "error recorded" true
+                (String.length a.error > 0))
+            attempts;
+          let last = List.nth attempts 2 in
+          check_bool "no backoff after the final attempt" true
+            (Float.equal (Units.Time.to_s last.backoff) 0.0)
+      | _ -> Alcotest.fail "expected a supervised Failed")
+
+let backoff_trace pool ~seed =
+  let fut =
+    Parallel.submit_supervised pool ~retries:3 ~seed (fun ~deadline:_ ->
+        failwith "always")
+  in
+  match Parallel.await fut with
+  | Ok (Parallel.Failed attempts) ->
+      List.map (fun (a : Parallel.attempt) -> Units.Time.to_s a.backoff) attempts
+  | _ -> Alcotest.fail "expected a supervised Failed"
+
+let supervised_backoff_deterministic () =
+  with_pool 1 (fun pool ->
+      let t1 = backoff_trace pool ~seed:5 in
+      let t2 = backoff_trace pool ~seed:5 in
+      Alcotest.(check (list (float 0.0)))
+        "same seed, byte-identical backoff trace" t1 t2;
+      let t3 = backoff_trace pool ~seed:6 in
+      check_bool "different seed, different backoffs" true (t1 <> t3);
+      (* Exponential envelope: attempt k+1's pause sits in
+         [0.5, 1.5) * 2^k * 20ms. *)
+      List.iteri
+        (fun k pause ->
+          if k < 3 then begin
+            let base = 0.020 *. float_of_int (1 lsl k) in
+            check_bool "pause within the jittered envelope" true
+              (pause >= 0.5 *. base && pause < 1.5 *. base)
+          end)
+        t1)
+
+exception Fake_deadline
+
+let supervised_timeout_classified () =
+  with_pool 1 (fun pool ->
+      let calls = ref 0 in
+      let fut =
+        Parallel.submit_supervised pool ~retries:5
+          ~deadline:(Units.Time.s 0.25)
+          ~is_timeout:(function Fake_deadline -> true | _ -> false)
+          ~seed:11
+          (fun ~deadline ->
+            incr calls;
+            (match deadline with
+            | Some d ->
+                check_bool "deadline passed to task" true
+                  (Float.equal (Units.Time.to_s d) 0.25)
+            | None -> Alcotest.fail "deadline not threaded");
+            raise Fake_deadline)
+      in
+      match Parallel.await fut with
+      | Ok (Parallel.Timed_out { reason; _ }) ->
+          check_int "deadlines are final: no retry" 1 !calls;
+          check_bool "reason recorded" true (String.length reason > 0)
+      | _ -> Alcotest.fail "expected a supervised Timed_out")
+
+let supervised_identical_across_pool_widths () =
+  let outcome_sig jobs =
+    with_pool jobs (fun pool ->
+        let futs =
+          List.init 6 (fun i ->
+              Parallel.submit_supervised pool ~retries:2 ~seed:(100 + i)
+                (fun ~deadline:_ ->
+                  if i mod 3 = 0 then failwith "die" else i * i))
+        in
+        List.map
+          (fun fut ->
+            match Parallel.await fut with
+            | Ok (Parallel.Ok v) -> Printf.sprintf "ok:%d" v
+            | Ok (Parallel.Failed attempts) ->
+                Printf.sprintf "failed:%s"
+                  (String.concat ";"
+                     (List.map
+                        (fun (a : Parallel.attempt) ->
+                          Printf.sprintf "%d@%.9f" a.attempt
+                            (Units.Time.to_s a.backoff))
+                        attempts))
+            | Ok (Parallel.Timed_out _) -> "timeout"
+            | Error _ -> "pool-error")
+          futs)
+  in
+  Alcotest.(check (list string))
+    "outcomes and attempt traces identical at jobs=1 vs jobs=4"
+    (outcome_sig 1) (outcome_sig 4)
+
 let render tables = String.concat "\n" (List.map Output.to_csv tables)
 
 let family_identical id () =
   match Registry.find id with
   | None -> Alcotest.fail ("unknown experiment family: " ^ id)
   | Some e ->
-      let j1 = render (e.Registry.run ~jobs:1 Scale.Smoke) in
-      let j4 = render (e.Registry.run ~jobs:4 Scale.Smoke) in
+      let j1 = render (e.Registry.run ~ctx:Runner.default Scale.Smoke) in
+      let j4 = render (e.Registry.run ~ctx:(Runner.ctx ~jobs:4 ()) Scale.Smoke) in
       Alcotest.(check string) (id ^ " tables byte-identical at -j1 vs -j4") j1
         j4
 
@@ -77,6 +219,13 @@ let suite =
     ("results come back in submission order", `Quick, results_in_submission_order);
     ("worker exception propagates with task index", `Quick, exception_carries_index);
     ("lowest failing index is reported", `Quick, lowest_index_wins);
+    ("sequential map wraps Task_error", `Quick, sequential_map_wraps_task_error);
+    ("supervised retry then succeed", `Quick, supervised_retry_then_succeed);
+    ("supervised exhausts retries", `Quick, supervised_exhausts_retries);
+    ("supervised backoff deterministic", `Quick, supervised_backoff_deterministic);
+    ("supervised timeout is final", `Quick, supervised_timeout_classified);
+    ("supervised outcomes identical across widths", `Quick,
+     supervised_identical_across_pool_widths);
     ("faults tables identical -j1 vs -j4", `Slow, family_identical "faults");
     ("fig6 tables identical -j1 vs -j4", `Slow, family_identical "fig6");
   ]

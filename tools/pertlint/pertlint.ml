@@ -35,6 +35,11 @@
          [Atomic.*]) inside lib/ outside lib/parallel — every simulation
          stays a single-domain island; cross-domain coordination lives in
          the one audited pool.  Also flags [module D = Domain] aliasing.
+     R1  no blocking or process-control calls ([Unix.sleep], [Unix.sleepf],
+         [Unix.select], [Sys.command], [Unix.system], [exit]) inside lib/ —
+         deadlines, retry and backoff must go through the supervised-task
+         API ([Parallel.submit_supervised], [Sim.set_budget]), never an
+         ad-hoc sleep or a library-initiated process exit.
 
    Suppression: attach [@lint.allow "D3"] to an expression or
    [let[@lint.allow "D3"] x = ...] to a binding; a floating
@@ -64,6 +69,7 @@ let all_rules =
     { id = "U3"; severity = Err; what = "bare truncation of a unit-suffixed value" };
     { id = "N3"; severity = Err; what = "float->int truncation in lib/ outside Units.Round" };
     { id = "P1"; severity = Err; what = "concurrency primitive in lib/ outside lib/parallel" };
+    { id = "R1"; severity = Err; what = "blocking/process-control call in lib/" };
   ]
 
 let rule_by_id id = List.find_opt (fun r -> r.id = id) all_rules
@@ -196,6 +202,16 @@ let d2_names =
     "Unix.environment";
   ]
 
+let r1_names =
+  [
+    "Unix.sleep";
+    "Unix.sleepf";
+    "Unix.select";
+    "Stdlib.Sys.command";
+    "Unix.system";
+    "Stdlib.exit";
+  ]
+
 let n1_fns =
   [
     "Stdlib.=";
@@ -290,6 +306,11 @@ let check_ident (e : Typedtree.expression) path =
     report "P1" e.exp_loc
       (Printf.sprintf
          "'%s': concurrency primitive outside lib/parallel; simulations must stay single-domain — go through the Parallel pool"
+         name);
+  if in_lib () && List.mem name r1_names then
+    report "R1" e.exp_loc
+      (Printf.sprintf
+         "'%s': blocking/process-control call in lib/; deadlines, retry and backoff must go through the supervised-task API (Parallel.submit_supervised / Sim.set_budget)"
          name)
 
 let check_expr (e : Typedtree.expression) =
