@@ -68,6 +68,16 @@ let retries_arg =
           "Re-run a crashed simulation cell up to $(docv) times \
            (deterministic seeded backoff) before rendering it FAILED.")
 
+let seed_arg =
+  Arg.(
+    value & opt int 2007
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Base random seed for seed-parameterised experiment families \
+           (e.g. the adversarial attack schedules) and retry backoff \
+           jitter. Different seeds are different random universes; the \
+           same seed replays bit-for-bit.")
+
 let resolve_jobs = function
   | 0 -> Parallel.default_jobs ()
   | n when n < 0 -> 1
@@ -90,7 +100,7 @@ let write_csv dir id tables =
       Experiments.Store.write_atomic ~path (Experiments.Output.to_csv table))
     tables
 
-let run_experiments ids scale csv jobs resume deadline max_events retries =
+let run_experiments ids scale csv jobs resume deadline max_events retries seed =
   let fmt = Format.std_formatter in
   let missing = List.filter (fun id -> Experiments.Registry.find id = None) ids in
   if missing <> [] then
@@ -101,7 +111,7 @@ let run_experiments ids scale csv jobs resume deadline max_events retries =
     let ctx =
       Experiments.Runner.ctx ~jobs ?store ~retries
         ?deadline:(Option.map Units.Time.s deadline)
-        ?max_events ()
+        ?max_events ~seed ()
     in
     let exps = List.filter_map Experiments.Registry.find ids in
     (* Registry-level fan-out: run everything first (in parallel when
@@ -154,20 +164,21 @@ let run_cmd =
     Term.(
       ret
         (const run_experiments $ ids_arg $ scale_arg $ csv_arg $ jobs_arg
-       $ resume_arg $ deadline_arg $ max_events_arg $ retries_arg))
+       $ resume_arg $ deadline_arg $ max_events_arg $ retries_arg
+       $ seed_arg))
 
 let all_cmd =
-  let run scale csv jobs resume deadline max_events retries =
+  let run scale csv jobs resume deadline max_events retries seed =
     run_experiments
       (Experiments.Registry.ids ())
-      scale csv jobs resume deadline max_events retries
+      scale csv jobs resume deadline max_events retries seed
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment in paper order.")
     Term.(
       ret
         (const run $ scale_arg $ csv_arg $ jobs_arg $ resume_arg
-       $ deadline_arg $ max_events_arg $ retries_arg))
+       $ deadline_arg $ max_events_arg $ retries_arg $ seed_arg))
 
 let main =
   let doc = "Reproduce the tables and figures of the PERT paper (SIGCOMM 2007)" in

@@ -49,6 +49,42 @@ let create ?(interval = Units.Time.s 0.1) ?(max_kept = 100) sim =
 
 let add_check t ~subject check = t.checks <- (subject, check) :: t.checks
 
+(* A stall check wraps a probe of some progress counter into an ordinary
+   check. [None] from the probe means "no progress expected right now"
+   and resets the clock; a counter that stays put for [stall_after] of
+   simulated time while progress *is* expected is reported exactly once
+   per stall (the flag re-arms as soon as the counter moves again). *)
+let add_stall_check t ~subject ~stall_after probe =
+  let stall_after = Units.Time.to_s stall_after in
+  if stall_after <= 0.0 then
+    invalid_arg "Audit.add_stall_check: stall_after must be positive";
+  let last = ref None in
+  let since = ref (Sim.now t.sim) in
+  let flagged = ref false in
+  add_check t ~subject (fun ~now ->
+      match probe () with
+      | None ->
+          last := None;
+          since := now;
+          flagged := false;
+          None
+      | Some mark ->
+          if !last <> Some mark then begin
+            last := Some mark;
+            since := now;
+            flagged := false;
+            None
+          end
+          else if (not !flagged) && now -. !since >= stall_after then begin
+            flagged := true;
+            Some
+              (Printf.sprintf
+                 "no progress for %.3gs (counter pinned at %d) — stalled \
+                  flow / zero-window deadlock?"
+                 (now -. !since) mark)
+          end
+          else None)
+
 let enable_watchdog ?(max_events_per_instant = 1_000_000) t =
   Sim.set_watchdog t.sim ~max_events_per_instant (fun message ->
       report t ~now:(Sim.now t.sim) ~subject:"sim" message;

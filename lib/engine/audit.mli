@@ -29,6 +29,21 @@ val add_check : t -> subject:string -> (now:float -> string option) -> unit
 (** [add_check t ~subject check] registers an invariant: [check ~now]
     returns [Some message] when violated, [None] when it holds. *)
 
+val add_stall_check :
+  t ->
+  subject:string ->
+  stall_after:Units.Time.t ->
+  (unit -> int option) ->
+  unit
+(** [add_stall_check t ~subject ~stall_after probe] watches a progress
+    counter. The probe returns [None] while no progress is expected
+    (which resets the stall clock) and [Some counter] while the subject
+    claims to be actively working. If the counter stays pinned for
+    [stall_after] of simulated time, one violation is recorded; the
+    check re-arms when the counter moves again. This is the deadlock
+    tripwire for flows: {!Tcpstack.Flow.liveness} is the canonical
+    probe. *)
+
 val enable_watchdog : ?max_events_per_instant:int -> t -> unit
 (** Arm {!Sim.set_watchdog} (default budget 1,000,000 events per instant);
     a trip is recorded as a violation on subject ["sim"] and stops the

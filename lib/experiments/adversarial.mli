@@ -1,0 +1,26 @@
+(** The hostile-network suite (registry id ["adversarial"]): a seeded
+    on-path attacker ({!Netsim.Fault.attack}) against the hardened TCP
+    stack — blind RST storms validated per RFC 5961, forged
+    duplicate-ACK storms, and window-clamp episodes ridden out by
+    zero-window persist probing. Each table carries a deliberately
+    unhardened contrast row (no-5961 / no-persist) showing the failure
+    the hardening prevents; for hardened rows the audit column is
+    expected to read 0.
+
+    The base scenario seed comes from [ctx.seed], so [--seed] sweeps the
+    whole attack schedule; tables are bit-identical for every
+    [ctx.jobs]. *)
+
+val rst_storm : ?ctx:Runner.ctx -> Scale.t -> Output.table
+(** Poisson blind-RST injection at the swept rate, sequence guesses
+    around the snooped high-water mark. *)
+
+val ack_storm : ?ctx:Runner.ctx -> Scale.t -> Output.table
+(** Poisson bursts of forged duplicate ACKs toward the senders. *)
+
+val clamp : ?ctx:Runner.ctx -> Scale.t -> Output.table
+(** Three episodes during which every ACK's window advertisement is
+    rewritten to zero in flight. *)
+
+val all : ?ctx:Runner.ctx -> Scale.t -> Output.table list
+(** [rst_storm; ack_storm; clamp]. *)

@@ -6,6 +6,19 @@ module Link = Netsim.Link
 module Packet = Netsim.Packet
 module Flow = Tcpstack.Flow
 
+(* End-host TCP hardening knobs, applied to every long-lived flow. Plain
+   data (Marshal-safe): it participates in the config digest, so cells
+   with different TCP profiles never collide in the store. *)
+type tcp_profile = {
+  rst_validation : bool;  (** RFC 5961 RST handling *)
+  persist : bool;  (** zero-window persist probing *)
+  wscale : int option;  (** peer's window-scale offer; None = auto *)
+  rcv_buffer_pkts : int option;  (** receive buffer; None = effectively unbounded *)
+}
+
+let default_tcp =
+  { rst_validation = true; persist = true; wscale = None; rcv_buffer_pkts = None }
+
 type config = {
   scheme : Schemes.t;
   bandwidth : float;
@@ -19,6 +32,8 @@ type config = {
   start_window : float * float;
   delay_signal : Tcpstack.Flow.delay_signal;
   fault : Netsim.Fault.spec option;
+  adversary : Netsim.Fault.adversary option;
+  tcp : tcp_profile;
   audit : bool;
   seed : int;
 }
@@ -37,6 +52,8 @@ let default =
     start_window = (0.0, 5.0);
     delay_signal = `Rtt;
     fault = None;
+    adversary = None;
+    tcp = default_tcp;
     audit = true;
     seed = 42;
   }
@@ -59,6 +76,7 @@ type built = {
   cc_factory : unit -> Tcpstack.Cc.t;
   routers : Netsim.Node.t * Netsim.Node.t;
   fault : Netsim.Fault.t option;
+  attack : Netsim.Fault.attack option;
   audit : Sim_engine.Audit.t option;
 }
 
@@ -118,6 +136,15 @@ let build config =
      split order — and thus unimpaired runs — is unchanged when
      [config.fault] is [None]. *)
   let fault = Option.map (fun spec -> Netsim.Fault.attach spec bottleneck) config.fault in
+  (* The adversary wiretaps both bottleneck directions and injects its
+     forgeries upstream of the queues. Armed right after the fault layer
+     (before any flow) for the same reason: [None] must leave the rng
+     split order — and every existing seeded run — untouched. *)
+  let attack =
+    Option.map
+      (fun adv -> Netsim.Fault.attack adv ~data:bottleneck ~ack:reverse_bneck)
+      config.adversary
+  in
   let attach_host router rtt_target =
     (* Each direction of the access pair contributes
        (rtt_target/2 - bneck_delay)/2 one-way delay. *)
@@ -138,8 +165,15 @@ let build config =
     let start =
       Units.Time.s (if hi > lo then Rng.uniform rng lo hi else lo)
     in
+    let tcp = config.tcp in
+    let rcv_buffer =
+      Option.map
+        (fun pkts -> Units.Size.bytes (pkts * Packet.mss))
+        tcp.rcv_buffer_pkts
+    in
     Flow.create topo ~src ~dst ~cc:(cc_factory ()) ~ecn ~start
-      ~delay_signal:config.delay_signal ()
+      ~delay_signal:config.delay_signal ?rcv_buffer ?wscale:tcp.wscale
+      ~persist:tcp.persist ~rst_validation:tcp.rst_validation ()
   in
   (* Forward long-lived flows with their individual RTTs. *)
   let endpoints =
@@ -178,9 +212,16 @@ let build config =
         (T.links topo);
       List.iter
         (fun f ->
-          Sim_engine.Audit.add_check a
-            ~subject:(Printf.sprintf "flow-%d" (Flow.id f)) (fun ~now:_ ->
-              Flow.audit_check f))
+          let subject = Printf.sprintf "flow-%d" (Flow.id f) in
+          Sim_engine.Audit.add_check a ~subject (fun ~now:_ ->
+              Flow.audit_check f);
+          (* Deadlock tripwire: an active flow whose progress counter
+             pins for this long (≫ any RTO here, ≪ the run) has stalled
+             — e.g. a zero-window state nobody is probing. Scaled with
+             the duration so short smoke runs can still catch one. *)
+          Sim_engine.Audit.add_stall_check a ~subject
+            ~stall_after:(Units.Time.s (Float.min 5.0 (config.duration /. 4.0)))
+            (fun () -> Flow.liveness f))
         (forward_flows @ reverse);
       Some a
     end
@@ -195,6 +236,7 @@ let build config =
     cc_factory;
     routers = (r1, r2);
     fault;
+    attack;
     audit;
   }
 

@@ -7,6 +7,20 @@
     RTTs; the bottleneck buffer defaults to the paper's rule (one BDP,
     floored at twice the number of flows). *)
 
+(** End-host TCP hardening profile for every long-lived flow (plain
+    data; part of the config digest). *)
+type tcp_profile = {
+  rst_validation : bool;  (** RFC 5961 RST handling (default true) *)
+  persist : bool;  (** zero-window persist probing (default true) *)
+  wscale : int option;
+      (** peer's window-scale offer at SYN time; [None] negotiates what
+          the buffer needs, [Some 0] caps the window at 64 KB *)
+  rcv_buffer_pkts : int option;
+      (** receive buffer in packets; [None] = effectively unbounded *)
+}
+
+val default_tcp : tcp_profile
+
 type config = {
   scheme : Schemes.t;
   bandwidth : float;  (** bottleneck, bits/s *)
@@ -26,6 +40,10 @@ type config = {
       (** impairments applied to the forward bottleneck link (default
           [None]; attaching a fault consumes extra rng splits, so faulty
           and fault-free runs are separate random universes) *)
+  adversary : Netsim.Fault.adversary option;
+      (** on-path attacker armed across both bottleneck directions
+          (default [None]; like [fault], arming consumes an rng split) *)
+  tcp : tcp_profile;  (** end-host hardening knobs (default {!default_tcp}) *)
   audit : bool;
       (** run the {!Sim_engine.Audit} invariant checks — per-link packet
           conservation, per-flow sanity, clock monotonicity, livelock
@@ -97,6 +115,8 @@ type built = {
   cc_factory : unit -> Tcpstack.Cc.t;
   routers : Netsim.Node.t * Netsim.Node.t;
   fault : Netsim.Fault.t option;  (** fault handle when [config.fault] set *)
+  attack : Netsim.Fault.attack option;
+      (** adversary handle when [config.adversary] set *)
   audit : Sim_engine.Audit.t option;  (** audit handle when enabled *)
 }
 

@@ -62,6 +62,8 @@ let collect_uncached scale case =
       start_window = (0.0, 5.0);
       delay_signal = `Rtt;
       fault = None;
+      adversary = None;
+      tcp = Dumbbell.default_tcp;
       audit = true;
       seed = 1000 + case.id;
     }

@@ -145,6 +145,12 @@ let all =
       summary = "PERT vs SACK vs PERT+ECN under loss, flapping, ECN bleaching";
       run = (fun ~ctx scale -> Faults.all ~ctx scale);
     };
+    {
+      id = "adversarial";
+      paper_ref = "Section 7 (beyond the paper)";
+      summary = "hardened TCP vs on-path attacker: RST/ACK storms, window clamping";
+      run = (fun ~ctx scale -> Adversarial.all ~ctx scale);
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -58,7 +58,7 @@ let validate spec =
 
 type stats = {
   wire_drops : int;
-  corrupt_drops : int;
+  corrupted : int;
   bleached : int;
   remarked : int;
   duplicated : int;
@@ -76,7 +76,7 @@ type t = {
   pkt_rng : Rng.t;
   outage_rng : Rng.t;
   mutable wire_drops : int;
-  mutable corrupt_drops : int;
+  mutable corrupted : int;
   mutable bleached : int;
   mutable remarked : int;
   mutable duplicated : int;
@@ -139,7 +139,16 @@ let impair t inner pkt =
   let s = t.spec in
   let hit p = Prob.positive p && Rng.bernoulli t.pkt_rng p in
   if hit s.drop_prob then t.wire_drops <- t.wire_drops + 1
-  else if hit s.corrupt_prob then t.corrupt_drops <- t.corrupt_drops + 1
+  else if hit s.corrupt_prob then begin
+    (* Bit corruption no longer silently eats the packet here: the
+       mangled segment is delivered with [corrupted] set and must fail
+       the checksum-style validity gate in the Flow receive path — the
+       endpoint, not the wire, is where a corrupt segment is detected
+       and discarded. The rng draw order per packet is unchanged. *)
+    t.corrupted <- t.corrupted + 1;
+    pkt.Packet.corrupted <- true;
+    inner pkt
+  end
   else begin
     if pkt.Packet.ecn_marked && hit s.bleach_prob then begin
       pkt.Packet.ecn_marked <- false;
@@ -180,7 +189,7 @@ let attach spec link =
       pkt_rng = Rng.split (Sim.rng sim);
       outage_rng = Rng.split (Sim.rng sim);
       wire_drops = 0;
-      corrupt_drops = 0;
+      corrupted = 0;
       bleached = 0;
       remarked = 0;
       duplicated = 0;
@@ -206,7 +215,7 @@ let stats t =
   in
   {
     wire_drops = t.wire_drops;
-    corrupt_drops = t.corrupt_drops;
+    corrupted = t.corrupted;
     bleached = t.bleached;
     remarked = t.remarked;
     duplicated = t.duplicated;
@@ -217,4 +226,218 @@ let stats t =
     downtime;
   }
 
-let lost t = t.wire_drops + t.corrupt_drops + Link.outage_drops t.link
+let lost t = t.wire_drops + t.corrupted + Link.outage_drops t.link
+
+(* --- adversary: blind RST storms, ACK storms, window clamping ----------- *)
+
+type adversary = {
+  rst_rate : float;
+  rst_guess_range : int;
+  ack_rate : float;
+  ack_burst : int;
+  clamp_episodes : (Time.t * Time.t) list;
+  clamp_to : int;
+}
+
+(* A realistic blind attacker knows the connection tuple but not the
+   sequence state; the default +-4096-packet guess spread makes exact
+   hits (the only forgery RFC 5961 accepts) a ~1-in-8192 event per RST
+   while still landing most guesses inside a large receive window. *)
+let passive =
+  {
+    rst_rate = 0.0;
+    rst_guess_range = 4096;
+    ack_rate = 0.0;
+    ack_burst = 3;
+    clamp_episodes = [];
+    clamp_to = 0;
+  }
+
+let validate_adversary a =
+  if
+    Float.is_nan a.rst_rate || a.rst_rate < 0.0 || Float.is_nan a.ack_rate
+    || a.ack_rate < 0.0
+  then invalid_arg "Fault: adversary rates must be finite and >= 0";
+  if a.rst_guess_range < 1 then
+    invalid_arg "Fault: adversary rst_guess_range must be >= 1";
+  if a.ack_burst < 1 then invalid_arg "Fault: adversary ack_burst must be >= 1";
+  if a.clamp_to < 0 || a.clamp_to > 0xFFFF then
+    invalid_arg "Fault: adversary clamp_to must fit the 16-bit window field";
+  List.iter
+    (fun (from_t, to_t) ->
+      if Time.to_s from_t < 0.0 || Time.compare to_t from_t <= 0 then
+        invalid_arg "Fault: clamp episodes need 0 <= from < to")
+    a.clamp_episodes
+
+(* Per-flow connection state the attacker has snooped off the wire: node
+   ids to address forged packets and sequence/ack high-water marks to aim
+   them near the window. *)
+type snooped = {
+  mutable data_dst : int;  (** the data receiver's node id *)
+  mutable data_src : int;
+  mutable seq_seen : int;  (** highest data sequence observed + 1 *)
+  mutable ack_seen : int;  (** highest cumulative ack observed *)
+  mutable wnd_seen : int;  (** last raw window field observed *)
+}
+
+type attack_stats = {
+  forged_rsts : int;
+  forged_acks : int;
+  clamped_acks : int;
+  flows_seen : int;
+}
+
+type attack = {
+  a_sim : Sim.t;
+  adv : adversary;
+  data_link : Link.t;
+  ack_link : Link.t;
+  a_rng : Rng.t;
+  factory : Packet.factory;
+  snoop_tbl : (int, snooped) Hashtbl.t;
+  mutable snoop_order : int list;  (** flow ids, first-seen order (rev) *)
+  mutable forged_rsts : int;
+  mutable forged_acks : int;
+  mutable clamped_acks : int;
+}
+
+let in_clamp t ~now =
+  List.exists
+    (fun (from_t, to_t) -> now >= Time.to_s from_t && now < Time.to_s to_t)
+    t.adv.clamp_episodes
+
+let snooped_for t pkt =
+  match Hashtbl.find_opt t.snoop_tbl pkt.Packet.flow with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          data_dst = -1;
+          data_src = -1;
+          seq_seen = 0;
+          ack_seen = 0;
+          wnd_seen = 0xFFFF;
+        }
+      in
+      Hashtbl.replace t.snoop_tbl pkt.Packet.flow s;
+      t.snoop_order <- pkt.Packet.flow :: t.snoop_order;
+      s
+
+(* Wiretap on a link's delivery path: learn connection endpoints and
+   sequence ranges, and rewrite window advertisements during a clamp
+   episode (a classic on-path downgrade that the victim cannot tell from
+   genuine receiver backpressure). *)
+let snoop t inner pkt =
+  (match pkt.Packet.payload with
+  | Packet.Data { seq } ->
+      let s = snooped_for t pkt in
+      s.data_dst <- pkt.Packet.dst;
+      s.data_src <- pkt.Packet.src;
+      if seq + 1 > s.seq_seen then s.seq_seen <- seq + 1
+  | Packet.Ack a ->
+      let s = snooped_for t pkt in
+      if a.ack > s.ack_seen then s.ack_seen <- a.ack;
+      s.wnd_seen <- a.window;
+      if in_clamp t ~now:(Sim.now t.a_sim) && a.window > t.adv.clamp_to
+      then begin
+        a.window <- t.adv.clamp_to;
+        t.clamped_acks <- t.clamped_acks + 1
+      end
+  | Packet.Probe _ | Packet.Rst _ -> ());
+  inner pkt
+
+let pick_target t =
+  match t.snoop_order with
+  | [] -> None
+  | order ->
+      let order = List.rev order in
+      let flow = List.nth order (Rng.int t.a_rng (List.length order)) in
+      Option.map (fun s -> (flow, s)) (Hashtbl.find_opt t.snoop_tbl flow)
+
+(* A blind RST: the attacker knows the connection tuple but must guess
+   the sequence number, drawn uniformly around the last snooped
+   high-water mark. With RFC 5961 validation only an exact guess kills
+   the connection; in-window guesses cost the victim a challenge ACK. *)
+let inject_rst t =
+  match pick_target t with
+  | None -> ()
+  | Some (flow, s) when s.data_dst >= 0 ->
+      let now = Sim.now t.a_sim in
+      let toward_receiver = Rng.bool t.a_rng in
+      let base = if toward_receiver then s.seq_seen else s.ack_seen in
+      let guess =
+        let r = t.adv.rst_guess_range in
+        max 0 (base + Rng.int t.a_rng (2 * r) - r)
+      in
+      let dst = if toward_receiver then s.data_dst else s.data_src in
+      let src = if toward_receiver then s.data_src else s.data_dst in
+      let link = if toward_receiver then t.data_link else t.ack_link in
+      let pkt = Packet.rst t.factory ~flow ~src ~dst ~seq:guess ~now () in
+      t.forged_rsts <- t.forged_rsts + 1;
+      Link.send link pkt
+  | Some _ -> ()
+
+(* A burst of forged duplicate ACKs toward the data sender: enough of
+   them trigger a spurious fast retransmit and a window cut. ts_echo is
+   NaN so the forgery can never feed the victim's RTT estimator. *)
+let inject_acks t =
+  match pick_target t with
+  | None -> ()
+  | Some (flow, s) when s.data_dst >= 0 ->
+      let now = Sim.now t.a_sim in
+      for _ = 1 to t.adv.ack_burst do
+        let pkt =
+          Packet.ack t.factory ~flow ~src:s.data_dst ~dst:s.data_src
+            ~ack:s.ack_seen ~sack:[] ~ecn_echo:false ~ts_echo:Float.nan
+            ~window:s.wnd_seen ~now ()
+        in
+        t.forged_acks <- t.forged_acks + 1;
+        Link.send t.ack_link pkt
+      done
+  | Some _ -> ()
+
+let schedule_storm t ~rate fire =
+  if rate > 0.0 then begin
+    let rec loop () =
+      Sim.after t.a_sim
+        (Time.s (Rng.exponential t.a_rng (1.0 /. rate)))
+        (fun () ->
+          fire t;
+          loop ())
+    in
+    loop ()
+  end
+
+let attack adv ~data ~ack =
+  validate_adversary adv;
+  let sim = Link.sim data in
+  let t =
+    {
+      a_sim = sim;
+      adv;
+      data_link = data;
+      ack_link = ack;
+      a_rng = Rng.split (Sim.rng sim);
+      factory = Packet.factory ();
+      snoop_tbl = Hashtbl.create 16;
+      snoop_order = [];
+      forged_rsts = 0;
+      forged_acks = 0;
+      clamped_acks = 0;
+    }
+  in
+  Link.interpose_deliver data (snoop t);
+  Link.interpose_deliver ack (snoop t);
+  (* RST storm first, then ACK storm: a fixed schedule-creation order
+     keeps the rng stream replayable. *)
+  schedule_storm t ~rate:adv.rst_rate inject_rst;
+  schedule_storm t ~rate:adv.ack_rate inject_acks;
+  t
+
+let attack_stats t =
+  {
+    forged_rsts = t.forged_rsts;
+    forged_acks = t.forged_acks;
+    clamped_acks = t.clamped_acks;
+    flows_seen = Hashtbl.length t.snoop_tbl;
+  }

@@ -24,7 +24,9 @@ type outages =
 type spec = {
   drop_prob : Units.Prob.t;  (** non-congestive random loss on the wire *)
   corrupt_prob : Units.Prob.t;
-      (** bit corruption; packet dropped at receiver *)
+      (** bit corruption: the packet is delivered with
+          {!Packet.t.corrupted} set and must be discarded by the
+          endpoint's validity gate, never interpreted *)
   bleach_prob : Units.Prob.t;
       (** probability a CE mark is cleared in flight *)
   remark_prob : Units.Prob.t;
@@ -61,7 +63,7 @@ val spec : t -> spec
 (** Counters of impairments actually applied (not just configured). *)
 type stats = {
   wire_drops : int;
-  corrupt_drops : int;
+  corrupted : int;  (** segments delivered with flipped bits *)
   bleached : int;
   remarked : int;
   duplicated : int;
@@ -75,4 +77,55 @@ type stats = {
 val stats : t -> stats
 
 val lost : t -> int
-(** Packets this fault removed: wire drops + corruption + outage drops. *)
+(** Packets this fault removed from the flow's point of view: wire drops
+    + corrupted segments (discarded at the endpoint gate) + outage
+    drops. *)
+
+(** {2 Adversary profile}
+
+    Beyond passive impairment: a seeded on-path attacker that snoops
+    connection state off two links (the data direction and the ACK
+    direction) and actively attacks the endpoints — blind RST storms
+    (RFC 5961's threat model), forged duplicate-ACK storms, and
+    window-clamp episodes that rewrite receive-window advertisements in
+    flight. Forged packets are injected upstream of the victim's
+    bottleneck queue via {!Link.send}, so they consume queue space and
+    bandwidth like real attack traffic and packet-conservation audits
+    still balance. All randomness comes from one generator split off the
+    simulation root at {!attack} time: same seed, same attack, replayed
+    bit-for-bit. *)
+
+type adversary = {
+  rst_rate : float;  (** mean forged RSTs per second (Poisson, 0 = off) *)
+  rst_guess_range : int;
+      (** blind sequence guesses land uniformly within +-range of the
+          snooped high-water mark *)
+  ack_rate : float;
+      (** mean forged duplicate-ACK bursts per second (0 = off) *)
+  ack_burst : int;  (** forged duplicate ACKs per burst *)
+  clamp_episodes : (Units.Time.t * Units.Time.t) list;
+      (** absolute [(from, to)] windows during which every ACK crossing
+          either link has its window advertisement clamped *)
+  clamp_to : int;  (** raw 16-bit field forced during clamp episodes *)
+}
+
+val passive : adversary
+(** No attacks: rates 0, no clamp episodes — the identity profile to
+    build others from with record update syntax. *)
+
+type attack
+
+val attack : adversary -> data:Link.t -> ack:Link.t -> attack
+(** Arm the adversary on a pair of links: wiretaps are interposed on
+    both delivery paths (data first, then ack — the order is part of the
+    replay contract), then the RST and ACK injection schedules are
+    started. *)
+
+type attack_stats = {
+  forged_rsts : int;
+  forged_acks : int;
+  clamped_acks : int;  (** genuine ACKs whose window field was rewritten *)
+  flows_seen : int;  (** connections the wiretap has learned *)
+}
+
+val attack_stats : attack -> attack_stats

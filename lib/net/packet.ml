@@ -5,7 +5,10 @@ type payload =
       sack : (int * int) list;
       ecn_echo : bool;
       ts_echo : float;
+      mutable window : int;
     }
+  | Probe of { seq : int }
+  | Rst of { seq : int }
 
 type t = {
   id : int;
@@ -17,12 +20,14 @@ type t = {
   ecn_capable : bool;
   mutable ecn_marked : bool;
   mutable retransmit : bool;
+  mutable corrupted : bool;
   sent_at : float;
 }
 
 let mss = 1000
 let header_size = 40
 let data_size = mss + header_size
+let probe_size = header_size + 1
 
 type factory = { mutable next_id : int }
 
@@ -44,25 +49,59 @@ let data f ~flow ~src ~dst ~seq ~ecn ?(retransmit = false) ~now () =
     ecn_capable = ecn;
     ecn_marked = false;
     retransmit;
+    corrupted = false;
     sent_at = now;
   }
 
-let ack f ~flow ~src ~dst ~ack ~sack ~ecn_echo ~ts_echo ~now () =
+let ack f ~flow ~src ~dst ~ack ~sack ~ecn_echo ~ts_echo ~window ~now () =
   {
     id = fresh_id f;
     flow;
     src;
     dst;
     size = header_size;
-    payload = Ack { ack; sack; ecn_echo; ts_echo };
+    payload = Ack { ack; sack; ecn_echo; ts_echo; window };
     ecn_capable = false;
     ecn_marked = false;
     retransmit = false;
+    corrupted = false;
     sent_at = now;
   }
 
-let is_data t = match t.payload with Data _ -> true | Ack _ -> false
+let probe f ~flow ~src ~dst ~seq ~now () =
+  {
+    id = fresh_id f;
+    flow;
+    src;
+    dst;
+    size = probe_size;
+    payload = Probe { seq };
+    ecn_capable = false;
+    ecn_marked = false;
+    retransmit = false;
+    corrupted = false;
+    sent_at = now;
+  }
+
+let rst f ~flow ~src ~dst ~seq ~now () =
+  {
+    id = fresh_id f;
+    flow;
+    src;
+    dst;
+    size = header_size;
+    payload = Rst { seq };
+    ecn_capable = false;
+    ecn_marked = false;
+    retransmit = false;
+    corrupted = false;
+    sent_at = now;
+  }
+
+let is_data t =
+  match t.payload with Data _ -> true | Ack _ | Probe _ | Rst _ -> false
+
 let seq_exn t =
   match t.payload with
   | Data { seq } -> seq
-  | Ack _ -> invalid_arg "Packet.seq_exn: not a data packet"
+  | Ack _ | Probe _ | Rst _ -> invalid_arg "Packet.seq_exn: not a data packet"

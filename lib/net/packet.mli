@@ -2,9 +2,12 @@
 
     Data packets carry one MSS of payload and a sequence number in packet
     units. ACKs carry the cumulative acknowledgement, up to three SACK
-    blocks, an ECN echo bit, and a timestamp echo used by the sender for
-    RTT sampling (immune to retransmission ambiguity, like the TCP
-    timestamp option). *)
+    blocks, an ECN echo bit, a timestamp echo used by the sender for RTT
+    sampling (immune to retransmission ambiguity, like the TCP timestamp
+    option), and the raw 16-bit receive-window advertisement. Window
+    probes are the 1-byte segments a sender in zero-window persist mode
+    emits (RFC 6429); RSTs carry only a sequence number and are subject
+    to RFC 5961 validation at the endpoint. *)
 
 type payload =
   | Data of { seq : int }
@@ -15,11 +18,23 @@ type payload =
           (** up to 3 blocks [(first, last_exclusive)] of out-of-order data
               held by the receiver, most recent first *)
       ecn_echo : bool;  (** congestion-experienced echo (ECE) *)
-      ts_echo : float;  (** send timestamp of the packet being acked *)
+      ts_echo : float;
+          (** send timestamp of the packet being acked; NaN on pure ACKs
+              (window updates, probe responses, challenge ACKs) so they
+              never produce an RTT sample *)
+      mutable window : int;
+          (** raw 16-bit receive-window field; interpret through the
+              flow's negotiated {!Tcpstack.Tcp_window.Scale}. Mutable so
+              an on-path adversary ({!Fault}) can clamp it in flight. *)
     }
+  | Probe of { seq : int }
+      (** zero-window probe: 1 byte of data at [seq], never accepted by
+          the receiver, answered with a pure ACK carrying the current
+          window *)
+  | Rst of { seq : int }  (** connection reset claiming sequence [seq] *)
 
 type t = {
-  id : int;  (** unique per simulation *)
+  id : int;  (** unique per factory *)
   flow : int;  (** flow identifier for endpoint demux *)
   src : int;  (** source node id *)
   dst : int;  (** destination node id *)
@@ -28,6 +43,10 @@ type t = {
   ecn_capable : bool;
   mutable ecn_marked : bool;  (** set by an AQM queue (CE codepoint) *)
   mutable retransmit : bool;  (** data packet is a retransmission *)
+  mutable corrupted : bool;
+      (** header/payload bits flipped in flight ({!Fault}); endpoints
+          must discard such segments at a checksum-style validity gate
+          instead of interpreting them *)
   sent_at : float;  (** time the packet entered the network *)
 }
 
@@ -35,10 +54,14 @@ val mss : int
 (** Data packet payload size used throughout: 1000 bytes. *)
 
 val header_size : int
-(** Bytes of header; ACKs are [header_size] long. 40 bytes. *)
+(** Bytes of header; ACKs and RSTs are [header_size] long. 40 bytes. *)
 
 val data_size : int
 (** [mss + header_size]. *)
+
+val probe_size : int
+(** [header_size + 1]: a persist probe carries a single payload byte —
+    the smallest segment a queue discipline will ever see. *)
 
 type factory
 (** Allocates unique packet ids. *)
@@ -51,9 +74,17 @@ val data :
 
 val ack :
   factory -> flow:int -> src:int -> dst:int -> ack:int ->
-  sack:(int * int) list -> ecn_echo:bool -> ts_echo:float -> now:float ->
+  sack:(int * int) list -> ecn_echo:bool -> ts_echo:float -> window:int ->
+  now:float -> unit -> t
+
+val probe :
+  factory -> flow:int -> src:int -> dst:int -> seq:int -> now:float ->
+  unit -> t
+
+val rst :
+  factory -> flow:int -> src:int -> dst:int -> seq:int -> now:float ->
   unit -> t
 
 val is_data : t -> bool
 val seq_exn : t -> int
-(** Sequence number of a data packet; raises on ACKs. *)
+(** Sequence number of a data packet; raises on other payloads. *)

@@ -14,11 +14,15 @@ let kind_of (pkt : Packet.t) =
   match pkt.Packet.payload with
   | Packet.Data _ -> "tcp"
   | Packet.Ack _ -> "ack"
+  | Packet.Probe _ -> "probe"
+  | Packet.Rst _ -> "rst"
 
 let seq_of (pkt : Packet.t) =
   match pkt.Packet.payload with
   | Packet.Data { seq } -> seq
   | Packet.Ack { ack; _ } -> ack
+  | Packet.Probe { seq } -> seq
+  | Packet.Rst { seq } -> seq
 
 let record t event pkt =
   t.events <- t.events + 1;

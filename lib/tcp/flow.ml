@@ -3,8 +3,27 @@ module Fvec = Sim_engine.Fvec
 module Packet = Netsim.Packet
 module Node = Netsim.Node
 module Topology = Netsim.Topology
+module Size = Units.Size
+module W = Tcp_window
 
 type delay_signal = [ `Rtt | `Owd ]
+
+(* One full-sized segment, as charged against the receive buffer. *)
+let seg_bytes = Size.bytes Packet.mss
+
+(* Persist probes back off exponentially from the current RTO up to the
+   classic 60 s ceiling (RFC 793 / RFC 6429). *)
+let persist_ceiling = Units.Time.s 60.0
+let persist_backoff_limit = 6
+
+(* RFC 5961 recommends rate-limiting challenge ACKs so a blind attacker
+   cannot turn the validation itself into an amplifier. *)
+let challenge_min_gap = Units.Time.s 0.05
+
+(* Pure ACKs (window updates, probe responses, challenge ACKs) echo no
+   timestamp: NaN makes every RTT/OWD sample comparison fail, so they can
+   never pollute the estimator. *)
+let no_ts_echo = Float.nan
 
 (* Receiver-side set of out-of-order intervals [(first, last_exclusive)],
    sorted, disjoint, all strictly above rcv_next. *)
@@ -54,6 +73,9 @@ type t = {
   total : int option;
   on_complete : t -> unit;
   rto : Rto.t;
+  persist_enabled : bool;
+  rst_validation : bool;
+  wnd_scale : W.Scale.t;  (** negotiated at SYN time, both directions *)
   (* sender *)
   mutable snd_una : int;
   mutable snd_next : int;
@@ -66,16 +88,26 @@ type t = {
   mutable retx_scan : int;  (** next hole candidate during recovery *)
   sacked : (int, unit) Hashtbl.t;
   retx_done : (int, unit) Hashtbl.t;  (** holes retransmitted this recovery *)
-  mutable timer_gen : int;
+  mutable timer_gen : int;  (** cancels stale RTO timers *)
+  mutable peer_adv : W.Adv.t;  (** last window advertisement from the peer *)
+  mutable in_persist : bool;  (** zero-window persist mode *)
+  mutable persist_gen : int;  (** cancels stale persist timers *)
+  mutable persist_backoff : int;  (** probe-interval doubling exponent *)
   mutable last_reduction : float;  (** last window cut of any kind *)
+  mutable started : bool;
   mutable stopped : bool;
   mutable completed : bool;
+  mutable aborted : bool;  (** torn down by a (validated) RST *)
   (* receiver *)
   delayed_acks : bool;
+  rcv_space : W.t;  (** receive-buffer occupancy and advertisement *)
+  mutable reader_paused : bool;
+  mutable unread_pkts : int;  (** in-order segments the app has not read *)
   mutable rcv_next : int;
   mutable ooo : (int * int) list;
   mutable pending_acks : int;  (** in-order segments not yet acknowledged *)
   mutable delack_gen : int;  (** cancels stale delayed-ACK timers *)
+  mutable last_challenge : float;  (** challenge-ACK rate limiter *)
   (* stats *)
   mutable acked_pkts : int;
   mutable window_start : float;
@@ -83,6 +115,17 @@ type t = {
   mutable timeouts : int;
   mutable fast_recoveries : int;
   mutable early_responses : int;
+  mutable progress_marks : int;  (** liveness counter for the watchdog *)
+  mutable max_outstanding_pkts : int;
+  mutable persist_probes : int;
+  mutable zero_window_episodes : int;
+  mutable rcv_wnd_drops : int;  (** in-window data rejected: buffer full *)
+  mutable rsts_received : int;
+  mutable rsts_accepted : int;
+  mutable rsts_ignored : int;  (** out-of-window blind RSTs dropped *)
+  mutable challenge_acks : int;
+  mutable challenges_suppressed : int;
+  mutable corrupt_rejected : int;  (** segments failing the validity gate *)
   mutable rtt_trace : (Fvec.t * Fvec.t * Fvec.t) option;
   mutable loss_trace : Fvec.t option;
 }
@@ -95,6 +138,7 @@ let snd_una t = t.snd_una
 let snd_next t = t.snd_next
 let in_recovery t = t.in_recovery
 let completed t = t.completed
+let aborted t = t.aborted
 let acked_pkts t = t.acked_pkts
 
 let goodput_bps t ~now =
@@ -110,7 +154,19 @@ let reset_stats t =
 let retransmissions t = t.retransmissions
 let timeouts t = t.timeouts
 let loss_events t = t.fast_recoveries + t.timeouts
+let fast_recoveries t = t.fast_recoveries
 let early_responses t = t.early_responses
+let persist_probes t = t.persist_probes
+let zero_window_episodes t = t.zero_window_episodes
+let rcv_wnd_drops t = t.rcv_wnd_drops
+let rsts_received t = t.rsts_received
+let rsts_accepted t = t.rsts_accepted
+let rsts_ignored t = t.rsts_ignored
+let challenge_acks t = t.challenge_acks
+let corrupt_rejected t = t.corrupt_rejected
+let in_persist t = t.in_persist
+let max_outstanding_pkts t = t.max_outstanding_pkts
+let wscale t = W.Scale.to_int t.wnd_scale
 
 let enable_rtt_trace t =
   if t.rtt_trace = None then
@@ -142,6 +198,24 @@ let has_data t =
 
 let effective_cwnd t = Float.min t.window.Cc.Window.cwnd t.max_cwnd
 
+(* --- window accounting -------------------------------------------------- *)
+
+(* The peer's usable receive window, in whole packets: its last scaled
+   advertisement, decoded through the negotiated shift. All byte-level
+   arithmetic stays inside Tcp_window (lint rule W1). *)
+let peer_limit_pkts t =
+  Size.to_bytes (W.Adv.decode ~scale:t.wnd_scale t.peer_adv) / Packet.mss
+
+(* New data may only be sent while it fits the peer's window; data below
+   snd_next was within an earlier advertisement and may always be
+   retransmitted. *)
+let window_allows_new t = outstanding t < peer_limit_pkts t
+
+let peer_window_bytes t = W.Adv.decode ~scale:t.wnd_scale t.peer_adv
+
+let advertised_bytes t =
+  W.Adv.decode ~scale:(W.scale t.rcv_space) (W.advertised t.rcv_space)
+
 (* --- transmission ------------------------------------------------------ *)
 
 (* In-flight accounting ("pipe", RFC 6675 spirit): every transmission adds
@@ -156,6 +230,7 @@ let send_data t ~seq ~retransmit =
   in
   if retransmit then t.retransmissions <- t.retransmissions + 1;
   t.pipe <- t.pipe + 1;
+  t.progress_marks <- t.progress_marks + 1;
   if seq >= t.max_sent then t.max_sent <- seq + 1;
   Node.receive t.src pkt
 
@@ -205,20 +280,31 @@ and try_send t =
             send_data t ~seq:hole ~retransmit:true;
             progress := true
         | None ->
-            if has_data t then begin
+            if has_data t && window_allows_new t then begin
               send_data t ~seq:t.snd_next ~retransmit:false;
               t.snd_next <- t.snd_next + 1;
               progress := true
             end
       end
-      else if has_data t then begin
+      else if has_data t && window_allows_new t then begin
         (* below max_sent only after a timeout rewind: go-back-N resend *)
         send_data t ~seq:t.snd_next ~retransmit:(t.snd_next < t.max_sent);
         t.snd_next <- t.snd_next + 1;
         progress := true
       end
     done;
-    if outstanding t > 0 && not had_outstanding then restart_timer t
+    if outstanding t > t.max_outstanding_pkts then
+      t.max_outstanding_pkts <- outstanding t;
+    if outstanding t > 0 && not had_outstanding then restart_timer t;
+    (* Zero-window detection: everything is acknowledged, data is
+       waiting, and the peer advertises no room. Without persist probes
+       this state is a deadlock — the window update that reopens it can
+       be lost, or (clamp attack) may never have existed. *)
+    if
+      t.persist_enabled && (not t.in_persist)
+      && outstanding t = 0 && has_data t
+      && peer_limit_pkts t = 0
+    then enter_persist t
   end
 
 and on_timeout t =
@@ -240,7 +326,68 @@ and on_timeout t =
   t.cc.Cc.on_loss ~now:(Sim.now t.sim);
   t.last_reduction <- Sim.now t.sim;
   try_send t;
-  restart_timer t
+  (* try_send may have moved the flow into persist mode (window closed at
+     the moment of the timeout); the RTO must then stay cancelled — the
+     two timers never run together (see DESIGN.md). *)
+  if not t.in_persist then restart_timer t
+
+(* --- zero-window persist (RFC 793 / RFC 6429) --------------------------- *)
+
+and enter_persist t =
+  t.in_persist <- true;
+  t.zero_window_episodes <- t.zero_window_episodes + 1;
+  (* The retransmission timer is cancelled on the transition: with
+     nothing outstanding there is nothing to retransmit, and probe pacing
+     must come from the persist backoff alone, never compounded with RTO
+     backoff. *)
+  cancel_timer t;
+  t.persist_backoff <- 0;
+  schedule_probe t
+
+and schedule_probe t =
+  t.persist_gen <- t.persist_gen + 1;
+  let gen = t.persist_gen in
+  let interval =
+    Float.min
+      (Units.Time.to_s persist_ceiling)
+      (Units.Time.to_s (Rto.value t.rto)
+      *. (2.0 ** float_of_int t.persist_backoff))
+  in
+  Sim.after t.sim (Units.Time.s interval) (fun () ->
+      if gen = t.persist_gen && t.in_persist && not t.stopped then begin
+        send_probe t;
+        if t.persist_backoff < persist_backoff_limit then
+          t.persist_backoff <- t.persist_backoff + 1;
+        schedule_probe t
+      end)
+
+and send_probe t =
+  t.persist_probes <- t.persist_probes + 1;
+  t.progress_marks <- t.progress_marks + 1;
+  let pkt =
+    Packet.probe t.factory ~flow:t.id ~src:(Node.id t.src)
+      ~dst:(Node.id t.dst) ~seq:t.snd_next ~now:(Sim.now t.sim) ()
+  in
+  Node.receive t.src pkt
+
+and exit_persist t =
+  if t.in_persist then begin
+    t.in_persist <- false;
+    t.persist_gen <- t.persist_gen + 1 (* cancel the pending probe *)
+  end
+
+(* --- teardown ----------------------------------------------------------- *)
+
+and abort_connection t =
+  if not t.stopped then begin
+    t.aborted <- true;
+    t.stopped <- true;
+    cancel_timer t;
+    exit_persist t;
+    t.delack_gen <- t.delack_gen + 1;
+    Node.detach_agent t.src ~flow:t.id;
+    Node.detach_agent t.dst ~flow:t.id
+  end
 
 (* --- sender ------------------------------------------------------------ *)
 
@@ -299,6 +446,7 @@ let check_completion t =
       t.completed <- true;
       t.stopped <- true;
       cancel_timer t;
+      exit_persist t;
       Node.detach_agent t.src ~flow:t.id;
       Node.detach_agent t.dst ~flow:t.id;
       t.on_complete t
@@ -316,7 +464,7 @@ let handle_early_action t action ~now =
         t.early_responses <- t.early_responses + 1
       end
 
-let on_ack t ~ack ~sack ~ecn_echo ~ts_echo ~ack_sent_at =
+let on_ack t ~ack ~sack ~ecn_echo ~ts_echo ~wnd_field ~ack_sent_at =
   let now = Sim.now t.sim in
   let rtt =
     let sample = now -. ts_echo in
@@ -344,6 +492,11 @@ let on_ack t ~ack ~sack ~ecn_echo ~ts_echo ~ack_sent_at =
           Fvec.push cwnds t.window.Cc.Window.cwnd
       | None -> ())
   | None -> ());
+  (* Window update (RFC 793 SND.WL* simplified to packet granularity):
+     believe any advertisement on an ACK that is not older than snd_una.
+     A reopened window ends the persist episode. *)
+  if ack >= t.snd_una then t.peer_adv <- W.Adv.of_field wnd_field;
+  if t.in_persist && peer_limit_pkts t > 0 then exit_persist t;
   let fresh_sacked = record_sack t sack in
   t.pipe <- max 0 (t.pipe - fresh_sacked);
   (* ECN echo: one multiplicative decrease per RTT, no retransmission. *)
@@ -375,6 +528,7 @@ let on_ack t ~ack ~sack ~ecn_echo ~ts_echo ~ack_sent_at =
     if outstanding t = 0 then t.pipe <- 0;
     t.dupacks <- 0;
     t.acked_pkts <- t.acked_pkts + newly_acked;
+    t.progress_marks <- t.progress_marks + 1;
     if t.in_recovery then begin
       if ack >= t.recovery_point then begin
         (* Full ACK: leave recovery at the halved window. *)
@@ -399,6 +553,8 @@ let on_ack t ~ack ~sack ~ecn_echo ~ts_echo ~ack_sent_at =
 
 (* --- receiver ----------------------------------------------------------- *)
 
+let ack_wnd_field t = W.Adv.to_field (W.advertised t.rcv_space)
+
 let send_ack t (data_pkt : Packet.t) =
   (* RFC 2018: the first SACK block must cover the most recently received
      segment, so the sender learns about fresh arrivals even when there
@@ -407,7 +563,7 @@ let send_ack t (data_pkt : Packet.t) =
     let newest =
       match data_pkt.Packet.payload with
       | Packet.Data { seq } -> Intervals.containing seq t.ooo
-      | Packet.Ack _ -> None
+      | Packet.Ack _ | Packet.Probe _ | Packet.Rst _ -> None
     in
     match newest with
     | None -> Intervals.take 3 t.ooo
@@ -418,24 +574,77 @@ let send_ack t (data_pkt : Packet.t) =
   let ack_pkt =
     Packet.ack t.factory ~flow:t.id ~src:(Node.id t.dst) ~dst:(Node.id t.src)
       ~ack:t.rcv_next ~sack ~ecn_echo:data_pkt.Packet.ecn_marked
-      ~ts_echo:data_pkt.Packet.sent_at ~now:(Sim.now t.sim) ()
+      ~ts_echo:data_pkt.Packet.sent_at ~window:(ack_wnd_field t)
+      ~now:(Sim.now t.sim) ()
   in
   Node.receive t.dst ack_pkt
 
+(* A standalone ACK with no data to echo: window updates, probe
+   responses, challenge ACKs. *)
+let send_pure_ack t ~ts_echo =
+  let ack_pkt =
+    Packet.ack t.factory ~flow:t.id ~src:(Node.id t.dst) ~dst:(Node.id t.src)
+      ~ack:t.rcv_next ~sack:(Intervals.take 3 t.ooo) ~ecn_echo:false ~ts_echo
+      ~window:(ack_wnd_field t) ~now:(Sim.now t.sim) ()
+  in
+  Node.receive t.dst ack_pkt
+
+(* The receiving application: by default it reads everything instantly,
+   so the buffer never fills; [pause_reader] models a stalled consumer
+   and is what closes the window. *)
+let drain_reader t =
+  if (not t.reader_paused) && t.unread_pkts > 0 then begin
+    W.release t.rcv_space (Size.bytes (t.unread_pkts * Packet.mss));
+    t.unread_pkts <- 0
+  end
+
+let pause_reader t = t.reader_paused <- true
+
+let resume_reader t =
+  if t.reader_paused then begin
+    t.reader_paused <- false;
+    let was_zero = W.Adv.is_zero (W.advertised t.rcv_space) in
+    drain_reader t;
+    (* Reopening after a zero window must be announced: the sender has
+       nothing in flight that would elicit an ACK. *)
+    if
+      was_zero
+      && (not (W.Adv.is_zero (W.advertised t.rcv_space)))
+      && not t.stopped
+    then send_pure_ack t ~ts_echo:no_ts_echo
+  end
+
 let on_data t pkt seq =
   let in_order = seq = t.rcv_next in
-  if in_order then begin
+  let dup =
+    (not in_order)
+    && (seq < t.rcv_next || Intervals.containing seq t.ooo <> None)
+  in
+  (* Checksum-equivalent admission: a segment only occupies buffer (and
+     advances the connection) if the receive window can hold it. *)
+  let rejected = (not dup) && not (W.admissible t.rcv_space seg_bytes) in
+  if rejected then t.rcv_wnd_drops <- t.rcv_wnd_drops + 1
+  else if in_order then begin
+    W.occupy t.rcv_space seg_bytes;
     t.rcv_next <- t.rcv_next + 1;
     let next, ooo = Intervals.consume t.rcv_next t.ooo in
+    (* segments merged from ooo were charged at their arrival *)
+    t.unread_pkts <- t.unread_pkts + 1 + (next - t.rcv_next);
     t.rcv_next <- next;
-    t.ooo <- ooo
+    t.ooo <- ooo;
+    drain_reader t
   end
-  else if seq > t.rcv_next then t.ooo <- Intervals.insert seq t.ooo;
+  else if seq > t.rcv_next then begin
+    W.occupy t.rcv_space seg_bytes;
+    t.ooo <- Intervals.insert seq t.ooo
+  end;
   (* Delayed ACKs: hold back every other in-order ACK behind a 100 ms
-     timer; anything out of order or CE-marked flushes immediately. *)
+     timer; anything out of order, rejected, or CE-marked flushes
+     immediately (a rejected segment's dupack carries the closed
+     window, which is what throttles the sender). *)
   if
     (not t.delayed_acks)
-    || (not in_order)
+    || (not in_order) || rejected
     || pkt.Packet.ecn_marked || t.ooo <> []
   then begin
     t.pending_acks <- 0;
@@ -460,13 +669,104 @@ let on_data t pkt seq =
     end
   end
 
+(* A zero-window probe never carries acceptable data; it exists to
+   elicit a fresh advertisement. Answer immediately with a pure ACK. *)
+let on_probe t (pkt : Packet.t) =
+  t.pending_acks <- 0;
+  t.delack_gen <- t.delack_gen + 1;
+  send_pure_ack t ~ts_echo:pkt.Packet.sent_at
+
+(* --- RFC 5961 RST validation -------------------------------------------- *)
+
+let send_challenge t =
+  let now = Sim.now t.sim in
+  if now -. t.last_challenge >= Units.Time.to_s challenge_min_gap then begin
+    t.last_challenge <- now;
+    t.challenge_acks <- t.challenge_acks + 1;
+    send_pure_ack t ~ts_echo:no_ts_echo
+  end
+  else t.challenges_suppressed <- t.challenges_suppressed + 1
+
+(* A challenge "ACK" from the data-sending endpoint: same rate limiter,
+   but the packet originates at the sender side. The peer ignores its
+   content — what matters is that a blind attacker cannot tear the
+   connection down without echoing it. *)
+let send_challenge_from_sender t =
+  let now = Sim.now t.sim in
+  if now -. t.last_challenge >= Units.Time.to_s challenge_min_gap then begin
+    t.last_challenge <- now;
+    t.challenge_acks <- t.challenge_acks + 1;
+    let pkt =
+      Packet.ack t.factory ~flow:t.id ~src:(Node.id t.src)
+        ~dst:(Node.id t.dst) ~ack:t.rcv_next ~sack:[] ~ecn_echo:false
+        ~ts_echo:no_ts_echo ~window:(ack_wnd_field t) ~now ()
+    in
+    Node.receive t.src pkt
+  end
+  else t.challenges_suppressed <- t.challenges_suppressed + 1
+
+(* RST arriving at the data receiver. Exact match on RCV.NXT resets;
+   anything else inside the receive window earns a challenge ACK (the
+   legitimate peer would answer it with an exact-sequence RST); anything
+   outside the window is a blind forgery and is dropped. *)
+let on_rst_at_receiver t seq =
+  t.rsts_received <- t.rsts_received + 1;
+  if not t.rst_validation then begin
+    t.rsts_accepted <- t.rsts_accepted + 1;
+    abort_connection t
+  end
+  else if seq = t.rcv_next then begin
+    t.rsts_accepted <- t.rsts_accepted + 1;
+    abort_connection t
+  end
+  else begin
+    let limit_pkts =
+      max 1 (Size.to_bytes (W.available t.rcv_space) / Packet.mss)
+    in
+    if seq > t.rcv_next && seq <= t.rcv_next + limit_pkts then send_challenge t
+    else t.rsts_ignored <- t.rsts_ignored + 1
+  end
+
+(* RST arriving at the data sender: its "receive" space is the ACK
+   stream, so exact match is SND.UNA and the window is the data in
+   flight. *)
+let on_rst_at_sender t seq =
+  t.rsts_received <- t.rsts_received + 1;
+  if not t.rst_validation then begin
+    t.rsts_accepted <- t.rsts_accepted + 1;
+    abort_connection t
+  end
+  else if seq = t.snd_una then begin
+    t.rsts_accepted <- t.rsts_accepted + 1;
+    abort_connection t
+  end
+  else if seq > t.snd_una && seq <= t.snd_next then
+    send_challenge_from_sender t
+  else t.rsts_ignored <- t.rsts_ignored + 1
+
 (* --- construction ------------------------------------------------------- *)
+
+let default_rcv_buffer = Size.bytes (W.field_limit lsl W.max_shift)
 
 let create topo ~src ~dst ~cc ?(ecn = false) ?total_pkts ?start
     ?(initial_cwnd = 2.0) ?(max_cwnd = 1_000_000.0) ?(delay_signal = `Rtt)
-    ?(delayed_acks = false) ?(on_complete = fun _ -> ()) () =
+    ?(delayed_acks = false) ?rcv_buffer ?wscale ?(persist = true)
+    ?(rst_validation = true) ?(on_complete = fun _ -> ()) () =
   let sim = Topology.sim topo in
   let flow_id = Sim.fresh_id sim in
+  let rcv_capacity =
+    match rcv_buffer with Some b -> b | None -> default_rcv_buffer
+  in
+  (* SYN-time negotiation: the receiver requires the smallest shift that
+     makes its buffer advertisable; the sender's offer (if any) caps it.
+     [~wscale:0] models a peer without the option: the 64 KB ceiling. *)
+  let wnd_scale =
+    let required = W.Scale.for_buffer rcv_capacity in
+    match wscale with
+    | None -> required
+    | Some s -> W.Scale.negotiate ~offered:(W.Scale.of_int s) ~required
+  in
+  let rcv_space = W.create ~scale:wnd_scale ~capacity:rcv_capacity () in
   let t =
     {
       sim;
@@ -484,6 +784,9 @@ let create topo ~src ~dst ~cc ?(ecn = false) ?total_pkts ?start
       total = total_pkts;
       on_complete;
       rto = Rto.create ();
+      persist_enabled = persist;
+      rst_validation;
+      wnd_scale;
       snd_una = 0;
       snd_next = 0;
       dupacks = 0;
@@ -496,55 +799,107 @@ let create topo ~src ~dst ~cc ?(ecn = false) ?total_pkts ?start
       sacked = Hashtbl.create 64;
       retx_done = Hashtbl.create 64;
       timer_gen = 0;
+      (* the peer's initial advertisement, learned from the SYN *)
+      peer_adv = W.advertised rcv_space;
+      in_persist = false;
+      persist_gen = 0;
+      persist_backoff = 0;
       last_reduction = neg_infinity;
+      started = false;
       stopped = false;
       completed = false;
+      aborted = false;
       delayed_acks;
+      rcv_space;
+      reader_paused = false;
+      unread_pkts = 0;
       rcv_next = 0;
       ooo = [];
       pending_acks = 0;
       delack_gen = 0;
+      last_challenge = neg_infinity;
       acked_pkts = 0;
       window_start = Sim.now sim;
       retransmissions = 0;
       timeouts = 0;
       fast_recoveries = 0;
       early_responses = 0;
+      progress_marks = 0;
+      max_outstanding_pkts = 0;
+      persist_probes = 0;
+      zero_window_episodes = 0;
+      rcv_wnd_drops = 0;
+      rsts_received = 0;
+      rsts_accepted = 0;
+      rsts_ignored = 0;
+      challenge_acks = 0;
+      challenges_suppressed = 0;
+      corrupt_rejected = 0;
       rtt_trace = None;
       loss_trace = None;
     }
   in
+  (* Both agents discard corrupted segments at a checksum-style validity
+     gate before any field is interpreted — flipped header bits must not
+     be able to ack, reset, or reorder anything. *)
   Node.attach_agent src ~flow:flow_id (fun pkt ->
-      match pkt.Packet.payload with
-      | Packet.Ack { ack; sack; ecn_echo; ts_echo } ->
-          if not t.stopped then
-            on_ack t ~ack ~sack ~ecn_echo ~ts_echo
-              ~ack_sent_at:pkt.Packet.sent_at
-      | Packet.Data _ -> ());
+      if pkt.Packet.corrupted then
+        t.corrupt_rejected <- t.corrupt_rejected + 1
+      else
+        match pkt.Packet.payload with
+        | Packet.Ack { ack; sack; ecn_echo; ts_echo; window = wnd_field } ->
+            if not t.stopped then
+              on_ack t ~ack ~sack ~ecn_echo ~ts_echo ~wnd_field
+                ~ack_sent_at:pkt.Packet.sent_at
+        | Packet.Rst { seq } -> if not t.stopped then on_rst_at_sender t seq
+        | Packet.Data _ | Packet.Probe _ -> ());
   Node.attach_agent dst ~flow:flow_id (fun pkt ->
-      match pkt.Packet.payload with
-      | Packet.Data { seq } -> on_data t pkt seq
-      | Packet.Ack _ -> ());
+      if pkt.Packet.corrupted then
+        t.corrupt_rejected <- t.corrupt_rejected + 1
+      else
+        match pkt.Packet.payload with
+        | Packet.Data { seq } -> on_data t pkt seq
+        | Packet.Probe _ -> if not t.stopped then on_probe t pkt
+        | Packet.Rst { seq } -> if not t.stopped then on_rst_at_receiver t seq
+        | Packet.Ack _ -> ());
   let start_time =
     match start with Some s -> s | None -> Units.Time.s (Sim.now sim)
   in
-  Sim.at sim start_time (fun () -> try_send t);
+  Sim.at sim start_time (fun () ->
+      t.started <- true;
+      try_send t);
   t
 
 let stop t =
   t.stopped <- true;
   cancel_timer t;
+  exit_persist t;
   Node.detach_agent t.src ~flow:t.id;
   Node.detach_agent t.dst ~flow:t.id
+
+(* Active teardown: send an exact-sequence RST to the peer, then abort
+   locally. (Both endpoints belong to this [t], so the local abort
+   already detaches the peer agent; the RST still crosses the network
+   and shows up in link and tracer accounting.) *)
+let abort t =
+  if not t.stopped then begin
+    let pkt =
+      Packet.rst t.factory ~flow:t.id ~src:(Node.id t.src)
+        ~dst:(Node.id t.dst) ~seq:t.snd_next ~now:(Sim.now t.sim) ()
+    in
+    Node.receive t.src pkt;
+    abort_connection t
+  end
 
 let rto_value t = Rto.value t.rto
 
 let debug_state t =
   Printf.sprintf
-    "una=%d next=%d pipe=%d cwnd=%.2f ssthresh=%.2f dupacks=%d rec=%b rp=%d sacked=%d stopped=%b"
+    "una=%d next=%d pipe=%d cwnd=%.2f ssthresh=%.2f dupacks=%d rec=%b rp=%d sacked=%d stopped=%b persist=%b peer_adv=%d"
     t.snd_una t.snd_next t.pipe t.window.Cc.Window.cwnd
     t.window.Cc.Window.ssthresh t.dupacks t.in_recovery t.recovery_point
-    (Hashtbl.length t.sacked) t.stopped
+    (Hashtbl.length t.sacked) t.stopped t.in_persist
+    (W.Adv.to_field t.peer_adv)
 
 let audit_check t =
   let finite = Float.is_finite in
@@ -561,7 +916,27 @@ let audit_check t =
     Some
       (Printf.sprintf "snd_next %d behind snd_una %d (%s)" t.snd_next
          t.snd_una (debug_state t))
+  else if t.in_persist && outstanding t > 0 then
+    Some
+      (Printf.sprintf "persist mode with %d packets outstanding (%s)"
+         (outstanding t) (debug_state t))
   else
     match Option.map Units.Time.to_s (Rto.srtt t.rto) with
     | Some s when (not (finite s)) || s <= 0.0 -> bad "srtt" s
     | _ -> None
+
+(* Liveness view for the audit stall watchdog. [None] marks states where
+   no progress is expected or a recovery timer is already armed:
+   - not yet started, stopped, completed or aborted;
+   - data outstanding (the RTO will fire, with its own capped backoff);
+   - persist mode (the probe timer will fire);
+   - a bounded transfer with nothing left to send.
+   Otherwise the flow should be actively transmitting, and the returned
+   counter must keep moving: a zero-window deadlock (persist disabled or
+   broken) pins it, and the watchdog flags the flow. *)
+let liveness t =
+  if (not t.started) || t.stopped || t.completed then None
+  else if outstanding t > 0 then None
+  else if t.in_persist then None
+  else if not (has_data t) then None
+  else Some t.progress_marks

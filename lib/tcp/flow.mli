@@ -3,6 +3,13 @@
     fast retransmit/recovery, RTO with backoff, ECN response, and a
     pluggable congestion controller ({!Cc}).
 
+    Hardened against hostile networks: receive-window accounting with
+    scaled advertisements (RFC 1323), zero-window persist probing
+    (RFC 793/6429) so a closed window can never deadlock a flow, RST
+    validation (RFC 5961) so blind forgeries cannot tear a connection
+    down, and a checksum-style validity gate that discards corrupted
+    segments before any field is interpreted.
+
     One [Flow.t] owns both endpoints: the sender agent attached at [src]
     and the receiver agent attached at [dst]. *)
 
@@ -27,6 +34,10 @@ val create :
   ?max_cwnd:float ->
   ?delay_signal:delay_signal ->
   ?delayed_acks:bool ->
+  ?rcv_buffer:Units.Size.t ->
+  ?wscale:int ->
+  ?persist:bool ->
+  ?rst_validation:bool ->
   ?on_complete:(t -> unit) ->
   unit ->
   t
@@ -34,7 +45,17 @@ val create :
     FTP source); [start] is the absolute start time (default: now);
     [initial_cwnd] defaults to 2 packets; [ecn] (default false) makes data
     packets ECN-capable and the sender respond to echoes. [on_complete]
-    fires once when all [total_pkts] are cumulatively acknowledged. *)
+    fires once when all [total_pkts] are cumulatively acknowledged.
+
+    [rcv_buffer] is the receive-buffer capacity (default ~1 GiB, large
+    enough never to limit the paper's experiments). [wscale] is the peer
+    window-scale offer at SYN time: [None] (default) negotiates whatever
+    shift the buffer requires; [Some 0] models a peer without the option,
+    capping the usable window at 64 KB regardless of buffer size.
+    [persist] (default true) enables zero-window probing; disable it only
+    to demonstrate the deadlock it prevents. [rst_validation] (default
+    true) selects RFC 5961 handling; disabled, any RST with a plausible
+    sequence kills the connection. *)
 
 val id : t -> int
 val cc_name : t -> string
@@ -44,6 +65,9 @@ val snd_una : t -> int
 val snd_next : t -> int
 val in_recovery : t -> bool
 val completed : t -> bool
+
+val aborted : t -> bool
+(** The connection was torn down by a (validated) RST. *)
 
 val acked_pkts : t -> int
 (** Cumulatively acknowledged packets since the last {!reset_stats} —
@@ -59,8 +83,63 @@ val timeouts : t -> int
 val loss_events : t -> int
 (** Fast-recovery entries plus timeouts (flow-level congestion events). *)
 
+val fast_recoveries : t -> int
+(** Fast-recovery entries alone — inflated by a forged dupack storm. *)
+
 val early_responses : t -> int
 (** Early (proactive) window reductions applied so far. *)
+
+(** {2 Window scaling and flow control} *)
+
+val wscale : t -> int
+(** The negotiated window-scale shift (0-14). *)
+
+val peer_window_bytes : t -> Units.Size.t
+(** The peer's current usable window as seen by the sender: its last
+    advertisement decoded through the negotiated scale. *)
+
+val advertised_bytes : t -> Units.Size.t
+(** What this endpoint's receiver currently advertises (after scaling
+    round-down), i.e. what the peer will believe. *)
+
+val max_outstanding_pkts : t -> int
+(** High-water mark of packets in flight — shows whether the scaled
+    window actually lifted the 64 KB (65-packet) cap. *)
+
+val pause_reader : t -> unit
+(** Stall the receiving application: arriving in-order data accumulates
+    in the receive buffer and the advertised window shrinks toward
+    zero. *)
+
+val resume_reader : t -> unit
+(** Drain the receive buffer and, if the window had closed, send the
+    window-update ACK that reopens it. *)
+
+val in_persist : t -> bool
+val persist_probes : t -> int
+val zero_window_episodes : t -> int
+
+val rcv_wnd_drops : t -> int
+(** Data segments rejected because the receive buffer had no room (the
+    peer overran the advertised window). *)
+
+(** {2 RST validation and the validity gate} *)
+
+val abort : t -> unit
+(** Active teardown: emit an exact-sequence RST to the peer and abort
+    locally. *)
+
+val rsts_received : t -> int
+val rsts_accepted : t -> int
+val rsts_ignored : t -> int
+(** Out-of-window blind RSTs silently dropped. *)
+
+val challenge_acks : t -> int
+(** Challenge ACKs sent for in-window (but inexact) RSTs, rate-limited. *)
+
+val corrupt_rejected : t -> int
+(** Segments discarded at the validity gate ({!Netsim.Packet.t.corrupted})
+    without interpreting any field. *)
 
 val enable_rtt_trace : t -> unit
 val rtt_trace : t -> float array * float array * float array
@@ -78,9 +157,9 @@ val loss_times : t -> float array
     timeout) since {!enable_loss_trace}. *)
 
 val stop : t -> unit
-(** Halt transmission, cancel the pending RTO timer, and detach agents
-    (used for departing flows). A stopped flow never fires another
-    timeout. *)
+(** Halt transmission, cancel the pending RTO and persist timers, and
+    detach agents (used for departing flows). A stopped flow never fires
+    another timeout or probe. *)
 
 val rto_value : t -> Units.Time.t
 (** Current retransmission timeout, including any exponential backoff
@@ -89,8 +168,16 @@ val rto_value : t -> Units.Time.t
 val audit_check : t -> string option
 (** Invariant check for {!Sim_engine.Audit}: cwnd finite and >= 1,
     ssthresh finite and positive, pipe non-negative, send sequence
-    ordering intact, smoothed RTT finite. Returns a diagnostic including
+    ordering intact, persist mode mutually exclusive with outstanding
+    data, smoothed RTT finite. Returns a diagnostic including
     {!debug_state} on violation. *)
+
+val liveness : t -> int option
+(** Progress counter for {!Sim_engine.Audit.add_stall_check}. [None]
+    while no progress is expected (not started, finished, data
+    outstanding with the RTO armed, or probing in persist mode);
+    [Some marks] when the flow should be actively moving — a pinned
+    counter is a stalled flow. *)
 
 (**/**)
 

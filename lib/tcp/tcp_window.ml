@@ -1,0 +1,76 @@
+(* The one sanctioned home of raw window-field arithmetic; see the .mli
+   and lint rule W1. *)
+
+module Size = Units.Size
+
+let max_shift = 14
+let field_limit = 0xFFFF
+
+module Scale = struct
+  type t = int
+
+  let none = 0
+
+  let of_int s =
+    if s < 0 || s > max_shift then
+      invalid_arg
+        (Printf.sprintf "Tcp_window.Scale.of_int: shift %d outside 0..%d" s
+           max_shift);
+    s
+
+  let to_int t = t
+  let negotiate ~offered ~required = if offered <= required then offered else required
+
+  let for_buffer capacity =
+    let b = Size.to_bytes capacity in
+    let rec go shift =
+      if shift >= max_shift || b lsr shift <= field_limit then shift
+      else go (shift + 1)
+    in
+    go 0
+
+  let pp fmt t = Format.fprintf fmt "wscale=%d" t
+end
+
+module Adv = struct
+  type t = int
+
+  let zero = 0
+  let is_zero t = t = 0
+
+  let of_field v =
+    if v < 0 || v > field_limit then
+      invalid_arg
+        (Printf.sprintf "Tcp_window.Adv.of_field: %d outside 0..%d" v
+           field_limit);
+    v
+
+  let to_field t = t
+
+  let encode ~scale size =
+    let field = Size.to_bytes size lsr scale in
+    if field > field_limit then field_limit else field
+
+  let decode ~scale t = Size.bytes (t lsl scale)
+  let equal = Int.equal
+end
+
+type t = {
+  capacity : Size.t;
+  wscale : Scale.t;
+  mutable occupied : Size.t;
+}
+
+let create ?scale ~capacity () =
+  let wscale =
+    match scale with Some s -> s | None -> Scale.for_buffer capacity
+  in
+  { capacity; wscale; occupied = Size.zero }
+
+let capacity t = t.capacity
+let scale t = t.wscale
+let available t = Size.sub t.capacity t.occupied
+let advertised t = Adv.encode ~scale:t.wscale (available t)
+let admissible t size = Size.compare size (available t) <= 0
+let occupy t size = t.occupied <- Size.min t.capacity (Size.add t.occupied size)
+let release t size = t.occupied <- Size.sub t.occupied size

@@ -1,0 +1,98 @@
+(** Typed TCP receive-window arithmetic (RFC 1323 window scaling).
+
+    The 16-bit window field of the TCP header caps an unscaled window at
+    64 KB — 65 full-sized segments at this model's MSS — which is far
+    below the bandwidth-delay product of the ROADMAP's high-BDP points.
+    Window scaling negotiates a per-flow left-shift at SYN time; every
+    window then crosses the wire as a raw 16-bit field and is interpreted
+    as [field lsl shift] bytes.
+
+    This module is the only place that arithmetic is allowed to happen:
+    the raw field is the abstract {!Adv.t}, byte quantities are
+    {!Units.Size.t}, and the shift is the abstract {!Scale.t}, so a scaled
+    advertisement can never be mixed with an unscaled byte count by
+    accident. Lint rule W1 enforces the boundary: an [int]-typed binding
+    with a window-suffixed name anywhere else in [lib/tcp] is a lint
+    error. *)
+
+val max_shift : int
+(** Largest legal scale shift (RFC 1323: 14). *)
+
+val field_limit : int
+(** Largest raw window field value (2^16 - 1). *)
+
+(** The negotiated per-flow window-scale shift. *)
+module Scale : sig
+  type t
+
+  val none : t
+  (** Shift 0: no scaling, the pre-RFC-1323 64 KB cap. *)
+
+  val of_int : int -> t
+  (** Raises [Invalid_argument] outside [0 .. max_shift]. *)
+
+  val to_int : t -> int
+
+  val negotiate : offered:t -> required:t -> t
+  (** SYN-time negotiation: both sides must support the option, and the
+      effective shift is the smaller of what the sender offered and what
+      the receiver needs — offering a small shift caps the connection. *)
+
+  val for_buffer : Units.Size.t -> t
+  (** The smallest shift that makes [buffer] advertisable in a 16-bit
+      field, capped at {!max_shift}. [for_buffer b] is {!none} whenever
+      [b <= field_limit] bytes. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** A raw 16-bit window advertisement, as carried by an ACK. *)
+module Adv : sig
+  type t
+
+  val zero : t
+  val is_zero : t -> bool
+
+  val of_field : int -> t
+  (** Validate a wire value; raises [Invalid_argument] outside
+      [0 .. field_limit]. *)
+
+  val to_field : t -> int
+  (** The wire value, for packet construction. *)
+
+  val encode : scale:Scale.t -> Units.Size.t -> t
+  (** Bytes to field: right-shift and clamp to [field_limit]. Rounds
+      {e down}, so the advertisement never overstates the available
+      buffer; the error is under [2^shift] bytes. *)
+
+  val decode : scale:Scale.t -> t -> Units.Size.t
+  (** Field to bytes: [field lsl shift]. [decode (encode s) <= s]. *)
+
+  val equal : t -> t -> bool
+end
+
+type t
+(** Receiver-side window state: a fixed buffer capacity and the bytes of
+    it currently occupied by data the application has not read. *)
+
+val create : ?scale:Scale.t -> capacity:Units.Size.t -> unit -> t
+(** [scale] defaults to [Scale.for_buffer capacity]. *)
+
+val capacity : t -> Units.Size.t
+val scale : t -> Scale.t
+
+val available : t -> Units.Size.t
+(** Unoccupied buffer: what the receiver can still absorb. *)
+
+val advertised : t -> Adv.t
+(** [encode ~scale (available t)] — the field to put on the next ACK. *)
+
+val admissible : t -> Units.Size.t -> bool
+(** Would a segment of this size fit the remaining buffer? *)
+
+val occupy : t -> Units.Size.t -> unit
+(** Charge accepted-but-unread data against the buffer (clamped at
+    capacity; callers gate with {!admissible} first). *)
+
+val release : t -> Units.Size.t -> unit
+(** The application consumed this much: return it to the window. *)

@@ -60,9 +60,16 @@ module Size = struct
 
   let bytes b = b
   let to_bytes t = t
+  let zero = 0
   let add a b = a + b
+  let sub a b = if a <= b then 0 else a - b
+  let min a b = if a <= b then a else b
+  let max a b = if a >= b then a else b
+  let compare = Int.compare
+  let equal = Int.equal
   let bits t = float_of_int (8 * t)
   let tx_time t rate = Time.of_s (float_of_int (8 * t) /. rate)
+  let pp fmt t = Format.fprintf fmt "%dB" t
 end
 
 module Pkts = struct

@@ -92,7 +92,18 @@ module Size : sig
 
   val bytes : int -> t
   val to_bytes : t -> int
+  val zero : t
   val add : t -> t -> t
+
+  val sub : t -> t -> t
+  (** Saturating difference: [sub a b] is [max 0 (a - b)] — sizes (and in
+      particular window headroom) cannot go negative. *)
+
+  val min : t -> t -> t
+  val max : t -> t -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
 
   val bits : t -> float
   (** [bits s] is [8 * s] as a float. *)

@@ -41,27 +41,29 @@ let contains_sub line sub =
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
-(* (rule, fixture module, source basename, expected 1-based line) *)
+(* (rule, fixture module, source basename, expected 1-based line,
+   --assume-scope needed to arm the rule on a fixture .cmt) *)
 let bad_fixtures =
   [
-    ("D1", "D1_bad", "d1_bad.ml", 4);
-    ("D2", "D2_bad", "d2_bad.ml", 4);
-    ("D3", "D3_bad", "d3_bad.ml", 4);
-    ("N1", "N1_bad", "n1_bad.ml", 4);
-    ("N2", "N2_bad", "n2_bad.ml", 4);
-    ("H1", "H1_bad", "h1_bad.ml", 4);
-    ("M1", "M1_bad", "m1_bad.ml", 1);
-    ("U1", "U1_bad", "u1_bad.ml", 4);
-    ("U2", "U2_bad", "u2_bad.ml", 4);
-    ("U3", "U3_bad", "u3_bad.ml", 8);
-    ("N3", "N3_bad", "n3_bad.ml", 4);
-    ("P1", "P1_bad", "p1_bad.ml", 4);
-    ("R1", "R1_bad", "r1_bad.ml", 4);
+    ("D1", "D1_bad", "d1_bad.ml", 4, "lib");
+    ("D2", "D2_bad", "d2_bad.ml", 4, "lib");
+    ("D3", "D3_bad", "d3_bad.ml", 4, "lib");
+    ("N1", "N1_bad", "n1_bad.ml", 4, "lib");
+    ("N2", "N2_bad", "n2_bad.ml", 4, "lib");
+    ("H1", "H1_bad", "h1_bad.ml", 4, "lib");
+    ("M1", "M1_bad", "m1_bad.ml", 1, "lib");
+    ("U1", "U1_bad", "u1_bad.ml", 4, "lib");
+    ("U2", "U2_bad", "u2_bad.ml", 4, "lib");
+    ("U3", "U3_bad", "u3_bad.ml", 8, "lib");
+    ("N3", "N3_bad", "n3_bad.ml", 4, "lib");
+    ("P1", "P1_bad", "p1_bad.ml", 4, "lib");
+    ("R1", "R1_bad", "r1_bad.ml", 4, "lib");
+    ("W1", "W1_bad", "w1_bad.ml", 4, "lib/tcp");
   ]
 
-let rule_fires (rule, modname, src, line) () =
+let rule_fires (rule, modname, src, line, scope) () =
   let code, lines =
-    run_pertlint [ "--rules"; rule; "--assume-scope"; "lib"; fixture_cmt modname ]
+    run_pertlint [ "--rules"; rule; "--assume-scope"; scope; fixture_cmt modname ]
   in
   check_int (rule ^ " exit code") 1 code;
   let tagged =
@@ -77,18 +79,20 @@ let rule_fires (rule, modname, src, line) () =
 
 (* The same fixtures contain no violation of any *other* expression-level
    rule: with the fixture's own rule (and M1, which fires on every
-   mli-less fixture) disabled, pertlint must exit clean. *)
-let rule_isolated (rule, modname, _, _) () =
+   mli-less fixture) disabled, pertlint must exit clean. Runs under the
+   widest scope (lib/tcp implies lib), so e.g. the W1 fixture's int
+   window would be caught if any other fixture leaked one. *)
+let rule_isolated (rule, modname, _, _, _) () =
   let others =
     List.filter
       (fun r -> r <> rule && r <> "M1")
-      (List.map (fun (r, _, _, _) -> r) bad_fixtures)
+      (List.map (fun (r, _, _, _, _) -> r) bad_fixtures)
   in
   let code, lines =
     run_pertlint
       [
         "--rules"; String.concat "," others;
-        "--assume-scope"; "lib";
+        "--assume-scope"; "lib/tcp";
         fixture_cmt modname;
       ]
   in
@@ -139,13 +143,13 @@ let unknown_rule_rejected () =
 let () =
   let fires =
     List.map
-      (fun ((rule, _, _, _) as fx) ->
+      (fun ((rule, _, _, _, _) as fx) ->
         (Printf.sprintf "%s fires at documented line" rule, `Quick, rule_fires fx))
       bad_fixtures
   in
   let isolated =
     List.map
-      (fun ((rule, _, _, _) as fx) ->
+      (fun ((rule, _, _, _, _) as fx) ->
         (Printf.sprintf "%s fixture is clean for other rules" rule, `Quick,
          rule_isolated fx))
       bad_fixtures

@@ -1,0 +1,12 @@
+(* Fixture for pertlint rule W1: a window-named binding typed as raw int
+   in (assumed) lib/tcp scope. The violation must stay on line 4 —
+   test/lint asserts it. *)
+let rcv_wnd : int = 65535
+
+(* Not a violation: a window name on a non-int is fine (the point of the
+   rule is to push window quantities into Tcp_window's typed API). *)
+let cwnd : float = 10.0
+
+(* Not a violation: composite names only mention a window. *)
+let wnd_scale : int = 7
+let window_probes : int = 0

@@ -6,6 +6,7 @@ let () =
       ("core", Test_core.suite);
       ("net", Test_net.suite);
       ("tcp", Test_tcp.suite);
+      ("tcp-hardening", Test_tcp_hardening.suite);
       ("faults", Test_faults.suite);
       ("predictors", Test_predictors.suite);
       ("fluid", Test_fluid.suite);

@@ -25,7 +25,7 @@ let packet_factory_ids () =
   check_int "seq" 0 (Packet.seq_exn a);
   let ack =
     Packet.ack f ~flow:0 ~src:1 ~dst:0 ~ack:5 ~sack:[ (7, 9) ] ~ecn_echo:true
-      ~ts_echo:1.5 ~now:2.0 ()
+      ~ts_echo:1.5 ~window:65535 ~now:2.0 ()
   in
   check_int "ack size" Packet.header_size ack.Packet.size;
   check_bool "ack not data" false (Packet.is_data ack);

@@ -40,6 +40,12 @@
          deadlines, retry and backoff must go through the supervised-task
          API ([Parallel.submit_supervised], [Sim.set_budget]), never an
          ad-hoc sleep or a library-initiated process exit.
+     W1  no raw-int window binding inside lib/tcp outside tcp_window.ml:
+         a binding or record label named like a TCP window ([wnd],
+         [window], [rwnd], [awnd] or the [_wnd]/[_window]/[_rwnd]/[_awnd]
+         suffixes) whose type is bare [int] re-opens the byte-vs-field
+         confusion window scaling exists to close; window arithmetic must
+         go through [Tcp_window] ([Units.Size]-typed, scale-aware).
 
    Suppression: attach [@lint.allow "D3"] to an expression or
    [let[@lint.allow "D3"] x = ...] to a binding; a floating
@@ -70,6 +76,7 @@ let all_rules =
     { id = "N3"; severity = Err; what = "float->int truncation in lib/ outside Units.Round" };
     { id = "P1"; severity = Err; what = "concurrency primitive in lib/ outside lib/parallel" };
     { id = "R1"; severity = Err; what = "blocking/process-control call in lib/" };
+    { id = "W1"; severity = Err; what = "raw int window binding in lib/tcp outside Tcp_window" };
   ]
 
 let rule_by_id id = List.find_opt (fun r -> r.id = id) all_rules
@@ -78,6 +85,7 @@ let rule_by_id id = List.find_opt (fun r -> r.id = id) all_rules
 
 let enabled_rules = ref (List.map (fun r -> r.id) all_rules)
 let assume_scope_lib = ref false
+let assume_scope_tcp = ref false
 let quiet = ref false
 let stats = ref false
 let format_json = ref false
@@ -183,6 +191,8 @@ let in_lib () = !cur_in_lib
 let is_rng_ml () = string_suffix ~suffix:"lib/engine/rng.ml" !cur_source
 let is_units_ml () = string_suffix ~suffix:"lib/units/units.ml" !cur_source
 let in_parallel_lib () = string_contains ~sub:"lib/parallel/" !cur_source
+let in_tcp_lib () = !assume_scope_tcp || string_contains ~sub:"lib/tcp/" !cur_source
+let is_tcp_window_ml () = string_suffix ~suffix:"lib/tcp/tcp_window.ml" !cur_source
 
 let d1_hit name =
   name = "Stdlib.Random" || string_prefix ~prefix:"Stdlib.Random." name
@@ -245,6 +255,11 @@ let is_float_ty ty =
   | Tconstr (p, _, _) -> Path.same p Predef.path_float
   | _ -> false
 
+let is_int_ty ty =
+  match Types.get_desc ty with
+  | Tconstr (p, _, _) -> Path.same p Predef.path_int
+  | _ -> false
+
 (* Suffixes that claim a unit in a name.  [_p] is the conventional
    probability suffix (RED's max_p); a lone "p" does not match. *)
 let unit_suffixes =
@@ -252,6 +267,16 @@ let unit_suffixes =
 
 let unit_suffixed name =
   List.exists (fun suffix -> string_suffix ~suffix name) unit_suffixes
+
+(* Names that claim to be a TCP window (W1).  Composite names like
+   [wnd_scale] or [window_allows_new] do not match: only a name that
+   *is* a window, not one that merely mentions it. *)
+let window_suffixes = [ "_wnd"; "_window"; "_rwnd"; "_awnd" ]
+let window_exact = [ "wnd"; "window"; "rwnd"; "awnd" ]
+
+let window_named name =
+  List.mem name window_exact
+  || List.exists (fun suffix -> string_suffix ~suffix name) window_suffixes
 
 let u2_cmp_fns =
   [ "Stdlib.<"; "Stdlib.<="; "Stdlib.>"; "Stdlib.>="; "Stdlib.="; "Stdlib.<>" ]
@@ -375,12 +400,29 @@ let check_unit_name (loc : Location.t) name ty =
          "'%s' names its unit but is a raw float; carry the unit in the type (Units.Time/Rate/Size/Pkts/Prob)"
          name)
 
+(* W1: a raw-int window in lib/tcp.  Is this bytes or a wire field?
+   Scaled or unscaled?  The name cannot say; the [Tcp_window] types can. *)
+let check_window_name (loc : Location.t) name ty =
+  if
+    in_tcp_lib ()
+    && (not (is_tcp_window_ml ()))
+    && window_named name && is_int_ty ty
+  then
+    report "W1" loc
+      (Printf.sprintf
+         "'%s' is a raw int window in lib/tcp; window arithmetic must go through Tcp_window (Units.Size-typed, scale-aware)"
+         name)
+
+let check_binding_name loc name ty =
+  check_unit_name loc name ty;
+  check_window_name loc name ty
+
 let check_type_decl (td : Typedtree.type_declaration) =
   match td.typ_kind with
   | Ttype_record lds ->
       List.iter
         (fun (ld : Typedtree.label_declaration) ->
-          check_unit_name ld.ld_name.loc ld.ld_name.txt ld.ld_type.ctyp_type)
+          check_binding_name ld.ld_name.loc ld.ld_name.txt ld.ld_type.ctyp_type)
         lds
   | _ -> ()
 
@@ -399,9 +441,9 @@ let iterator =
    fun sub p ->
     (match p.pat_desc with
     | Typedtree.Tpat_var (_, name) ->
-        check_unit_name name.loc name.txt p.pat_type
+        check_binding_name name.loc name.txt p.pat_type
     | Typedtree.Tpat_alias (_, _, name) ->
-        check_unit_name name.loc name.txt p.pat_type
+        check_binding_name name.loc name.txt p.pat_type
     | _ -> ());
     default_iterator.pat sub p
   in
@@ -627,12 +669,18 @@ let () =
       ( "--assume-scope",
         Arg.String
           (fun s ->
-            if s = "lib" then assume_scope_lib := true
-            else begin
-              Printf.eprintf "pertlint: --assume-scope takes 'lib'\n";
-              exit 2
-            end),
-        "lib treat every file as if it lived under lib/ (fixture testing)" );
+            match s with
+            | "lib" -> assume_scope_lib := true
+            | "lib/tcp" ->
+                (* lib/tcp is inside lib: the narrower assumption implies
+                   the wider one. *)
+                assume_scope_lib := true;
+                assume_scope_tcp := true
+            | _ ->
+                Printf.eprintf
+                  "pertlint: --assume-scope takes 'lib' or 'lib/tcp'\n";
+                exit 2),
+        "SCOPE treat every file as if it lived under lib/ or lib/tcp/ (fixture testing)" );
       ("--stats", Arg.Set stats, " print a per-rule violation count table");
       ("--quiet", Arg.Set quiet, " suppress per-violation diagnostics");
       ( "--format",
