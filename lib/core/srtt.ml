@@ -33,4 +33,3 @@ let queueing_delay t =
   if t.samples = 0 then invalid_arg "Srtt.value: no samples";
   Units.Time.s (Float.max 0.0 (t.srtt -. t.min_rtt))
 let samples t = t.samples
-let alpha t = t.alpha

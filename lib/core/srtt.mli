@@ -28,5 +28,3 @@ val queueing_delay : t -> Units.Time.t
 
 val samples : t -> int
 (** Number of samples observed. *)
-
-val alpha : t -> float

@@ -11,16 +11,5 @@
     whole attack schedule; tables are bit-identical for every
     [ctx.jobs]. *)
 
-val rst_storm : ?ctx:Runner.ctx -> Scale.t -> Output.table
-(** Poisson blind-RST injection at the swept rate, sequence guesses
-    around the snooped high-water mark. *)
-
-val ack_storm : ?ctx:Runner.ctx -> Scale.t -> Output.table
-(** Poisson bursts of forged duplicate ACKs toward the senders. *)
-
-val clamp : ?ctx:Runner.ctx -> Scale.t -> Output.table
-(** Three episodes during which every ACK's window advertisement is
-    rewritten to zero in flight. *)
-
 val all : ?ctx:Runner.ctx -> Scale.t -> Output.table list
 (** [rst_storm; ack_storm; clamp]. *)

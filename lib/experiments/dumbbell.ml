@@ -308,7 +308,6 @@ let run ?max_events ?max_wall config =
 (* Each config builds its own Sim.t, so the runs share nothing (pertlint
    D1–D3) and can execute on separate domains. Results come back in
    config order: output is bit-identical for every [jobs]. *)
-let run_many ~jobs configs = Parallel.map ~jobs run configs
 
 (* The config record is plain data (no closures), so its Marshal bytes
    are a stable fingerprint: two cells agree on the digest iff they are

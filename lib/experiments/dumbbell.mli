@@ -85,16 +85,6 @@ val run : ?max_events:int -> ?max_wall:Units.Time.t -> config -> result
     so a pathological configuration raises
     {!Sim_engine.Sim.Budget_exceeded} instead of hanging. *)
 
-val run_many : jobs:int -> config list -> result list
-(** [run] over every config on a {!Parallel} pool of [jobs] domains,
-    results in config order. Each run owns its simulator, so output is
-    bit-for-bit identical for every [jobs] value ([1] = sequential, no
-    domain spawned). *)
-
-val config_digest : config -> string
-(** Hex fingerprint of the full config (stable across runs) — the
-    [?extra] component of {!cell_key}. *)
-
 val cell_key : experiment:string -> string * config -> Store.key
 (** Store identity of one [(point, config)] sweep cell. *)
 

@@ -11,14 +11,5 @@
     every [ctx.jobs], and a failed or budget-exhausted cell renders as
     a [FAILED]/[TIMEOUT] marker row instead of aborting the table. *)
 
-val lossy : ?ctx:Runner.ctx -> Scale.t -> Output.table
-(** 0.1–5% seeded random wire loss on the bottleneck. *)
-
-val flapping : ?ctx:Runner.ctx -> Scale.t -> Output.table
-(** Memoryless link up/down flapping; exercises RTO backoff + recovery. *)
-
-val bleached : ?ctx:Runner.ctx -> Scale.t -> Output.table
-(** CE marks cleared in flight with probability 0–100%. *)
-
 val all : ?ctx:Runner.ctx -> Scale.t -> Output.table list
 (** [lossy; flapping; bleached]. *)

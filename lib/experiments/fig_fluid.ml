@@ -19,15 +19,6 @@ let fig13a =
     rows;
   }
 
-let trajectory_points ~r ~horizon ~n_points =
-  let p = Pert_fluid.paper_params ~r () in
-  let dt = 0.001 in
-  let record_every =
-    max 1 (Units.Round.trunc (horizon /. dt) / max 1 (n_points - 1))
-  in
-  let times, series = Pert_fluid.run p ~horizon ~dt ~record_every () in
-  Array.mapi (fun i t -> (t, series.(0).(i))) times
-
 let fig13_trajectories scale =
   let horizon = Scale.pick scale ~quick:40.0 ~default:100.0 ~full:200.0 in
   let delays = [ 0.100; 0.160; 0.171 ] in

@@ -11,10 +11,6 @@ val fig13_trajectories : Scale.t -> Output.table
     verdict of {!Fluid.Pert_fluid.is_stable_trajectory} and the
     Theorem 1 prediction. *)
 
-val trajectory_points :
-  r:float -> horizon:float -> n_points:int -> (float * float) array
-(** Convenience for examples: [n_points] samples of W(t) at delay [r]. *)
-
 val stability_region : Output.table
 (** Section 5.4's two analytical claims, by bisection on the closed-form
     conditions: (a) with matched control laws PERT's maximum stable RTT

@@ -43,9 +43,12 @@ let flow_rtts n =
 (* Memoises the expensive SACK/droptail trace collection shared by
    fig2/fig3/fig4. Safe despite being toplevel state: keys fully determine
    the deterministic simulation that fills them, so a hit returns exactly
-   what a fresh run would produce. *)
-let[@lint.allow "D3"] cache : (Scale.t * int, Trace.t) Hashtbl.t =
-  Hashtbl.create 16
+   what a fresh run would produce. Guarded because Registry.run_many fans
+   figures out across domains (pertscan S1), so lookups and inserts can
+   race; a duplicate miss merely recomputes the same trace. *)
+let[@lint.allow "D3"] cache : (Scale.t * int, Trace.t) Hashtbl.t Parallel.Guard.t
+    =
+  Parallel.Guard.create (Hashtbl.create 16)
 
 let collect_uncached scale case =
   let config =
@@ -92,12 +95,19 @@ let collect_uncached scale case =
       Link.queue_at built.Dumbbell.bottleneck (Units.Time.s t) /. limit)
     ()
 
+(* The lock is never held across a simulation: look up, run unlocked on a
+   miss, insert. Two domains missing the same key both simulate and the
+   later [replace] wins — identical payloads, so the cache stays
+   deterministic. *)
 let collect scale case =
-  match Hashtbl.find_opt cache (scale, case.id) with
+  match
+    Parallel.Guard.with_ cache (fun tbl -> Hashtbl.find_opt tbl (scale, case.id))
+  with
   | Some trace -> trace
   | None ->
       let trace = collect_uncached scale case in
-      Hashtbl.replace cache (scale, case.id) trace;
+      Parallel.Guard.with_ cache (fun tbl ->
+          Hashtbl.replace tbl (scale, case.id) trace);
       trace
 
 let observed_threshold = 0.005 (* 65 ms on a 60 ms path *)

@@ -12,15 +12,6 @@ type case = {
   web_sessions : int;
 }
 
-val cases : Scale.t -> case list
-(** Six cases at the default scale; scaled versions of the paper's
-    [{50,100} x {100,500,1000}] (restored verbatim at [Full]). Traces are
-    cached per (scale, case) so Figs 2-4 share one simulation each. *)
-
-val collect : Scale.t -> case -> Predictors.Trace.t
-(** Run one case and build the analysis trace (observed-flow RTTs +
-    flow-level and queue-level losses + queue occupancy). *)
-
 val fig2 : Scale.t -> Output.table
 (** Fraction of high-RTT→loss transitions, flow-level vs queue-level
     losses, per case. *)
@@ -34,6 +25,3 @@ val fig4 : Scale.t -> Output.table
 (** PDF of the normalised queue occupancy at srtt_0.99 false positives,
     10 bins, pooled over the six cases. *)
 
-val buffer_pkts : Scale.t -> int
-(** The bottleneck buffer used by the cases (the paper's 750 packets at
-    full scale) — also the MA predictor window. *)

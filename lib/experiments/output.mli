@@ -34,9 +34,6 @@ val failure_count : table -> int
 (** Number of failure-marker cells in the table's rows — the basis of the
     CLI's non-zero exit on partial results. *)
 
-val print : Format.formatter -> table -> unit
-(** Aligned columns with a title line. *)
-
 val to_csv : table -> string
 
 val to_gnuplot : table -> string

@@ -16,7 +16,6 @@ let ctx ?(jobs = 1) ?store ?(retries = 0) ?(backoff = Units.Time.ms 20.0)
 
 let default = ctx ()
 let sequential c = { c with jobs = 1 }
-let with_jobs c ~jobs = { c with jobs = max 1 jobs }
 
 type failure =
   | Failed of { attempts : int; reason : string }

@@ -39,8 +39,6 @@ val sequential : ctx -> ctx
 (** Same context at [jobs = 1] — used by the registry's coarse-grained
     fan-out so nested pools never spawn domains inside domains. *)
 
-val with_jobs : ctx -> jobs:int -> ctx
-
 (** {1 Cells} *)
 
 type failure =
@@ -49,10 +47,6 @@ type failure =
   | Timed_out of string  (** deadline or event budget exhausted *)
 
 type 'a cell = ('a, failure) result
-
-val is_timeout_exn : exn -> bool
-(** Holds on {!Sim_engine.Sim.Budget_exceeded} — the supervised-task
-    timeout classifier shared by every experiment. *)
 
 val failure_cell : failure -> string
 (** The {!Output} marker: [FAILED(reason)] or [TIMEOUT]. *)

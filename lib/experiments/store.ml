@@ -11,7 +11,6 @@ let magic = "pert-store/1"
 
 type t = { dir : string }
 
-let dir t = t.dir
 
 type key = { canon : string }
 

@@ -21,8 +21,6 @@ type t
 val open_ : dir:string -> t
 (** Open (creating the directory, and its parents, if needed). *)
 
-val dir : t -> string
-
 type key
 
 val key :

@@ -29,9 +29,6 @@ val paper_params : ?r:float -> unit -> params
     [p_max = 0.1], [t_max = 0.1] s, [t_min = 0.05] s, [alpha = 0.99],
     [delta = 0.1] ms; [r] defaults to 0.1 s. *)
 
-val derivatives : params -> float -> float array -> Dde.history -> float array
-(** Right-hand side suitable for {!Dde.integrate} ([dim = 3]). *)
-
 val run :
   params -> ?init:float array -> horizon:float -> dt:float ->
   ?record_every:int -> unit -> float array * float array array

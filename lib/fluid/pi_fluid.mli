@@ -24,8 +24,6 @@ val make :
 (** Gains from {!Stability.pert_pi_gains} with [r_plus] defaulting to [r]
     and [r_star = r]; [tq_ref] defaults to 3 ms (the paper's target). *)
 
-val derivatives : params -> float -> float array -> Dde.history -> float array
-
 val run :
   params -> ?init:float array -> horizon:float -> dt:float ->
   ?record_every:int -> unit -> float array * float array array

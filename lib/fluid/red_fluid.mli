@@ -16,8 +16,6 @@ type params = {
   k : float;  (** averaging constant [ln (1-wq) / delta], 1/s, negative *)
 }
 
-val derivatives : params -> float -> float array -> Dde.history -> float array
-
 val run :
   params -> ?init:float array -> horizon:float -> dt:float ->
   ?record_every:int -> unit -> float array * float array array

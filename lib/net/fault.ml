@@ -204,8 +204,6 @@ let attach spec link =
   schedule_outages t;
   t
 
-let link t = t.link
-let spec t = t.spec
 
 let stats t =
   let downtime =

@@ -57,9 +57,6 @@ val attach : spec -> Link.t -> t
     outages drive {!Link.set_up}. Multiple faults may be stacked on one
     link; each keeps its own counters and random streams. *)
 
-val link : t -> Link.t
-val spec : t -> spec
-
 (** Counters of impairments actually applied (not just configured). *)
 type stats = {
   wire_drops : int;

@@ -81,10 +81,7 @@ let emit t event pkt =
   match t.event_hook with Some f -> f event pkt | None -> ()
 let name t = t.name
 let sim t = t.sim
-let bandwidth t = t.bandwidth
-let delay t = t.delay
 let disc t = t.disc
-let queue_length t = t.disc.Queue_disc.pkt_length ()
 
 let note_queue_change t =
   let now = Sim.now t.sim in
@@ -160,9 +157,6 @@ let is_up t = t.up
 let arrivals t = t.arrivals
 let drops t = t.drops
 let marks t = t.marks
-let bytes_sent t = t.bytes_sent
-let delivered t = t.delivered
-let in_flight t = t.in_flight
 let outage_drops t = t.outage_drops
 
 let conservation_error t =
@@ -214,7 +208,7 @@ let enable_queue_trace t ?(interval = Time.s 0.01) () =
       t.queue_trace <- Some (times, lengths);
       Sim.every t.sim ~start:(Time.s (Sim.now t.sim)) interval (fun () ->
           Fvec.push times (Sim.now t.sim);
-          Fvec.push lengths (float_of_int (queue_length t)))
+          Fvec.push lengths (float_of_int (t.disc.Queue_disc.pkt_length ())))
 
 let queue_at t time =
   let time = Time.to_s time in

@@ -42,10 +42,7 @@ val send : t -> Packet.t -> unit
 
 val name : t -> string
 val sim : t -> Sim_engine.Sim.t
-val bandwidth : t -> Units.Rate.t
-val delay : t -> Units.Time.t
 val disc : t -> Queue_disc.t
-val queue_length : t -> int
 
 (** {2 Availability} *)
 
@@ -63,15 +60,6 @@ val is_up : t -> bool
 val arrivals : t -> int
 val drops : t -> int
 val marks : t -> int
-val bytes_sent : t -> int
-
-val delivered : t -> int
-(** Packets handed to the delivery callback since creation (lifetime
-    counter, unaffected by {!reset_stats}). *)
-
-val in_flight : t -> int
-(** Packets dequeued for transmission but not yet delivered. *)
-
 val outage_drops : t -> int
 (** Packets dropped because the link was down (lifetime counter). *)
 

@@ -59,10 +59,6 @@ val header_size : int
 val data_size : int
 (** [mss + header_size]. *)
 
-val probe_size : int
-(** [header_size + 1]: a persist probe carries a single payload byte —
-    the smallest segment a queue discipline will ever see. *)
-
 type factory
 (** Allocates unique packet ids. *)
 

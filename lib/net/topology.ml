@@ -67,7 +67,6 @@ let compute_routes t =
     nodes
 
 let node_count t = t.node_count
-let nodes t = List.rev t.nodes
 let links t = List.rev_map (fun (_, _, l) -> l) t.links
 
 let inject _t node pkt = Node.receive node pkt

@@ -25,7 +25,6 @@ val compute_routes : t -> unit
     creation order, deterministically. *)
 
 val node_count : t -> int
-val nodes : t -> Node.t list
 val links : t -> Link.t list
 
 val inject : t -> Node.t -> Packet.t -> unit

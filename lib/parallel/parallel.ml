@@ -36,8 +36,6 @@ type t = {
   jobs : int;
 }
 
-let jobs t = t.jobs
-
 type 'a future = {
   f_mutex : Mutex.t;
   f_done : Condition.t;
@@ -157,6 +155,13 @@ let map ~jobs f xs =
               | Error (exn, bt) ->
                   Printexc.raise_with_backtrace (Task_error { index; exn }) bt)
             futures)
+
+module Guard = struct
+  type 'a t = { g_mutex : Mutex.t; g_value : 'a }
+
+  let create v = { g_mutex = Mutex.create (); g_value = v }
+  let with_ g f = Mutex.protect g.g_mutex (fun () -> f g.g_value)
+end
 
 (* ---- supervised tasks ---------------------------------------------------
 

@@ -31,11 +31,13 @@ val create : jobs:int -> t
     would oversubscribe by one). With [jobs = 1] no domain is spawned and
     {!submit} runs tasks inline on the calling domain. *)
 
-val jobs : t -> int
-
 type 'a future
 
-val submit : t -> (unit -> 'a) -> 'a future
+(* Kept with no in-tree caller outside this module: the pool's
+   primitive operation ([map] and [submit_supervised] are built on it),
+   and what the pertscan S1 fixtures drive directly (fixture trees are
+   excluded from the repo scan, so those references don't count). *)
+val submit : t -> (unit -> 'a) -> 'a future [@@lint.allow "S3"]
 (** Enqueue a task. Tasks must be independent: a task must not [submit]
     to (or [await] a future of) its own pool, or the pool can deadlock.
     @raise Invalid_argument after {!shutdown}. *)
@@ -58,6 +60,25 @@ val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     carrying its index and backtrace — sequentially that is the first
     failing task; on a pool the remaining tasks still run to completion
     and the failure with the smallest task index wins. *)
+
+(** {1 Guarded shared state} *)
+
+(** A value paired with a private [Mutex], usable only through a scoped
+    critical section — the one sanctioned shape for state shared between
+    the submitting context and pool tasks. pertscan's race detector (S1)
+    treats accesses under {!Guard.with_} (like [Mutex.protect]) as
+    synchronized; a bare [Mutex.lock]/[unlock] pair it cannot see. *)
+module Guard : sig
+  type 'a t
+
+  val create : 'a -> 'a t
+
+  val with_ : 'a t -> ('a -> 'b) -> 'b
+  (** [with_ g f] runs [f] on the guarded value while holding the lock;
+      the lock is released on return or exception. [f] must not [submit]
+      to or [await] the pool (lock-ordering), and must not re-enter
+      [with_] on the same guard ([Mutex] is not reentrant). *)
+end
 
 (** {1 Supervised tasks}
 

@@ -5,7 +5,6 @@ module Window = struct
     mutable in_slow_start : bool;
   }
 
-  let in_slow_start t = t.in_slow_start
 end
 
 type early_action = No_response | Reduce of float

@@ -15,8 +15,6 @@ module Window : sig
     mutable ssthresh : float;  (** slow-start threshold, packets *)
     mutable in_slow_start : bool;
   }
-
-  val in_slow_start : t -> bool
 end
 
 type early_action =

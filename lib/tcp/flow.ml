@@ -131,12 +131,10 @@ type t = {
 }
 
 let id t = t.id
-let cc_name t = t.cc.Cc.name
 let cwnd t = t.window.Cc.Window.cwnd
 let ssthresh t = t.window.Cc.Window.ssthresh
 let snd_una t = t.snd_una
 let snd_next t = t.snd_next
-let in_recovery t = t.in_recovery
 let completed t = t.completed
 let aborted t = t.aborted
 let acked_pkts t = t.acked_pkts
@@ -158,7 +156,6 @@ let fast_recoveries t = t.fast_recoveries
 let early_responses t = t.early_responses
 let persist_probes t = t.persist_probes
 let zero_window_episodes t = t.zero_window_episodes
-let rcv_wnd_drops t = t.rcv_wnd_drops
 let rsts_received t = t.rsts_received
 let rsts_accepted t = t.rsts_accepted
 let rsts_ignored t = t.rsts_ignored
@@ -211,7 +208,6 @@ let peer_limit_pkts t =
    retransmitted. *)
 let window_allows_new t = outstanding t < peer_limit_pkts t
 
-let peer_window_bytes t = W.Adv.decode ~scale:t.wnd_scale t.peer_adv
 
 let advertised_bytes t =
   W.Adv.decode ~scale:(W.scale t.rcv_space) (W.advertised t.rcv_space)

@@ -58,12 +58,10 @@ val create :
     sequence kills the connection. *)
 
 val id : t -> int
-val cc_name : t -> string
 val cwnd : t -> float
 val ssthresh : t -> float
 val snd_una : t -> int
 val snd_next : t -> int
-val in_recovery : t -> bool
 val completed : t -> bool
 
 val aborted : t -> bool
@@ -94,10 +92,6 @@ val early_responses : t -> int
 val wscale : t -> int
 (** The negotiated window-scale shift (0-14). *)
 
-val peer_window_bytes : t -> Units.Size.t
-(** The peer's current usable window as seen by the sender: its last
-    advertisement decoded through the negotiated scale. *)
-
 val advertised_bytes : t -> Units.Size.t
 (** What this endpoint's receiver currently advertises (after scaling
     round-down), i.e. what the peer will believe. *)
@@ -118,10 +112,6 @@ val resume_reader : t -> unit
 val in_persist : t -> bool
 val persist_probes : t -> int
 val zero_window_episodes : t -> int
-
-val rcv_wnd_drops : t -> int
-(** Data segments rejected because the receive buffer had no room (the
-    peer overran the advertised window). *)
 
 (** {2 RST validation and the validity gate} *)
 
@@ -179,7 +169,3 @@ val liveness : t -> int option
     [Some marks] when the flow should be actively moving — a pinned
     counter is a stalled flow. *)
 
-(**/**)
-
-val debug_state : t -> string
-(** Internal counters, for tests and debugging. *)

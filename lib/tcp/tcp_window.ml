@@ -67,7 +67,6 @@ let create ?scale ~capacity () =
   in
   { capacity; wscale; occupied = Size.zero }
 
-let capacity t = t.capacity
 let scale t = t.wscale
 let available t = Size.sub t.capacity t.occupied
 let advertised t = Adv.encode ~scale:t.wscale (available t)

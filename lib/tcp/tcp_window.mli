@@ -25,7 +25,11 @@ val field_limit : int
 module Scale : sig
   type t
 
-  val none : t
+  (* [none], [pp], and below [Adv.zero]/[Adv.equal] have no in-tree
+     caller but are kept (pertscan S3): protocol constants and the
+     equal/pp kit every value-semantics module here ships (see
+     {!Units}). *)
+  val none : t [@@lint.allow "S3"]
   (** Shift 0: no scaling, the pre-RFC-1323 64 KB cap. *)
 
   val of_int : int -> t
@@ -43,14 +47,14 @@ module Scale : sig
       field, capped at {!max_shift}. [for_buffer b] is {!none} whenever
       [b <= field_limit] bytes. *)
 
-  val pp : Format.formatter -> t -> unit
+  val pp : Format.formatter -> t -> unit [@@lint.allow "S3"]
 end
 
 (** A raw 16-bit window advertisement, as carried by an ACK. *)
 module Adv : sig
   type t
 
-  val zero : t
+  val zero : t [@@lint.allow "S3"]
   val is_zero : t -> bool
 
   val of_field : int -> t
@@ -68,7 +72,7 @@ module Adv : sig
   val decode : scale:Scale.t -> t -> Units.Size.t
   (** Field to bytes: [field lsl shift]. [decode (encode s) <= s]. *)
 
-  val equal : t -> t -> bool
+  val equal : t -> t -> bool [@@lint.allow "S3"]
 end
 
 type t
@@ -78,7 +82,6 @@ type t
 val create : ?scale:Scale.t -> capacity:Units.Size.t -> unit -> t
 (** [scale] defaults to [Scale.for_buffer capacity]. *)
 
-val capacity : t -> Units.Size.t
 val scale : t -> Scale.t
 
 val available : t -> Units.Size.t

@@ -13,7 +13,10 @@ type params = {
   size_cap_pkts : int;  (** truncation of the size distribution *)
 }
 
-val default_params : params
+(* Kept with no current caller (pertscan S3): every [params] record in
+   the tree ships its paper defaults; callers currently build explicit
+   params but the baseline remains the reference configuration. *)
+val default_params : params [@@lint.allow "S3"]
 (** [think_mean = 10.0] (heavy-tailed, bounded Pareto),
     [objects_per_page = 4.0], [size_shape = 1.2], [size_min_pkts = 2],
     [size_cap_pkts = 200] — mean object ≈ 12 KB, mean session load a few

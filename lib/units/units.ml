@@ -18,10 +18,8 @@ module Time = struct
   let to_s t = t
 
   let ms x = s (x *. 1e-3)
-  let of_ms = ms
   let to_ms t = t *. 1e3
   let us x = s (x *. 1e-6)
-  let of_us = us
   let to_us t = t *. 1e6
   let add a b = a +. b
   let sub a b = a -. b
@@ -42,10 +40,8 @@ module Rate = struct
     if Float.is_nan x then invalid_arg "Units.Rate.bps: NaN";
     x
 
-  let of_bps = bps
   let to_bps t = t
   let mbps x = bps (x *. 1e6)
-  let of_mbps = mbps
   let to_mbps t = t /. 1e6
   let scale k t = k *. t
   let ratio a b = a /. b

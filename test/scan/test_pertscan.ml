@@ -1,0 +1,278 @@
+(* End-to-end tests for tools/pertlint/pertscan: the whole-program
+   analyses (S1 race escape, S2 determinism taint, S3 dead exports,
+   S4 stale allows) run as a subprocess over the fixture .cmt/.cmti
+   files in test/scan_fixtures. Every analysis is exercised as a pair:
+   a true positive asserting the documented diagnostic and location,
+   and a structurally-matched true negative that must stay silent.
+
+   The test runs from _build/default/test/scan, so the executables and
+   the fixture objects are reachable by relative path. *)
+
+let scan_exe =
+  Filename.concat (Filename.concat ".." "..") "tools/pertlint/pertscan.exe"
+
+let lint_exe =
+  Filename.concat (Filename.concat ".." "..") "tools/pertlint/pertlint.exe"
+
+let fixture_dir = "../scan_fixtures/.scan_fixtures.objs/byte"
+
+let fixture_cmt modname =
+  Printf.sprintf "%s/scan_fixtures__%s.cmt" fixture_dir modname
+
+let fixture_cmti modname =
+  Printf.sprintf "%s/scan_fixtures__%s.cmti" fixture_dir modname
+
+(* The library wrapper module, compiled from dune's generated .ml-gen —
+   a .cmt pertscan deliberately refuses to treat as a scannable unit. *)
+let wrapper_cmt = Printf.sprintf "%s/scan_fixtures.cmt" fixture_dir
+
+(* Returns (exit_code, output_lines), stderr included — the exit-2
+   config errors print there. *)
+let run exe args =
+  let out = Filename.temp_file "pertscan" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote exe)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let rec read acc =
+    match input_line ic with
+    | line -> read (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = read [] in
+  close_in ic;
+  Sys.remove out;
+  (code, lines)
+
+let contains_sub line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tagged rule lines =
+  List.filter (fun l -> contains_sub l (Printf.sprintf "[%s]" rule)) lines
+
+(* A true positive: pertscan on the fixture alone exits 1 with exactly
+   one line carrying the rule tag, pinned to the documented location and
+   containing every documented message fragment. *)
+let fires ~rule ~modname ~loc ~fragments () =
+  let code, lines = run scan_exe [ fixture_cmt modname ] in
+  check_int (rule ^ " exit code") 1 code;
+  match tagged rule lines with
+  | [ line ] ->
+      check_bool
+        (Printf.sprintf "%s flagged at %s" rule loc)
+        true
+        (contains_sub line (loc ^ ":"));
+      List.iter
+        (fun frag ->
+          check_bool
+            (Printf.sprintf "%s diagnostic mentions %S" rule frag)
+            true (contains_sub line frag))
+        fragments
+  | other ->
+      Alcotest.failf "%s: expected exactly one [%s] line, got %d" rule rule
+        (List.length other)
+
+(* A true negative: the structurally-matched clean fixture produces no
+   output at all and exits 0. *)
+let silent ~modname () =
+  let code, lines = run scan_exe [ fixture_cmt modname ] in
+  check_int (modname ^ " exit code") 0 code;
+  check_int (modname ^ " is clean") 0 (List.length lines)
+
+let s1_capture_true_positive =
+  fires ~rule:"S1" ~modname:"Race_capture_bad"
+    ~loc:"test/scan_fixtures/race_capture_bad.ml:7"
+    ~fragments:
+      [
+        "mutable 'hits' (ref, allocated at \
+         test/scan_fixtures/race_capture_bad.ml:6)";
+        "captured (at test/scan_fixtures/race_capture_bad.ml:7)";
+        "handed to Parallel.submit";
+        "cross-domain data race";
+      ]
+
+let s1_global_true_positive =
+  fires ~rule:"S1" ~modname:"Race_global_bad"
+    ~loc:"test/scan_fixtures/race_global_bad.ml:9"
+    ~fragments:
+      [
+        "module-level mutable 'Race_global_bad.table' (Hashtbl.t, defined \
+         at test/scan_fixtures/race_global_bad.ml:6)";
+        "accessed unguarded at test/scan_fixtures/race_global_bad.ml:11";
+        "reachable directly";
+        "handed to Parallel.map";
+      ]
+
+let s2_taint_true_positive =
+  fires ~rule:"S2" ~modname:"Taint_bad"
+    ~loc:"test/scan_fixtures/taint_bad.ml:8"
+    ~fragments:
+      [
+        "Hashtbl iteration order (introduced at \
+         test/scan_fixtures/taint_bad.ml:7)";
+        "reaches 'Output.cell_f'";
+        "run-to-run nondeterminism";
+      ]
+
+let s4_stale_true_positive =
+  fires ~rule:"S4" ~modname:"Stale_allow"
+    ~loc:"test/scan_fixtures/stale_allow.ml:5"
+    ~fragments:
+      [ "[@lint.allow \"N2\"] suppresses no diagnostic"; "stale" ]
+
+(* S3 needs the using module and the interface in scope together: [used]
+   has a cross-module reference (negative), [unused] has none
+   (positive), [kept] is unreferenced but allowed. *)
+let s3_scope =
+  [
+    fixture_cmt "Dead_export";
+    fixture_cmt "Use_site";
+    fixture_cmti "Dead_export";
+  ]
+
+let s3_dead_vs_used_export () =
+  let code, lines = run scan_exe ([ "--rules"; "S3" ] @ s3_scope) in
+  check_int "S3 exit code" 1 code;
+  (match tagged "S3" lines with
+  | [ line ] ->
+      check_bool "S3 flagged at dead_export.mli:7" true
+        (contains_sub line "test/scan_fixtures/dead_export.mli:7:");
+      check_bool "S3 names the dead export" true
+        (contains_sub line "'Dead_export.unused' is exported by its .mli")
+  | other ->
+      Alcotest.failf "expected exactly one [S3] line, got %d"
+        (List.length other));
+  check_bool "the referenced export is not flagged" true
+    (not (List.exists (fun l -> contains_sub l "Dead_export.used'") lines));
+  check_bool "the allowed export is not flagged" true
+    (not (List.exists (fun l -> contains_sub l "Dead_export.kept") lines))
+
+(* S4 vs a live allow: with S3 enabled, the [@@lint.allow "S3"] on
+   [Dead_export.kept] suppresses a real diagnostic and must be credited;
+   only the no-op N2 allow in stale_allow.ml is stale. *)
+let s4_stale_vs_live_allow () =
+  let code, lines =
+    run scan_exe
+      ([ "--rules"; "S3,S4" ] @ s3_scope @ [ fixture_cmt "Stale_allow" ])
+  in
+  check_int "S3,S4 exit code" 1 code;
+  (match tagged "S4" lines with
+  | [ line ] ->
+      check_bool "S4 flagged at stale_allow.ml:5" true
+        (contains_sub line "test/scan_fixtures/stale_allow.ml:5:")
+  | other ->
+      Alcotest.failf "expected exactly one [S4] line, got %d"
+        (List.length other));
+  check_bool "the live allow on Dead_export.kept is credited, not stale" true
+    (not
+       (List.exists
+          (fun l ->
+            contains_sub l "[S4]" && contains_sub l "dead_export.mli")
+          lines))
+
+(* The whole fixture tree under every scan rule at once: exactly the
+   five documented findings, nothing from the true negatives. *)
+let whole_tree_finding_counts () =
+  let code, lines = run scan_exe [ "--stats"; fixture_dir ] in
+  check_int "whole-tree exit code" 1 code;
+  check_int "two S1 findings" 2 (List.length (tagged "S1" lines));
+  check_int "one S2 finding" 1 (List.length (tagged "S2" lines));
+  check_int "one S3 finding" 1 (List.length (tagged "S3" lines));
+  check_int "one S4 finding" 1 (List.length (tagged "S4" lines));
+  check_bool "stats total" true
+    (List.exists (fun l -> contains_sub l "total: 5 violation(s)") lines)
+
+let json_format () =
+  let code, lines =
+    run scan_exe [ "--format=json"; fixture_cmt "Taint_bad" ]
+  in
+  check_int "json exit code" 1 code;
+  let blob = String.concat "\n" lines in
+  List.iter
+    (fun frag ->
+      check_bool (Printf.sprintf "json contains %S" frag) true
+        (contains_sub blob frag))
+    [
+      "\"rule\": \"S2\"";
+      "\"file\": \"test/scan_fixtures/taint_bad.ml\"";
+      "\"line\": 8";
+      "\"severity\": \"error\"";
+    ]
+
+(* Exit-code contract for misdirected scopes: an empty directory (no
+   .cmt at all) and a wrapper-only scope (a .cmt that is not a scannable
+   implementation) are configuration errors — exit 2, never a clean 0 —
+   for pertscan and pertlint alike. *)
+let fresh_empty_dir () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "pertscan_empty_scope"
+  in
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  dir
+
+let empty_scope_is_an_error exe name () =
+  let code, lines = run exe [ fresh_empty_dir () ] in
+  check_int (name ^ " exit code on empty scope") 2 code;
+  check_bool (name ^ " explains the empty scope") true
+    (List.exists (fun l -> contains_sub l "no .cmt files") lines)
+
+let wrapper_only_scope_is_an_error exe name () =
+  let code, lines = run exe [ wrapper_cmt ] in
+  check_int (name ^ " exit code on wrapper-only scope") 2 code;
+  check_bool (name ^ " explains the unscannable scope") true
+    (List.exists
+       (fun l -> contains_sub l "none was a scannable implementation")
+       lines)
+
+let () =
+  Alcotest.run "pertscan"
+    [
+      ( "s1-races",
+        [
+          ("captured local ref is a true positive", `Quick,
+           s1_capture_true_positive);
+          ("module-level Hashtbl is a true positive", `Quick,
+           s1_global_true_positive);
+          ("Mutex.protect-guarded accesses are silent", `Quick,
+           silent ~modname:"Race_ok");
+          ("Parallel.Guard-guarded cache is silent", `Quick,
+           silent ~modname:"Guard_ok");
+        ] );
+      ( "s2-determinism",
+        [
+          ("Hashtbl-order float reaching cell_f is a true positive", `Quick,
+           s2_taint_true_positive);
+          ("sorted fold is silent", `Quick, silent ~modname:"Taint_ok");
+        ] );
+      ( "s3-s4-exports-and-allows",
+        [
+          ("dead export flagged, used export not", `Quick,
+           s3_dead_vs_used_export);
+          ("stale allow flagged, live allow credited", `Quick,
+           s4_stale_vs_live_allow);
+          ("stale allow alone is a true positive", `Quick,
+           s4_stale_true_positive);
+        ] );
+      ( "driver",
+        [
+          ("whole fixture tree: exact finding counts", `Quick,
+           whole_tree_finding_counts);
+          ("json findings carry file/line/rule", `Quick, json_format);
+          ("pertscan: empty scope exits 2", `Quick,
+           empty_scope_is_an_error scan_exe "pertscan");
+          ("pertlint: empty scope exits 2", `Quick,
+           empty_scope_is_an_error lint_exe "pertlint");
+          ("pertscan: wrapper-only scope exits 2", `Quick,
+           wrapper_only_scope_is_an_error scan_exe "pertscan");
+          ("pertlint: wrapper-only scope exits 2", `Quick,
+           wrapper_only_scope_is_an_error lint_exe "pertlint");
+        ] );
+    ]

@@ -1,0 +1,11 @@
+(* S3 fixture interface: [used] is referenced by Use_site (true
+   negative), [unused] is referenced by nobody (true positive, line 7),
+   and [kept] carries a justified allow the S4 pass must credit as live,
+   not stale (line 11). *)
+
+val used : int -> int
+val unused : int -> int
+
+(* Deliberately uncalled: this allow is what the S4 live-allow test
+   checks is credited (S3 fires here and is suppressed). *)
+val kept : int -> int [@@lint.allow "S3"]

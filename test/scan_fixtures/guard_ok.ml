@@ -1,0 +1,16 @@
+(* S1 true negative: a shared memo table behind Parallel.Guard — the
+   sanctioned shape for cross-task state. pertscan must treat
+   Guard.with_ accesses as synchronized and stay silent. *)
+
+let cache : (int, int) Hashtbl.t Parallel.Guard.t =
+  Parallel.Guard.create (Hashtbl.create 8)
+
+let square x =
+  match Parallel.Guard.with_ cache (fun tbl -> Hashtbl.find_opt tbl x) with
+  | Some v -> v
+  | None ->
+      let v = x * x in
+      Parallel.Guard.with_ cache (fun tbl -> Hashtbl.replace tbl x v);
+      v
+
+let run xs = Parallel.map ~jobs:2 square xs

@@ -1,0 +1,9 @@
+(* S1 true positive: a local ref captured, unguarded, by a task handed
+   to Parallel.submit. pertscan must report at the submission site
+   (line 7) and name the allocation (line 6) and capture sites. *)
+
+let run pool =
+  let hits = ref 0 in
+  let fut = Parallel.submit pool (fun () -> incr hits) in
+  ignore (Parallel.await fut);
+  !hits

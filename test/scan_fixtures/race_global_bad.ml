@@ -1,0 +1,13 @@
+(* S1 true positive: a module-level Hashtbl mutated directly inside a
+   Parallel.map task — unguarded writes from worker domains. pertscan
+   must report at the map call (line 9), naming the definition (line 6)
+   and the unguarded access (line 11). *)
+
+let table : (int, int) Hashtbl.t = Hashtbl.create 8
+
+let run xs =
+  Parallel.map ~jobs:4
+    (fun x ->
+      Hashtbl.replace table x (x * x);
+      x)
+    xs

@@ -1,0 +1,16 @@
+(* S1 true negative: the same shared-Hashtbl shape as Race_global_bad,
+   but every access — inside the task and on the submitting side — runs
+   under Mutex.protect. pertscan must stay silent. *)
+
+let table : (int, int) Hashtbl.t = Hashtbl.create 8
+let lock = Mutex.create ()
+
+let run xs =
+  let results =
+    Parallel.map ~jobs:2
+      (fun x ->
+        Mutex.protect lock (fun () -> Hashtbl.replace table x (x * x));
+        x)
+      xs
+  in
+  (results, Mutex.protect lock (fun () -> Hashtbl.length table))

@@ -1,0 +1,5 @@
+(* S4 true positive: this allow names a rule (N2, the Obj.magic ban)
+   that never fires on the binding it annotates, so no diagnostic is
+   suppressed and pertscan must flag the attribute as stale (line 5). *)
+
+let[@lint.allow "N2"] plain x = x + 1

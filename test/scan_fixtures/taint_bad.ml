@@ -1,0 +1,8 @@
+(* S2 true positive: a float accumulated in Hashtbl iteration order
+   (float addition is not associative, so the sum is order-dependent)
+   flows into a rendered table cell. pertscan must report at the
+   cell_f call (line 8) and name the fold (line 7) as the source. *)
+
+let total_cell (tbl : (string, float) Hashtbl.t) =
+  let total = Hashtbl.fold (fun _ v acc -> acc +. v) tbl 0.0 in
+  Experiments.Output.cell_f total

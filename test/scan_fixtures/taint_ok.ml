@@ -1,0 +1,8 @@
+(* S2 true negative: the same fold-then-render shape as Taint_bad, but
+   the folded values are sorted before the sum — List.sort sanitizes the
+   iteration-order taint, so pertscan must stay silent. *)
+
+let total_cell (tbl : (string, float) Hashtbl.t) =
+  let values = List.sort compare (Hashtbl.fold (fun _ v acc -> v :: acc) tbl []) in
+  let total = List.fold_left ( +. ) 0.0 values in
+  Experiments.Output.cell_f total

@@ -1,0 +1,4 @@
+(* The cross-module reference that keeps Dead_export.used alive for the
+   S3 fixture test. *)
+
+let y = Dead_export.used 3

@@ -85,18 +85,20 @@ let with_pool jobs f =
 
 let supervised_retry_then_succeed () =
   with_pool 1 (fun pool ->
-      let calls = ref 0 in
+      (* Atomic, not ref: the counter is written on whatever domain runs
+         the task and read back here (pertscan S1). *)
+      let calls = Atomic.make 0 in
       let fut =
         Parallel.submit_supervised pool ~retries:3 ~seed:11
           (fun ~deadline:_ ->
-            incr calls;
-            if !calls < 3 then failwith "flaky";
-            !calls * 10)
+            Atomic.incr calls;
+            if Atomic.get calls < 3 then failwith "flaky";
+            Atomic.get calls * 10)
       in
       match Parallel.await fut with
       | Ok (Parallel.Ok v) ->
           check_int "third attempt's value" 30 v;
-          check_int "two failures then success" 3 !calls
+          check_int "two failures then success" 3 (Atomic.get calls)
       | _ -> Alcotest.fail "expected a supervised Ok")
 
 let supervised_exhausts_retries () =
@@ -152,14 +154,14 @@ exception Fake_deadline
 
 let supervised_timeout_classified () =
   with_pool 1 (fun pool ->
-      let calls = ref 0 in
+      let calls = Atomic.make 0 in
       let fut =
         Parallel.submit_supervised pool ~retries:5
           ~deadline:(Units.Time.s 0.25)
           ~is_timeout:(function Fake_deadline -> true | _ -> false)
           ~seed:11
           (fun ~deadline ->
-            incr calls;
+            Atomic.incr calls;
             (match deadline with
             | Some d ->
                 check_bool "deadline passed to task" true
@@ -169,7 +171,7 @@ let supervised_timeout_classified () =
       in
       match Parallel.await fut with
       | Ok (Parallel.Timed_out { reason; _ }) ->
-          check_int "deadlines are final: no retry" 1 !calls;
+          check_int "deadlines are final: no retry" 1 (Atomic.get calls);
           check_bool "reason recorded" true (String.length reason > 0)
       | _ -> Alcotest.fail "expected a supervised Timed_out")
 
